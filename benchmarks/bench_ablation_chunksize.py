@@ -1,0 +1,26 @@
+"""Ablation A3: index chunk-size sensitivity.
+
+The chunk is the streaming engine's memory knob (the paper: "memory
+consumption is configurable by adjusting the input buffer size"); this
+sweep shows the latency cost of shrinking it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SIZE, print_experiment
+from repro.engine import JsonSki
+from repro.harness import experiments as exp
+
+
+def test_ablation_table(benchmark):
+    result = benchmark.pedantic(exp.exp_ablation_chunksize, args=(SIZE,), rounds=1, iterations=1)
+    print_experiment(result)
+
+
+@pytest.mark.parametrize("chunk_size", [1 << 12, 1 << 16, 1 << 20])
+def test_bb1_by_chunk(benchmark, chunk_size, bb_large):
+    engine = JsonSki("$.pd[*].cp[1:3].id", chunk_size=chunk_size)
+    matches = benchmark(engine.run, bb_large)
+    assert len(matches) > 0

@@ -1,0 +1,32 @@
+"""Ablation A1: fast-forwarding on vs off.
+
+JSONSki (Algorithm 2) against plain recursive-descent streaming
+(Algorithm 1) — same streaming model, same automaton, no skipping.
+Quantifies what the paper's core contribution buys.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SIZE, print_experiment
+from repro.harness import experiments as exp
+from repro.harness.runner import make_engine
+
+
+def test_ablation_table(benchmark):
+    result = benchmark.pedantic(exp.exp_ablation_fastforward, args=(SIZE,), rounds=1, iterations=1)
+    print_experiment(result)
+    _, _, rows = result
+    total_rds = sum(row[1] for row in rows)
+    total_ski = sum(row[2] for row in rows)
+    assert total_ski < total_rds  # FF must pay for itself in aggregate
+
+
+@pytest.mark.parametrize("engine_name", ["rds", "jsonski"])
+def test_nspl1_ff_on_off(benchmark, engine_name):
+    """NSPL1 is the paper's most extreme case (99.99% G4)."""
+    data = exp.get_large("NSPL", SIZE)
+    engine = make_engine(engine_name, "$.mt.vw.co[*].nm")
+    matches = benchmark(engine.run, data)
+    assert len(matches) == 44

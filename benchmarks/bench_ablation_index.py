@@ -1,0 +1,76 @@
+"""Ablation A4: structural-index construction cost by flavour.
+
+Two materializations of the same structural facts: the word-bitmap index
+(paper-shaped, feeds the word-at-a-time scanner) and the position-based
+index (feeds the vectorized scanner).  Measures pure stage-1 cost —
+what simdjson/Pison pay up front for the whole record, and what JSONSki
+pays lazily per chunk.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SIZE, print_experiment
+from repro.bits.classify import CharClass
+from repro.bits.index import BufferIndex
+from repro.bits.posindex import PositionBufferIndex
+from repro.harness import experiments as exp
+
+
+#: The classes a typical query run touches.
+_HOT_CLASSES = (
+    CharClass.LBRACE, CharClass.RBRACE, CharClass.LBRACKET, CharClass.RBRACKET,
+    CharClass.COLON, CharClass.COMMA, CharClass.QUOTE, CharClass.OPEN,
+)
+
+
+def _build_all(index_cls, data):
+    """Build the index AND decode the hot classes' positions — the part
+    of stage 1 an engine actually consumes (raw bitmap packing alone
+    favours the word flavour; decoding is where positions win)."""
+    index = index_cls(data, cache_chunks=None)
+    for cid in range(index.n_chunks):
+        chunk = index.get(cid)
+        for cls in _HOT_CLASSES:
+            chunk.positions_list(cls)
+    return index
+
+
+@pytest.mark.parametrize("flavour", ["word-bitmaps", "positions"])
+def test_index_build(benchmark, flavour, bb_large):
+    cls = BufferIndex if flavour == "word-bitmaps" else PositionBufferIndex
+    benchmark(_build_all, cls, bb_large)
+
+
+def test_index_build_table(benchmark):
+    import time
+
+    def measure():
+        rows = []
+        for name in ("TT", "BB", "NSPL", "WM"):
+            data = exp.get_large(name, SIZE)
+            row = [name]
+            for cls in (BufferIndex, PositionBufferIndex):
+                _build_all(cls, data)  # warm-up
+                best = min(
+                    _timed(time, cls, data) for _ in range(3)
+                )
+                row.append(best)
+            row.append(round(row[1] / row[2], 1))
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_experiment(("Ablation A4: index construction, word bitmaps vs positions",
+                      ["Data", "word bitmaps (s)", "positions (s)", "ratio"], rows))
+    # Decoding from word bitmaps costs an unpack per class; the position
+    # pipeline produces positions directly.  Best-of-3 timings with a 15%
+    # noise allowance (single-core machine, millisecond measurements).
+    assert all(row[2] <= row[1] * 1.15 for row in rows)
+
+
+def _timed(time, cls, data) -> float:
+    t0 = time.perf_counter()
+    _build_all(cls, data)
+    return time.perf_counter() - t0

@@ -1,0 +1,51 @@
+"""Ablation A6: how the fast-forward margin varies with query depth.
+
+A synthetic nest lets the query stop at any depth: shallow queries skip
+almost everything (huge G2 ratios); the deepest query touches every
+level.  The margin over the FF-off baseline should shrink monotonically
+in the large — the quantitative form of the paper's Section 3.2
+intuition that opportunities come from *irrelevant* substructure.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+from benchmarks.conftest import print_experiment
+from repro.harness.runner import make_engine, time_run
+
+MAX_DEPTH = 6
+
+
+def _nested(rng: random.Random, depth: int, fanout: int = 4) -> dict:
+    if depth == 0:
+        return {"leaf": rng.randrange(1000), "pad": "x" * 20}
+    return {
+        f"k{i}": _nested(rng, depth - 1, fanout) if i == 0 else {"pad": "y" * 30, "n": i}
+        for i in range(fanout)
+    }
+
+
+def test_depth_sweep(benchmark):
+    rng = random.Random(12)
+    record = {"root": _nested(rng, MAX_DEPTH)}
+    data = json.dumps([record] * 200).encode()
+
+    def measure():
+        rows = []
+        for depth in range(1, MAX_DEPTH + 1):
+            query = "$[*].root" + ".k0" * depth
+            t_ski, m1 = time_run(make_engine("jsonski", query), data)
+            t_rds, m2 = time_run(make_engine("rds", query), data)
+            assert len(m1) == len(m2)
+            rows.append([query if depth < 4 else f"...k0 x{depth}", t_rds, t_ski,
+                         round(t_rds / t_ski, 1)])
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_experiment(("Ablation A6: fast-forward margin vs query depth",
+                      ["query", "RDS(no-FF)", "JSONSki", "speedup"], rows))
+    # Shallow queries must show a larger margin than the deepest one.
+    assert rows[0][3] > rows[-1][3] * 0.8
+    assert all(row[3] > 1.0 for row in rows)

@@ -1,0 +1,26 @@
+"""Ablation A2: vectorized vs word-at-a-time scanner.
+
+Both modes run the identical fast-forward algorithms; the word mode
+manipulates 64-bit words one at a time (paper-faithful), the vector mode
+answers the same interval queries from decoded position arrays.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SIZE, print_experiment
+from repro.harness import experiments as exp
+from repro.harness.runner import make_engine
+
+
+def test_ablation_table(benchmark):
+    size = min(SIZE, 1 << 19)  # word mode is the slow one; cap the sweep
+    result = benchmark.pedantic(exp.exp_ablation_scanner, args=(size,), rounds=1, iterations=1)
+    print_experiment(result)
+
+
+@pytest.mark.parametrize("mode", ["jsonski", "jsonski-word"])
+def test_tt1_by_mode(benchmark, mode, tt_large):
+    engine = make_engine(mode, "$[*].en.urls[*].url")
+    benchmark(engine.run, tt_large)

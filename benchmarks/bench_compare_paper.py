@@ -1,0 +1,35 @@
+"""Paper-vs-measured comparison (the reproduction's acceptance test).
+
+Prints the side-by-side Table 6 and headline-speedup comparisons and
+asserts the reproduction criteria: dominant fast-forward groups overlap
+with the paper's bold entries on every query, overall ratios stay above
+90%, and the serial ordering (JSONSki fastest, then Pison, then the
+bit-parallel DOM, then char-by-char) holds.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SIZE, print_experiment
+from repro.harness import experiments as exp
+
+
+def test_table6_against_paper(benchmark):
+    result = benchmark.pedantic(exp.exp_table6_compare, args=(SIZE,), rounds=1, iterations=1)
+    print_experiment(result)
+    _, _, rows = result
+    assert all(row[-1] == "yes" for row in rows), "dominant-group mismatch with the paper"
+    for row in rows:
+        ours = float(row[2].rstrip("%"))
+        assert ours > 90, row
+
+
+def test_fig10_headlines_against_paper(benchmark):
+    result = benchmark.pedantic(exp.exp_fig10_compare, args=(SIZE,), rounds=1, iterations=1)
+    print_experiment(result)
+    _, _, rows = result
+    measured = {row[0]: float(row[2].rstrip("x")) for row in rows}
+    # Ordering matches the paper's: JPStream worst, Pison closest.
+    assert measured["JPStream"] > measured["Pison"]
+    assert measured["simdjson"] > measured["Pison"]
+    # And JSONSki wins against everything (> 1x).
+    assert all(v > 1.0 for v in measured.values())

@@ -1,0 +1,65 @@
+"""Extension: the SAX event substrate, quantified.
+
+The event stream examines every token (it *is* the detailed traversal
+fast-forwarding avoids), so JSONSki should beat an equivalent
+event-stream consumer by roughly its fast-forward margin — asserting
+the paper's Section 2 framing against our own public API.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SIZE, print_experiment
+from repro.engine import JsonSki, iter_events
+from repro.harness import experiments as exp
+from repro.harness.runner import time_run
+
+
+def _events_extract_text(data: bytes) -> list[bytes]:
+    """TT2 (`$[*].text`) implemented over the event stream."""
+    out = []
+    want_value = False
+    for event in iter_events(data):
+        if event.kind == "key":
+            want_value = event.value == "text" and event.depth == 1
+        elif want_value and event.kind == "primitive":
+            out.append(data[event.start : event.end])
+            want_value = False
+        elif event.kind in ("start_object", "start_array"):
+            want_value = False
+    return out
+
+
+def test_events_vs_fastforward(benchmark):
+    data = exp.get_large("TT", SIZE)
+
+    def measure():
+        import time
+
+        engine = JsonSki("$[*].text")
+        engine.run(data)
+        t0 = time.perf_counter()
+        ski_matches = engine.run(data)
+        t_ski = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        sax_matches = _events_extract_text(data)
+        t_sax = time.perf_counter() - t0
+        assert len(ski_matches) == len(sax_matches)
+        assert ski_matches[0].text == sax_matches[0]
+        return t_ski, t_sax
+
+    t_ski, t_sax = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_experiment(("Extension: fast-forward vs SAX event stream (TT2)",
+                      ["approach", "seconds"],
+                      [["JSONSki", t_ski], ["event stream", t_sax]]))
+    assert t_ski * 2 < t_sax  # skipping beats visiting every token
+
+
+@pytest.mark.parametrize("consumer", ["jsonski", "events"])
+def test_tt2_by_consumer(benchmark, consumer, tt_large):
+    if consumer == "jsonski":
+        engine = JsonSki("$[*].text")
+        benchmark(engine.run, tt_large)
+    else:
+        benchmark(_events_extract_text, tt_large)

@@ -1,0 +1,66 @@
+"""Extension: shared-pass multi-query evaluation.
+
+The paper suggests developers can exploit the fast-forward functions for
+further opportunities; `JsonSkiMulti` shares one streaming pass between
+queries.  The benefit is structural: overlapping queries keep their
+fast-forwards and amortize the scan (~2x for the BB pair below);
+divergent queries force conservative guidance and gain nothing — both
+cases are asserted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SIZE, print_experiment
+from repro.engine import JsonSki, JsonSkiMulti
+from repro.harness import experiments as exp
+from repro.harness.runner import time_run
+
+OVERLAPPING = ("BB", ["$.pd[*].cp[1:3].id", "$.pd[*].cp[1:3].nm"])
+DIVERGENT = ("TT", ["$[*].en.urls[*].url", "$[*].text"])
+
+
+def _compare(dataset: str, queries: list[str]) -> tuple[float, float]:
+    data = exp.get_large(dataset, SIZE)
+    multi = JsonSkiMulti(queries)
+    singles = [JsonSki(q) for q in queries]
+    multi.run(data)
+    for engine in singles:
+        engine.run(data)
+    t_multi, _ = time_run(multi, data, repeat=3)
+    t_single = sum(time_run(engine, data, repeat=3)[0] for engine in singles)
+    return t_multi, t_single
+
+
+def test_multiquery_tradeoff(benchmark):
+    def measure():
+        rows = []
+        for label, (dataset, queries) in (("overlapping", OVERLAPPING), ("divergent", DIVERGENT)):
+            t_multi, t_single = _compare(dataset, queries)
+            rows.append([label, t_multi, t_single, round(t_single / t_multi, 2)])
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_experiment(("Extension: one-pass multi-query vs separate passes",
+                      ["queries", "one pass (s)", "separate (s)", "gain"], rows))
+    overlap_gain = rows[0][3]
+    divergent_gain = rows[1][3]
+    assert overlap_gain > 1.3       # overlapping queries amortize the pass
+    assert divergent_gain > 0.6     # divergent queries at worst cost ~the FF loss
+
+
+@pytest.mark.parametrize("setup", ["multi", "separate"])
+def test_bb_overlapping_pair(benchmark, setup, bb_large):
+    queries = OVERLAPPING[1]
+    if setup == "multi":
+        engine = JsonSkiMulti(queries)
+        benchmark(engine.run, bb_large)
+    else:
+        engines = [JsonSki(q) for q in queries]
+
+        def run_all():
+            for engine in engines:
+                engine.run(bb_large)
+
+        benchmark(run_all)

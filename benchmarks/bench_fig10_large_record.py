@@ -1,0 +1,43 @@
+"""Figure 10: total execution time on a single large record.
+
+Two layers:
+
+- ``test_figure10_table`` regenerates the full figure (12 queries x 5
+  serial methods + the 16-worker JPStream/Pison speculative bars) and
+  asserts the paper's headline shape: JSONSki is the fastest serial
+  method in aggregate, and the bit-parallel methods beat the
+  character-by-character ones.
+- the parametrized benchmarks give per-method bars on the paper's
+  scalability query (BB1) for pytest-benchmark's own statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SIZE, WORKERS, print_experiment
+from repro.harness import experiments as exp
+from repro.harness.runner import make_engine
+
+
+def test_figure10_table(benchmark):
+    result = benchmark.pedantic(exp.exp_fig10, args=(SIZE, WORKERS), rounds=1, iterations=1)
+    print_experiment(result)
+    _, headers, rows = result
+    col = {name: i for i, name in enumerate(headers)}
+    totals = {name: sum(row[i] for row in rows) for name, i in col.items() if name != "Query"}
+    # Paper shape: JSONSki fastest serial; JPStream/RapidJSON slowest.
+    assert totals["JSONSki"] < totals["Pison"]
+    assert totals["JSONSki"] < totals["simdjson"]
+    assert totals["JSONSki"] * 1.5 < totals["JPStream"]
+    assert totals["JSONSki"] * 1.5 < totals["RapidJSON"]
+    # Speculative 16-worker runs beat their serial counterparts.
+    assert totals[f"JPStream({WORKERS})"] < totals["JPStream"]
+    assert totals[f"Pison({WORKERS})"] < totals["Pison"]
+
+
+@pytest.mark.parametrize("method", ["jpstream", "rapidjson", "simdjson", "pison", "jsonski"])
+def test_bb1_per_method(benchmark, method, bb_large):
+    engine = make_engine(method, "$.pd[*].cp[1:3].id")
+    matches = benchmark(engine.run, bb_large)
+    assert len(matches) > 0

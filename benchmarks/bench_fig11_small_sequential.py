@@ -1,0 +1,27 @@
+"""Figure 11: sequential execution over a sequence of small records."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SIZE, print_experiment
+from repro.harness import experiments as exp
+from repro.harness.runner import make_engine
+
+
+def test_figure11_table(benchmark):
+    result = benchmark.pedantic(exp.exp_fig11, args=(SIZE,), rounds=1, iterations=1)
+    print_experiment(result)
+    _, headers, rows = result
+    col = {name: i for i, name in enumerate(headers)}
+    totals = {name: sum(row[i] for row in rows) for name, i in col.items() if name != "Query"}
+    assert len(rows) == 10  # NSPL1 and WP2 excluded, as in the paper
+    assert totals["JSONSki"] < totals["JPStream"]
+    assert totals["JSONSki"] < totals["simdjson"]
+
+
+@pytest.mark.parametrize("method", ["jpstream", "rapidjson", "simdjson", "pison", "jsonski"])
+def test_tt2_small_per_method(benchmark, method, tt_records):
+    engine = make_engine(method, "$.text")
+    matches = benchmark(engine.run_records, tt_records)
+    assert len(matches) == len(tt_records)

@@ -1,0 +1,56 @@
+"""Figure 13: peak auxiliary memory footprint per method.
+
+The paper's claim: streaming methods (JPStream, JSONSki) take ~input-
+sized memory (here: small auxiliary state beyond the input buffer),
+while preprocessing methods hold a parse tree or structural index that
+multiplies the input.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SIZE, print_experiment
+from repro.harness import experiments as exp
+from repro.harness.memory import measure_engine_peak
+from repro.harness.runner import make_engine
+
+
+def test_figure13_table(benchmark):
+    result = benchmark.pedantic(exp.exp_fig13, args=(SIZE,), rounds=1, iterations=1)
+    print_experiment(result)
+
+
+def test_streaming_vs_preprocessing_gap(benchmark):
+    data = exp.get_large("BB", SIZE)
+
+    def peaks():
+        out = {}
+        for method in ("jpstream", "jsonski", "rapidjson", "simdjson", "pison"):
+            _, out[method] = measure_engine_peak(exp._memory_engine(method, "$.pd[*].cp[1:3].id"), data)
+        return out
+
+    peak = benchmark.pedantic(peaks, rounds=1, iterations=1)
+    # JPStream's dual stack is tiny; the DOM baselines dwarf it.
+    assert peak["rapidjson"] > 5 * peak["jpstream"]
+    assert peak["simdjson"] > 5 * peak["jpstream"]
+    # JSONSki's bounded chunk index stays well below the DOM methods.
+    assert peak["jsonski"] < peak["rapidjson"] / 2
+    assert peak["jsonski"] < peak["simdjson"] / 2
+
+
+def test_jsonski_memory_is_input_independent(benchmark):
+    """The streaming property: doubling the input must not grow JSONSki's
+    auxiliary memory (fixed chunk, fixed LRU), while the DOM's grows
+    linearly."""
+    small = exp.get_large("BB", SIZE // 2)
+    large = exp.get_large("BB", SIZE)
+
+    def peaks():
+        _, ski_small = measure_engine_peak(exp._memory_engine("jsonski", "$.pd[*].cp[1:3].id"), small)
+        _, ski_large = measure_engine_peak(exp._memory_engine("jsonski", "$.pd[*].cp[1:3].id"), large)
+        _, dom_small = measure_engine_peak(exp._memory_engine("rapidjson", "$.pd[*].cp[1:3].id"), small)
+        _, dom_large = measure_engine_peak(exp._memory_engine("rapidjson", "$.pd[*].cp[1:3].id"), large)
+        return ski_small, ski_large, dom_small, dom_large
+
+    ski_small, ski_large, dom_small, dom_large = benchmark.pedantic(peaks, rounds=1, iterations=1)
+    assert ski_large < ski_small * 1.6  # bounded (match list still grows a bit)
+    assert dom_large > dom_small * 1.6  # linear

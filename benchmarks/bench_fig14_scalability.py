@@ -1,0 +1,25 @@
+"""Figure 14: execution time vs input size (BB1), with the scaled-down
+simdjson record cap exercised inside the sweep."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SIZE, print_experiment
+from repro.harness import experiments as exp
+
+
+def test_figure14_series(benchmark):
+    sizes = tuple(max(SIZE // 4, 1 << 14) * (2**k) for k in range(4))
+    result = benchmark.pedantic(
+        exp.exp_fig14, kwargs={"sizes": sizes, "simdjson_cap": sizes[-1] // 2}, rounds=1, iterations=1
+    )
+    print_experiment(result)
+    _, headers, rows = result
+    ski = headers.index("JSONSki")
+    jp = headers.index("JPStream")
+    simd = headers.index("simdjson")
+    # Near-linear growth: 8x the input within ~3x of 8x the time.
+    assert rows[-1][ski] < rows[0][ski] * 8 * 3
+    # JSONSki stays ahead of JPStream at every size.
+    assert all(row[ski] < row[jp] for row in rows)
+    # The (scaled) simdjson record cap bites within the sweep.
+    assert any(row[simd] == "cap" for row in rows)

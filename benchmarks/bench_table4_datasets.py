@@ -1,0 +1,27 @@
+"""Table 4: dataset structural statistics.
+
+Regenerates the paper's dataset-statistics table from the synthetic
+generators and benchmarks the bit-parallel statistics sweep itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SIZE, print_experiment
+from repro.data.stats import structural_stats
+from repro.harness import experiments as exp
+
+
+def test_table4(benchmark):
+    result = benchmark.pedantic(exp.exp_table4, args=(SIZE,), rounds=1, iterations=1)
+    print_experiment(result)
+    _, _, rows = result
+    assert len(rows) == 6
+
+
+@pytest.mark.parametrize("dataset", ["TT", "BB", "NSPL"])
+def test_structural_stats_throughput(benchmark, dataset):
+    data = exp.get_large(dataset, SIZE)
+    stats = benchmark(structural_stats, data)
+    assert stats.size_bytes == len(data)

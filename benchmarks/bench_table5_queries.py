@@ -1,0 +1,29 @@
+"""Table 5: the twelve JSONPath queries and their match counts."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SIZE, print_experiment
+from repro.engine import JsonSki
+from repro.harness import experiments as exp
+
+
+def test_table5(benchmark):
+    result = benchmark.pedantic(exp.exp_table5, args=(SIZE,), rounds=1, iterations=1)
+    print_experiment(result)
+    _, _, rows = result
+    counts = {row[0]: row[2] for row in rows}
+    assert counts["NSPL1"] == 44  # Table 5's exact count
+    assert counts["TT2"] > 0 and counts["NSPL2"] > 0
+
+
+@pytest.mark.parametrize("qid,dataset,query", [
+    (q.qid, name, q.large) for name, q in exp.all_queries()
+])
+def test_jsonski_per_query(benchmark, qid, dataset, query):
+    """One benchmark bar per Table 5 query (JSONSki engine)."""
+    data = exp.get_large(dataset, SIZE)
+    engine = JsonSki(query)
+    matches = benchmark(engine.run, data)
+    assert len(matches) >= 0

@@ -1,0 +1,31 @@
+"""Table 6: fast-forward ratios by function group.
+
+The paper's headline: every query fast-forwards over 95% of the stream.
+At MB scale with synthetic data we assert a slightly relaxed floor (90%)
+plus the per-query dominant groups the paper reports.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SIZE, print_experiment
+from repro.harness import experiments as exp
+
+
+def _pct(cell: str) -> float:
+    return 0.0 if cell.startswith("<") else float(cell.rstrip("%"))
+
+
+def test_table6(benchmark):
+    result = benchmark.pedantic(exp.exp_table6, args=(SIZE,), rounds=1, iterations=1)
+    print_experiment(result)
+    _, headers, rows = result
+    by_query = {row[0]: dict(zip(headers[1:], row[1:])) for row in rows}
+    for qid, cells in by_query.items():
+        assert _pct(cells["Overall"]) > 90, (qid, cells)
+    # Dominant groups, as in the paper's Table 6:
+    assert _pct(by_query["TT2"]["G4"]) > 50      # text found early -> skip rest
+    assert _pct(by_query["NSPL1"]["G4"]) > 90    # matches early, skip the matrix
+    assert _pct(by_query["NSPL2"]["G5"]) > 50    # index-range skipping
+    assert _pct(by_query["WM1"]["G1"]) > 50      # type-directed sweeps
+    assert _pct(by_query["GMD2"]["G2"]) > 90     # unmatched-value skipping
+    assert _pct(by_query["WP2"]["G5"]) > 50      # root range constraint

@@ -1,0 +1,42 @@
+"""Shared benchmark configuration.
+
+Input size defaults to ``REPRO_BENCH_SIZE`` bytes per dataset (400 KB).
+The paper uses 1 GB inputs on C++ implementations; pure Python runs
+~10^3 slower, so MB-scale inputs produce the same *shapes* in minutes.
+Raise the size for slower, higher-fidelity runs::
+
+    REPRO_BENCH_SIZE=2000000 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import experiments as exp
+
+SIZE = exp.DEFAULT_SIZE
+WORKERS = exp.DEFAULT_WORKERS
+
+
+@pytest.fixture(scope="session")
+def bb_large() -> bytes:
+    return exp.get_large("BB", SIZE)
+
+
+@pytest.fixture(scope="session")
+def tt_large() -> bytes:
+    return exp.get_large("TT", SIZE)
+
+
+@pytest.fixture(scope="session")
+def tt_records():
+    return exp.get_records("TT", SIZE)
+
+
+def print_experiment(result: tuple) -> None:
+    """Render one experiment's table to stdout (shown with ``-s`` or in
+    the captured section of the benchmark log)."""
+    from repro.harness.tables import render_table
+
+    title, headers, rows = result
+    print("\n" + render_table(headers, rows, title=title) + "\n")

@@ -1,0 +1,69 @@
+"""Index-range queries over a product catalog (the paper's BB workload).
+
+Builds a Best-Buy-shaped catalog as ONE large JSON record and evaluates
+range-constrained paths (the paper's BB1: ``$.pd[*].cp[1:3].id``),
+demonstrating the G5 fast-forward group: elements outside ``[1:3]`` are
+skipped without being parsed.  Also compares all five methods end to end
+on the same query.
+
+Run::
+
+    python examples/catalog_analytics.py [--bytes 1000000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import repro
+from repro.data.datasets import large_record
+from repro.harness.runner import METHOD_LABELS, make_engine
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bytes", type=int, default=600_000)
+    args = parser.parse_args()
+
+    print(f"generating a ~{args.bytes / 1e6:.1f} MB catalog record ...")
+    catalog = large_record("BB", args.bytes, seed=7)
+
+    # --- the paper's BB1: second and third category level of each product
+    engine = repro.JsonSki("$.pd[*].cp[1:3].id", collect_stats=True)
+    categories = engine.run(catalog)
+    print(f"\nBB1 category ids : {len(categories)} matches "
+          f"(fast-forwarded {engine.last_stats.overall_ratio:.1%})")
+
+    # --- a business question composed from two streaming passes:
+    # distribution of sale prices, and products with video chapters.
+    prices = [m.value() for m in repro.JsonSki("$.pd[*].salePrice").run(catalog)]
+    prices.sort()
+    mid = prices[len(prices) // 2]
+    print(f"sale prices      : n={len(prices)} min={prices[0]:.2f} "
+          f"median={mid:.2f} max={prices[-1]:.2f}")
+    chapters = repro.JsonSki("$.pd[*].vc[*].cha").run(catalog)
+    print(f"video chapters   : {len(chapters)} (rare attribute, paper's BB2)")
+
+    # --- filter predicates (extension): premium products by name
+    premium = repro.JsonSki("$.pd[?(@.salePrice > 2000)].nm").run(catalog)
+    print(f"premium products : {len(premium)} over $2000"
+          + (f", e.g. {premium[0].value()!r}" if len(premium) else ""))
+
+    # --- five-method shootout on BB1 (Figure 10, one bar group)
+    print("\nmethod shootout on BB1:")
+    results = {}
+    for method in ("jpstream", "rapidjson", "simdjson", "pison", "jsonski"):
+        eng = make_engine(method, "$.pd[*].cp[1:3].id")
+        eng.run(catalog)  # warm-up
+        t0 = time.perf_counter()
+        n = len(eng.run(catalog))
+        seconds = time.perf_counter() - t0
+        results[method] = seconds
+        print(f"  {METHOD_LABELS[method]:10s} {seconds * 1e3:8.1f} ms   ({n} matches)")
+    best = min(results, key=results.get)
+    print(f"fastest: {METHOD_LABELS[best]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Run every engine on the same input and query; verify and time them.
+
+The quickest way to see the paper's Figure 10 on *your* data:
+
+    python examples/compare_engines.py [--bytes 400000] [--query '$.pd[*].cp[1:3].id']
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.crosscheck import cross_check
+from repro.data.datasets import large_record
+from repro.harness.runner import METHOD_LABELS, make_engine
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bytes", type=int, default=400_000)
+    parser.add_argument("--query", default="$.pd[*].cp[1:3].id")
+    parser.add_argument("--file", help="use your own JSON file instead of the BB generator")
+    args = parser.parse_args()
+
+    if args.file:
+        data = open(args.file, "rb").read()
+    else:
+        data = large_record("BB", args.bytes, seed=4)
+    print(f"input: {len(data) / 1e6:.2f} MB   query: {args.query}\n")
+
+    # Correctness first: every engine must agree with the oracle.
+    result = cross_check(data, args.query)
+    print(f"cross-check: {result.n_matches} matches, "
+          f"{len(result.agreed)} engines agree"
+          + (f" ({len(result.skipped)} skipped)" if result.skipped else "") + "\n")
+
+    rows = []
+    for method in ("jpstream", "rapidjson", "simdjson", "pison", "jsonski", "stdlib"):
+        engine = make_engine(method, args.query)
+        engine.run(data)  # warm-up
+        best = min(_timed(engine, data) for _ in range(3))
+        rows.append((METHOD_LABELS[method], best))
+    fastest = min(seconds for _, seconds in rows)
+    print(f"{'engine':16} {'seconds':>10} {'vs best':>8}")
+    for label, seconds in sorted(rows, key=lambda r: r[1]):
+        print(f"{label:16} {seconds:10.4f} {seconds / fastest:7.1f}x")
+
+
+def _timed(engine, data) -> float:
+    t0 = time.perf_counter()
+    engine.run(data)
+    return time.perf_counter() - t0
+
+
+if __name__ == "__main__":
+    main()

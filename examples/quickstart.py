@@ -1,0 +1,54 @@
+"""Quickstart: query the paper's Figure 1 tweet with JSONSki.
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import repro
+
+# The geo-referenced tweet of the paper's Figure 1 (slightly extended).
+TWEET = b"""
+{ "coordinates": [40.74118764, -73.9998279],
+  "user": { "id": 6253282 },
+  "place": { "name": "Manhattan",
+             "bounding_box": { "type": "Polygon",
+                               "pos": [[-74.026675, 40.683935],
+                                       [-74.026675, 40.877483],
+                                       [-73.910408, 40.877483]] } } }
+"""
+
+
+def main() -> None:
+    # Compile once, stream as often as you like.
+    engine = repro.JsonSki("$.place.name", collect_stats=True)
+    matches = engine.run(TWEET)
+
+    print("query   :", "$.place.name")
+    print("matches :", matches.values())
+    print("raw text:", [m.text for m in matches])
+
+    # The engine reports how much of the stream it never examined
+    # (the paper's fast-forward ratio, Table 6).
+    stats = engine.last_stats
+    print(f"\nfast-forwarded: {stats.overall_ratio:.1%} of the input")
+    for group, chars in stats.chars.items():
+        if chars:
+            print(f"  {group}: {chars} chars")
+
+    # Index ranges and wildcards work the same way.
+    print("\nsecond bounding-box corner:",
+          repro.JsonSki("$.place.bounding_box.pos[1]").run(TWEET).values())
+    print("all coordinates:",
+          repro.JsonSki("$.coordinates[*]").run(TWEET).values())
+
+    # Every baseline engine shares the same interface:
+    for name in ("jpstream", "rapidjson", "simdjson", "pison"):
+        values = repro.ENGINES[name]("$.user.id").run(TWEET).values()
+        print(f"{name:10s} -> {values}")
+
+
+if __name__ == "__main__":
+    main()

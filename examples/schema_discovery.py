@@ -1,0 +1,64 @@
+"""Exploring an unfamiliar feed: discover → explain → extract.
+
+Given records you have never seen, the workflow is:
+
+1. ``discover_paths`` (SAX event substrate) sketches the schema — every
+   returned path is a runnable query;
+2. ``explain``/``analyze`` predict and measure how well fast-forwarding
+   will do on a candidate query;
+3. ``Extractor`` turns the chosen queries into flat rows, one fused
+   streaming pass per record.
+
+Run::
+
+    python examples/schema_discovery.py [--bytes 300000]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import repro
+from repro.analysis import analyze
+from repro.data.datasets import record_stream
+from repro.engine.events import depth_histogram, discover_paths, key_frequencies
+from repro.extract import Extractor
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bytes", type=int, default=200_000)
+    args = parser.parse_args()
+
+    stream = record_stream("GMD", args.bytes, seed=77)
+    sample = stream.record(0)
+    print(f"feed: {len(stream)} records; inspecting the first ({len(sample)} bytes)\n")
+
+    # --- 1. schema sketch from the event stream
+    paths = discover_paths(sample, max_paths=12)
+    print("discovered paths (first 12):")
+    for path in paths:
+        print("   ", path)
+    top_keys = sorted(key_frequencies(sample).items(), key=lambda kv: -kv[1])[:5]
+    print("hot keys:", top_keys)
+    print("depth histogram:", dict(sorted(depth_histogram(sample).items())), "\n")
+
+    # --- 2. pick a deep query and ask the advisor about it
+    query = "$.rt[*].lg[*].st[*].dt.tx"
+    report = analyze(sample, query)
+    print(report.describe(), "\n")
+
+    # --- 3. extraction over the whole feed
+    rows = Extractor(
+        {"summary": "$.rt[*].summary", "legs": "$.rt[*].lg[*].distance.tx", "status": "$.status"},
+        mode="list",
+    )
+    totals = {"records": 0, "legs": 0}
+    for row in rows.extract_records(stream):
+        totals["records"] += 1
+        totals["legs"] += len(row["legs"])
+    print(f"extracted {totals['legs']} legs from {totals['records']} direction results")
+
+
+if __name__ == "__main__":
+    main()

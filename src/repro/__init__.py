@@ -1,0 +1,93 @@
+"""JSONSki reproduction: streaming JSON with bit-parallel fast-forwarding.
+
+Reproduces *JSONSki: Streaming Semi-structured Data with Bit-Parallel
+Fast-Forwarding* (Jiang & Zhao, ASPLOS 2022) as a pure-Python library:
+the JSONSki engine, the four baseline processors the paper compares
+against, the six evaluation dataset generators, and the benchmark harness
+that regenerates every table and figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> import repro
+>>> engine = repro.JsonSki("$.place.name")
+>>> engine.run(b'{"user": {"id": 6253282}, "place": {"name": "Manhattan"}}').values()
+['Manhattan']
+
+The uniform engine registry lets the same code drive any method:
+
+>>> repro.ENGINES["jpstream"]("$.place.name").run(b'{"place": {"name": "x"}}').values()
+['x']
+"""
+
+from repro.baselines import JPStream, PisonLike, RapidJsonLike, SimdJsonLike, StdlibJson
+from repro.engine import FastForwardStats, JsonSki, JsonSkiMulti, Match, MatchList, RecursiveDescentStreamer, iter_events
+from repro.errors import (
+    JsonPathSyntaxError,
+    JsonSyntaxError,
+    RecordTooLargeError,
+    ReproError,
+    StreamExhaustedError,
+    UnsupportedQueryError,
+)
+from repro.jsonpath import Path, parse_path
+from repro.query import MatchStatus, QueryAutomaton, compile_query, explain
+from repro.reference import evaluate, evaluate_bytes
+from repro.analysis import AnalysisReport, analyze
+from repro.crosscheck import CrossCheckFailure, cross_check
+from repro.extract import Extractor
+from repro.stream import MappedFile, RecordStream, StreamBuffer
+from repro.validation import is_valid_json, validate_json
+
+#: Uniform constructor registry: name -> Engine factory taking a query.
+ENGINES = {
+    "jsonski": JsonSki,
+    "jsonski-word": lambda query: JsonSki(query, mode="word"),
+    "rds": RecursiveDescentStreamer,
+    "jpstream": JPStream,
+    "rapidjson": RapidJsonLike,
+    "simdjson": SimdJsonLike,
+    "pison": PisonLike,
+    "stdlib": StdlibJson,
+}
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisReport",
+    "ENGINES",
+    "Extractor",
+    "FastForwardStats",
+    "JPStream",
+    "JsonPathSyntaxError",
+    "JsonSki",
+    "JsonSkiMulti",
+    "JsonSyntaxError",
+    "MappedFile",
+    "Match",
+    "MatchList",
+    "MatchStatus",
+    "Path",
+    "PisonLike",
+    "QueryAutomaton",
+    "RapidJsonLike",
+    "RecordStream",
+    "RecordTooLargeError",
+    "RecursiveDescentStreamer",
+    "ReproError",
+    "SimdJsonLike",
+    "StdlibJson",
+    "StreamBuffer",
+    "StreamExhaustedError",
+    "UnsupportedQueryError",
+    "analyze",
+    "cross_check",
+    "CrossCheckFailure",
+    "compile_query",
+    "explain",
+    "is_valid_json",
+    "iter_events",
+    "validate_json",
+    "evaluate",
+    "evaluate_bytes",
+    "parse_path",
+]

@@ -1,0 +1,25 @@
+"""Baseline JSON processors the paper compares against (Tables 2-3).
+
+Each baseline reproduces the *processing strategy* of its namesake:
+
+- :mod:`repro.baselines.jpstream` — character-by-character streaming with
+  a dual-stack pushdown automaton (JPStream).
+- :mod:`repro.baselines.rapidjson_like` — character-by-character DOM
+  parse, then tree traversal (RapidJSON).
+- :mod:`repro.baselines.simdjson_like` — bit-parallel structural indexing
+  followed by DOM construction, then tree traversal (simdjson).
+- :mod:`repro.baselines.pison_like` — bit-parallel leveled colon/comma
+  bitmaps, then index-guided query evaluation (Pison).
+
+All four implement the common :class:`Engine` protocol (``run`` /
+``run_records`` returning a :class:`repro.engine.output.MatchList`), so
+the benchmark harness treats every method uniformly.
+"""
+
+from repro.baselines.jpstream import JPStream
+from repro.baselines.pison_like import PisonLike
+from repro.baselines.rapidjson_like import RapidJsonLike
+from repro.baselines.simdjson_like import SimdJsonLike
+from repro.baselines.stdlib_json import StdlibJson
+
+__all__ = ["JPStream", "PisonLike", "RapidJsonLike", "SimdJsonLike", "StdlibJson"]

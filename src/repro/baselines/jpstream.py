@@ -1,0 +1,129 @@
+"""JPStream-like baseline: character-by-character streaming automaton.
+
+Reproduces the paper's state-of-the-art *streaming* baseline (Section 2,
+Figure 4): a pushdown automaton that combines parsing and query
+evaluation in one pass, maintaining an explicit **syntax stack** (the
+open containers) and **query stack** (the matching state per level) while
+consuming the stream token by token — every character examined, no
+bit-parallelism, no fast-forwarding (Table 3).
+
+Structurally this is the iterative, dual-stack rendition of the same
+query automaton JSONSki embeds in recursive descent; the paper's 13
+transition rules collapse onto the [Key]/[Val]/[Ary-S]/[Ary-E]/[Com]
+rules of Figure 5 applied in an explicit loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.tokenizer import Tokenizer
+from repro.engine.base import EngineBase
+from repro.engine.names import decode_name as _decode_name
+from repro.engine.output import MatchList
+from repro.jsonpath.ast import Path
+from repro.query.automaton import QueryAutomaton, compile_query
+from repro.stream.records import RecordStream
+
+_LBRACE, _RBRACE = 0x7B, 0x7D
+_LBRACKET, _RBRACKET = 0x5B, 0x5D
+_COLON = 0x3A
+
+
+@dataclass
+class _Frame:
+    """One level of the dual stack: container kind + query state.
+
+    ``state`` is the automaton state *of the container itself*;
+    ``counter`` is the array element counter of rule [Com]; ``start`` and
+    ``emit`` implement output of container-valued matches.
+    """
+
+    is_object: bool
+    state: int
+    counter: int
+    start: int
+    #: reserved match slot when the container itself is a match, else -1.
+    slot: int
+
+
+class JPStream(EngineBase):
+    """Streaming dual-stack pushdown automaton engine."""
+
+    def __init__(self, query: str | Path) -> None:
+        self.automaton: QueryAutomaton = compile_query(query)
+
+    def run(self, data: bytes | str) -> MatchList:
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        return _run(self.automaton, data)
+
+
+
+
+def _run(qa: QueryAutomaton, data: bytes) -> MatchList:
+    tok = Tokenizer(data)
+    matches = MatchList()
+    stack: list[_Frame] = []  # the syntax stack + query stack, fused
+    tok.skip_ws()
+
+    # ``pending`` is the automaton state assigned to the upcoming value
+    # (rule [Key] for attribute values, [Ary-S]/[Com] for elements).
+    pending = qa.start_state
+
+    while True:
+        # ---- consume one value whose state is ``pending`` -------------
+        kind = tok.value_kind()
+        accept = qa.status(pending).is_accept
+        start = tok.pos
+        closed_value = False
+        if kind == "primitive":
+            tok.read_primitive()
+            if accept:
+                matches.add(data, start, tok.pos)
+            closed_value = True
+        else:
+            is_object = kind == "object"
+            closer = _RBRACE if is_object else _RBRACKET
+            tok.pos += 1
+            tok.skip_ws()
+            if tok.peek() == closer:  # empty container
+                tok.pos += 1
+                if accept:
+                    matches.add(data, start, tok.pos)
+                closed_value = True
+            else:
+                slot = matches.reserve() if accept else -1
+                stack.append(_Frame(is_object, pending, 0, start, slot))
+                if is_object:
+                    pending = _read_key(tok, qa, pending)
+                else:
+                    pending = qa.on_element(pending, 0)  # [Ary-S]
+                continue
+
+        # ---- unwind: delimiters and container closings ------------------
+        while closed_value and stack:
+            frame = stack[-1]
+            closer = _RBRACE if frame.is_object else _RBRACKET
+            if tok.consume_comma_or(closer):
+                if frame.is_object:
+                    pending = _read_key(tok, qa, frame.state)  # [Key]
+                else:
+                    frame.counter += 1  # [Com]
+                    pending = qa.on_element(frame.state, frame.counter)
+                closed_value = False
+            else:
+                stack.pop()  # [Val] / [Ary-E]: state restored from stack
+                if frame.slot >= 0:
+                    matches.fill(frame.slot, data, frame.start, tok.pos)
+        if closed_value:
+            return matches
+
+
+def _read_key(tok: Tokenizer, qa: QueryAutomaton, container_state: int) -> int:
+    """Consume ``"name" :`` and apply rule [Key]."""
+    name = tok.read_string()
+    tok.skip_ws()
+    tok.expect(_COLON, "':'")
+    tok.skip_ws()
+    return qa.on_key(container_state, _decode_name(name))

@@ -1,0 +1,238 @@
+"""Pison-like baseline: leveled structural index + index-guided querying.
+
+Reproduces Pison's strategy as the paper characterizes it (Section 2,
+Figure 3-(b), Table 3): bit-parallel identification of metacharacters,
+from which *leveled bitmaps* are built — for every nesting level up to
+the query depth, the positions of that level's colons (object attributes)
+and commas (array elements).  Query evaluation then jumps between
+attribute/element boundaries using the leveled index, never re-parsing
+the record — but only after paying the full upfront index construction,
+and while holding the whole index in memory (Figures 10, 13, 14).
+
+The index construction mirrors Pison's two phases: the bit-parallel
+substrate yields the ordered structural positions (shared with
+:mod:`repro.baselines.simdjson_like`); a single linear sweep with a depth
+counter then distributes colons and commas into levels.  The sweep is the
+part Pison parallelizes speculatively across chunks —
+:mod:`repro.parallel.speculation` does exactly that partitioning for the
+Figure 10 sixteen-worker bars.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from repro.baselines.simdjson_like import structural_positions
+from repro.engine.base import EngineBase
+from repro.engine.names import decode_name as _decode_name
+from repro.bits.classify import WHITESPACE
+from repro.engine.output import MatchList
+from repro.errors import JsonSyntaxError, UnsupportedQueryError
+from repro.jsonpath.ast import (
+    Child,
+    Descendant,
+    Index,
+    MultiIndex,
+    MultiName,
+    Path,
+    Slice,
+    WildcardChild,
+    WildcardIndex,
+)
+from repro.jsonpath.parser import parse_path
+from repro.stream.records import RecordStream
+
+_WS = frozenset(WHITESPACE)
+_LBRACE, _RBRACE = 0x7B, 0x7D
+_LBRACKET, _RBRACKET = 0x5B, 0x5D
+_COMMA, _COLON, _QUOTE = 0x2C, 0x3A, 0x22
+
+
+class LeveledIndex:
+    """Leveled colon/comma position arrays for one record.
+
+    Level ``l`` holds the metacharacters that separate the members of
+    containers nested ``l`` levels below the root (the root container's
+    own colons/commas are level 0, as in Figure 3-(b)).
+    """
+
+    def __init__(self, data: bytes, max_levels: int) -> None:
+        self.data = data
+        self.max_levels = max_levels
+        structs = structural_positions(data)
+        colons: list[list[int]] = [[] for _ in range(max_levels)]
+        commas: list[list[int]] = [[] for _ in range(max_levels)]
+        depth = 0
+        root_span: tuple[int, int] | None = None
+        root_start = -1
+        byte_vals = np.frombuffer(data, dtype=np.uint8)[structs] if len(structs) else np.empty(0, np.uint8)
+        for pos, byte in zip(structs.tolist(), byte_vals.tolist()):
+            if byte == _LBRACE or byte == _LBRACKET:
+                if depth == 0:
+                    root_start = pos
+                depth += 1
+            elif byte == _RBRACE or byte == _RBRACKET:
+                depth -= 1
+                if depth == 0 and root_span is None:
+                    root_span = (root_start, pos + 1)
+                if depth < 0:
+                    raise JsonSyntaxError("unbalanced closing bracket", pos)
+            elif byte == _COLON:
+                if 0 < depth <= max_levels:
+                    colons[depth - 1].append(pos)
+            else:  # comma
+                if 0 < depth <= max_levels:
+                    commas[depth - 1].append(pos)
+        if depth != 0:
+            raise JsonSyntaxError("record ended with unclosed containers", len(data))
+        # ``None`` when the record is a bare primitive (no container, no
+        # possible path match).
+        self.root_span = root_span
+        self.colons = [np.asarray(c, dtype=np.int64) for c in colons]
+        self.commas = [np.asarray(c, dtype=np.int64) for c in commas]
+
+    # -- span queries ------------------------------------------------------
+
+    def colons_in(self, level: int, lo: int, hi: int) -> np.ndarray:
+        arr = self.colons[level]
+        return arr[np.searchsorted(arr, lo) : np.searchsorted(arr, hi)]
+
+    def commas_in(self, level: int, lo: int, hi: int) -> np.ndarray:
+        arr = self.commas[level]
+        return arr[np.searchsorted(arr, lo) : np.searchsorted(arr, hi)]
+
+
+class PisonLike(EngineBase):
+    """Preprocessing engine over leveled colon/comma bitmaps."""
+
+    def __init__(self, query: str | Path) -> None:
+        self.path = parse_path(query) if isinstance(query, str) else query
+        if self.path.has_descendant:
+            raise UnsupportedQueryError(
+                "the Pison-like index is built to the query's static depth; "
+                "descendant ('..') queries have no static depth"
+            )
+        if self.path.has_filter:
+            raise UnsupportedQueryError("the Pison-like evaluator does not support filter predicates")
+
+    def run(self, data: bytes | str) -> MatchList:
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        index = LeveledIndex(data, max_levels=len(self.path))  # upfront build
+        matches = MatchList()
+        if index.root_span is not None:
+            _Evaluator(index, data, matches).eval_steps(index.root_span, 0, self.path.steps)
+        return matches
+
+
+
+
+class _Evaluator:
+    """Index-guided evaluation: jump colon-to-colon / comma-to-comma."""
+
+    def __init__(self, index: LeveledIndex, data: bytes, matches: MatchList) -> None:
+        self.index = index
+        self.data = data
+        self.matches = matches
+
+    # -- text helpers ------------------------------------------------------
+
+    def _skip_ws(self, pos: int) -> int:
+        data = self.data
+        n = len(data)
+        while pos < n and data[pos] in _WS:
+            pos += 1
+        return pos
+
+    def _rstrip(self, start: int, end: int) -> int:
+        data = self.data
+        while end > start and data[end - 1] in _WS:
+            end -= 1
+        return end
+
+    def _name_before(self, colon: int, lo: int) -> str:
+        """Attribute name owning ``colon``: the string just before it.
+
+        Pison recovers field names by scanning back from the colon
+        (memrchr); ``bytes.rfind`` is the Python spelling.
+        """
+        name_end = self._rstrip(lo, colon)
+        open_quote = self.data.rfind(_QUOTE, lo, name_end - 1)
+        if self.data[name_end - 1] != _QUOTE or open_quote < 0:
+            raise JsonSyntaxError("attribute name is not a string", colon)
+        return _decode_name(self.data[open_quote + 1 : name_end - 1])
+
+    # -- evaluation ---------------------------------------------------------
+
+    def eval_steps(self, span: tuple[int, int], level: int, steps: tuple) -> None:
+        """Evaluate ``steps`` against the single value held in ``span``.
+
+        A span covers exactly one value plus surrounding whitespace; the
+        value text is ``data[skip_ws(lo) : rstrip(hi)]``.
+        """
+        lo, hi = span
+        vstart = self._skip_ws(lo)
+        vend = self._rstrip(vstart, hi)
+        if not steps:
+            self.matches.add(self.data, vstart, vend)
+            return
+        byte = self.data[vstart]
+        step, rest = steps[0], steps[1:]
+        if isinstance(step, (Child, WildcardChild, MultiName)):
+            if byte != _LBRACE:
+                return
+            self._eval_object(vstart, vend, level, step, rest)
+        elif isinstance(step, (Index, Slice, WildcardIndex, MultiIndex)):
+            if byte != _LBRACKET:
+                return
+            self._eval_array(vstart, vend, level, step, rest)
+        else:  # pragma: no cover - Descendant rejected in the constructor
+            raise UnsupportedQueryError(f"unsupported step {step!r}")
+
+    def _eval_object(self, lo: int, hi: int, level: int, step, rest: tuple) -> None:
+        """``lo`` is the ``{``, ``hi`` is one past the matching ``}``."""
+        colons = self.index.colons_in(level, lo, hi)
+        wildcard = isinstance(step, WildcardChild)
+        multi = isinstance(step, MultiName)
+        remaining = len(step.names) if multi else 1
+        for colon in colons.tolist():
+            if not wildcard:
+                # The attribute's name starts after the previous
+                # attribute's separating comma (or the opening brace).
+                prev_commas = self.index.commas_in(level, lo, colon)
+                name_lo = int(prev_commas[-1]) + 1 if len(prev_commas) else lo + 1
+                name = self._name_before(colon, name_lo)
+                if (name not in step.names) if multi else (name != step.name):
+                    continue
+            next_commas = self.index.commas_in(level, colon, hi)
+            value_hi = int(next_commas[0]) if len(next_commas) else hi - 1
+            self.eval_steps((colon + 1, value_hi), level + 1, rest)
+            if not wildcard:
+                remaining -= 1
+                if remaining == 0:
+                    return  # attribute names are unique
+
+    def _eval_array(self, lo: int, hi: int, level: int, step, rest: tuple) -> None:
+        """``lo`` is the ``[``, ``hi`` is one past the matching ``]``."""
+        if self._skip_ws(lo + 1) == hi - 1:
+            return  # empty array
+        commas = self.index.commas_in(level, lo + 1, hi - 1).tolist()
+        # Element i occupies [starts[i], ends[i]): between the brackets
+        # and the level-l commas.
+        starts = [lo + 1, *[c + 1 for c in commas]]
+        ends = [*commas, hi - 1]
+        n_elements = len(starts)
+        if isinstance(step, Index):
+            selected: "range | list[int]" = (
+                range(step.index, step.index + 1) if step.index < n_elements else range(0)
+            )
+        elif isinstance(step, Slice):
+            stop = n_elements if step.stop is None else min(step.stop, n_elements)
+            selected = range(min(step.start, n_elements), stop)
+        elif isinstance(step, MultiIndex):
+            selected = [i for i in step.indices if i < n_elements]
+        else:  # WildcardIndex
+            selected = range(n_elements)
+        for i in selected:
+            self.eval_steps((starts[i], ends[i]), level + 1, rest)

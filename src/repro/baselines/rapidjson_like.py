@@ -1,0 +1,91 @@
+"""RapidJSON-like baseline: conventional DOM parse + tree query.
+
+The paper's representative of the classic preprocessing scheme *without*
+any bit-parallelism (Table 3): a character-by-character recursive-descent
+parser builds the whole parse tree up front, then the query traverses it.
+Both the upfront delay and the tree's memory footprint are properties the
+evaluation measures (Figures 10, 13, 14).
+"""
+
+from __future__ import annotations
+
+
+from repro.baselines.tokenizer import Tokenizer
+from repro.engine.base import EngineBase
+from repro.engine.names import decode_name as _decode_name
+from repro.baselines.tree import AnyNode, ArrayNode, ObjectNode, PrimitiveNode, query_tree
+from repro.engine.output import MatchList
+from repro.jsonpath.ast import Path
+from repro.jsonpath.parser import parse_path
+from repro.stream.records import RecordStream
+
+_LBRACE, _RBRACE = 0x7B, 0x7D
+_LBRACKET, _RBRACKET = 0x5B, 0x5D
+_COLON = 0x3A
+
+
+def parse_dom(data: bytes) -> AnyNode:
+    """Parse a record into a span-carrying DOM, character by character."""
+    tok = Tokenizer(data)
+    tok.skip_ws()
+    return _parse_value(tok)
+
+
+def _parse_value(tok: Tokenizer) -> AnyNode:
+    kind = tok.value_kind()
+    if kind == "object":
+        return _parse_object(tok)
+    if kind == "array":
+        return _parse_array(tok)
+    start = tok.pos
+    tok.read_primitive()
+    return PrimitiveNode(start, tok.pos)
+
+
+def _parse_object(tok: Tokenizer) -> ObjectNode:
+    start = tok.pos
+    tok.expect(_LBRACE, "'{'")
+    tok.skip_ws()
+    members: list[tuple[str, AnyNode]] = []
+    if tok.at_object_end():
+        tok.pos += 1
+        return ObjectNode(start, tok.pos, ())
+    while True:
+        name = _decode_name(tok.read_string())
+        tok.skip_ws()
+        tok.expect(_COLON, "':'")
+        tok.skip_ws()
+        members.append((name, _parse_value(tok)))
+        if not tok.consume_comma_or(_RBRACE):
+            return ObjectNode(start, tok.pos, tuple(members))
+
+
+def _parse_array(tok: Tokenizer) -> ArrayNode:
+    start = tok.pos
+    tok.expect(_LBRACKET, "'['")
+    tok.skip_ws()
+    elements: list[AnyNode] = []
+    if tok.at_array_end():
+        tok.pos += 1
+        return ArrayNode(start, tok.pos, ())
+    while True:
+        elements.append(_parse_value(tok))
+        if not tok.consume_comma_or(_RBRACKET):
+            return ArrayNode(start, tok.pos, tuple(elements))
+
+
+class RapidJsonLike(EngineBase):
+    """Preprocessing-scheme engine: full DOM parse, then tree traversal."""
+
+    def __init__(self, query: str | Path) -> None:
+        self.path = parse_path(query) if isinstance(query, str) else query
+
+    def run(self, data: bytes | str) -> MatchList:
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        root = parse_dom(data)  # upfront parse (the preprocessing delay)
+        matches = MatchList()
+        query_tree(root, self.path, data, matches)
+        return matches
+
+

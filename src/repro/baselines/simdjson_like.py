@@ -1,0 +1,181 @@
+"""simdjson-like baseline: bit-parallel two-stage DOM parse + tree query.
+
+Reproduces simdjson's strategy as characterized by the paper (Table 3):
+bitwise/SIMD parallelism is used, but *only* for stage 1 — locating the
+structural metacharacters of the whole record up front.  Stage 2 then
+walks the structural positions to build the parse tree ("tape"), and the
+query finally traverses that tree.  Being a preprocessing method, it pays
+the full indexing + tree construction cost before the first match and
+retains the index and tree in memory (Figures 10, 13).
+
+The documented single-record size cap (simdjson supports records up to
+4 GB — paper Section 5.4) is modelled by ``max_record_bytes``.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from repro.engine.base import EngineBase
+from repro.engine.names import decode_name as _decode_name
+from repro.baselines.tree import AnyNode, ArrayNode, ObjectNode, PrimitiveNode, query_tree
+from repro.bits.classify import WHITESPACE, CharClass
+from repro.bits.posindex import PositionBufferIndex
+from repro.engine.output import MatchList
+from repro.errors import JsonSyntaxError, RecordTooLargeError, StreamExhaustedError
+from repro.jsonpath.ast import Path
+from repro.jsonpath.parser import parse_path
+from repro.stream.records import RecordStream
+
+_WS = frozenset(WHITESPACE)
+_LBRACE, _RBRACE = 0x7B, 0x7D
+_LBRACKET, _RBRACKET = 0x5B, 0x5D
+_COMMA, _COLON, _QUOTE = 0x2C, 0x3A, 0x22
+
+#: simdjson's documented single-record limit (4 GiB).
+DEFAULT_MAX_RECORD_BYTES = 1 << 32
+
+
+def structural_positions(data: bytes, chunk_size: int = 1 << 20) -> np.ndarray:
+    """Stage 1: positions of every structural metacharacter, in order.
+
+    Built with the same bit-parallel substrate JSONSki uses, but for the
+    *entire* record up front and retained — the defining difference
+    between the preprocessing and streaming schemes.
+    """
+    index = PositionBufferIndex(data, chunk_size=chunk_size, cache_chunks=None)
+    parts = [index.get(cid).positions(CharClass.ANY) for cid in range(index.n_chunks)]
+    return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+
+
+class _TapeBuilder:
+    """Stage 2: build the DOM by walking the structural-position tape."""
+
+    def __init__(self, data: bytes, structs: np.ndarray) -> None:
+        self.data = data
+        self.structs = structs
+        self.i = 0  # next unconsumed structural position
+
+    # -- helpers -----------------------------------------------------------
+
+    def _skip_ws(self, pos: int) -> int:
+        data = self.data
+        n = len(data)
+        while pos < n and data[pos] in _WS:
+            pos += 1
+        return pos
+
+    def _rstrip(self, start: int, end: int) -> int:
+        data = self.data
+        while end > start and data[end - 1] in _WS:
+            end -= 1
+        return end
+
+    def _next_struct(self) -> int:
+        if self.i >= len(self.structs):
+            raise StreamExhaustedError("record ended inside a structure", len(self.data))
+        return int(self.structs[self.i])
+
+    # -- recursive tape walk -------------------------------------------------
+
+    def parse_value(self, start: int) -> AnyNode:
+        if start >= len(self.data):
+            raise StreamExhaustedError("record ended where a value was expected", start)
+        byte = self.data[start]
+        if byte == _LBRACE:
+            return self.parse_object(start)
+        if byte == _LBRACKET:
+            return self.parse_array(start)
+        # Primitive: extends to the next structural character (strings
+        # cannot contain unmasked metacharacters).
+        end = int(self.structs[self.i]) if self.i < len(self.structs) else len(self.data)
+        return PrimitiveNode(start, self._rstrip(start, end))
+
+    def parse_object(self, lb: int) -> ObjectNode:
+        self.i += 1  # consume '{'
+        nxt = self._next_struct()
+        if self.data[nxt] == _RBRACE and self._skip_ws(lb + 1) == nxt:
+            self.i += 1
+            return ObjectNode(lb, nxt + 1, ())
+        members: list[tuple[str, AnyNode]] = []
+        prev = lb
+        while True:
+            colon = self._next_struct()
+            if self.data[colon] != _COLON:
+                raise JsonSyntaxError("expected ':' between name and value", colon)
+            name_start = self._skip_ws(prev + 1)
+            name_end = self._rstrip(name_start, colon)
+            if name_start >= len(self.data) or name_end <= name_start:
+                raise StreamExhaustedError("record ended inside an attribute name", name_start)
+            if self.data[name_start] != _QUOTE or self.data[name_end - 1] != _QUOTE:
+                raise JsonSyntaxError("attribute name is not a string", name_start)
+            name = _decode_name(self.data[name_start + 1 : name_end - 1])
+            self.i += 1  # consume ':'
+            members.append((name, self.parse_value(self._skip_ws(colon + 1))))
+            delim = self._next_struct()
+            self.i += 1
+            if self.data[delim] == _RBRACE:
+                return ObjectNode(lb, delim + 1, tuple(members))
+            if self.data[delim] != _COMMA:
+                raise JsonSyntaxError("expected ',' or '}' in object", delim)
+            prev = delim
+
+    def parse_array(self, lb: int) -> ArrayNode:
+        self.i += 1  # consume '['
+        nxt = self._next_struct()
+        # The next structural char being ']' does not imply emptiness: a
+        # string element (quotes are not structural) may sit in between.
+        if self.data[nxt] == _RBRACKET and self._skip_ws(lb + 1) == nxt:
+            self.i += 1
+            return ArrayNode(lb, nxt + 1, ())
+        elements: list[AnyNode] = []
+        prev = lb
+        while True:
+            elements.append(self.parse_value(self._skip_ws(prev + 1)))
+            delim = self._next_struct()
+            self.i += 1
+            if self.data[delim] == _RBRACKET:
+                return ArrayNode(lb, delim + 1, tuple(elements))
+            if self.data[delim] != _COMMA:
+                raise JsonSyntaxError("expected ',' or ']' in array", delim)
+            prev = delim
+
+
+def parse_dom(data: bytes, chunk_size: int = 1 << 20) -> AnyNode:
+    """Two-stage parse: structural index, then tape-driven DOM build."""
+    structs = structural_positions(data, chunk_size=chunk_size)
+    builder = _TapeBuilder(data, structs)
+    start = builder._skip_ws(0)
+    if start >= len(data):
+        raise JsonSyntaxError("empty input", 0)
+    return builder.parse_value(start)
+
+
+class SimdJsonLike(EngineBase):
+    """Preprocessing engine with bit-parallel structural indexing."""
+
+    def __init__(
+        self,
+        query: str | Path,
+        chunk_size: int = 1 << 20,
+        max_record_bytes: int = DEFAULT_MAX_RECORD_BYTES,
+    ) -> None:
+        self.path = parse_path(query) if isinstance(query, str) else query
+        self.chunk_size = chunk_size
+        self.max_record_bytes = max_record_bytes
+
+    def run(self, data: bytes | str) -> MatchList:
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        if len(data) > self.max_record_bytes:
+            raise RecordTooLargeError(
+                f"record of {len(data)} bytes exceeds the "
+                f"{self.max_record_bytes}-byte single-record limit"
+            )
+        root = parse_dom(data, chunk_size=self.chunk_size)
+        matches = MatchList()
+        query_tree(root, self.path, data, matches)
+        return matches
+
+

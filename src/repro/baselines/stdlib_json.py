@@ -1,0 +1,46 @@
+"""Reference point: CPython's built-in ``json`` + tree walk.
+
+Not a paper baseline — it is the engine a Python user gets for free:
+``json.loads`` (a C parser) followed by the oracle tree evaluator.  It
+exists to keep the reproduction honest about language-level constants:
+the paper compares C++ systems at equal implementation maturity, and
+this engine shows where a C-accelerated DOM parse lands among our
+pure-Python engines (see ``bench_extension_stdlib.py``).
+
+Because the DOM has no byte spans, matches are re-serialized values
+(``Match.text`` is canonical JSON, not an input slice) — ``values()``
+is comparable across engines, raw text is not.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.engine.base import EngineBase
+from repro.engine.output import MatchList
+from repro.errors import JsonSyntaxError
+from repro.jsonpath.ast import Path
+from repro.jsonpath.parser import parse_path
+from repro.reference.evaluator import evaluate
+
+
+class StdlibJson(EngineBase):
+    """``json.loads`` + tree traversal (the everyday-Python yardstick)."""
+
+    def __init__(self, query: str | Path) -> None:
+        self.path = parse_path(query) if isinstance(query, str) else query
+
+    def run(self, data: bytes | str) -> MatchList:
+        if isinstance(data, bytes):
+            text = data.decode("utf-8", "surrogateescape")
+        else:
+            text = data
+        try:
+            value = json.loads(text)
+        except ValueError as exc:
+            raise JsonSyntaxError(f"stdlib json rejected the record: {exc}", 0) from None
+        matches = MatchList()
+        for hit in evaluate(self.path, value):
+            encoded = json.dumps(hit, ensure_ascii=False).encode("utf-8")
+            matches.add(encoded, 0, len(encoded))
+        return matches

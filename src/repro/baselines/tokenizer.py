@@ -1,0 +1,116 @@
+"""Character-by-character JSON tokenizer.
+
+This is the conventional detailed-parsing substrate the paper's baselines
+share: every character is visited, every token recognized.  It backs the
+RapidJSON-like DOM parser, the JPStream-like streaming automaton, and the
+FF-off recursive-descent streamer — deliberately with honest per-character
+loops (no vectorized shortcuts), since "character-by-character processing
+and the lack of bitwise and SIMD parallelism" is exactly the baseline
+behaviour the paper measures against (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from repro.errors import JsonSyntaxError, StreamExhaustedError
+
+_WS = frozenset(b" \t\n\r")
+_QUOTE, _BACKSLASH = 0x22, 0x5C
+_LBRACE, _RBRACE = 0x7B, 0x7D
+_LBRACKET, _RBRACKET = 0x5B, 0x5D
+_COMMA, _COLON = 0x2C, 0x3A
+#: Bytes that terminate a number/literal token.
+_PRIMITIVE_END = frozenset(b" \t\n\r,}]")
+
+
+class Tokenizer:
+    """Sequential token reader over one JSON record."""
+
+    __slots__ = ("data", "pos", "size")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+        self.size = len(data)
+
+    # -- low level -------------------------------------------------------
+
+    def skip_ws(self) -> None:
+        data, pos, size = self.data, self.pos, self.size
+        while pos < size and data[pos] in _WS:
+            pos += 1
+        self.pos = pos
+
+    def peek(self) -> int:
+        """Current byte, or -1 at end of input."""
+        return self.data[self.pos] if self.pos < self.size else -1
+
+    def expect(self, byte: int, what: str) -> None:
+        if self.peek() != byte:
+            raise JsonSyntaxError(f"expected {what}", self.pos)
+        self.pos += 1
+
+    # -- tokens ------------------------------------------------------------
+
+    def read_string(self) -> bytes:
+        """Consume a string token; return its raw inner text (undecoded)."""
+        self.expect(_QUOTE, "'\"'")
+        data, pos, size = self.data, self.pos, self.size
+        start = pos
+        while pos < size:
+            byte = data[pos]
+            if byte == _BACKSLASH:
+                pos += 2
+                continue
+            if byte == _QUOTE:
+                self.pos = pos + 1
+                return data[start:pos]
+            pos += 1
+        raise StreamExhaustedError("unterminated string", start)
+
+    def read_primitive(self) -> bytes:
+        """Consume a number / true / false / null or string primitive."""
+        if self.peek() == _QUOTE:
+            start = self.pos
+            self.read_string()
+            return self.data[start : self.pos]
+        data, pos, size = self.data, self.pos, self.size
+        start = pos
+        while pos < size and data[pos] not in _PRIMITIVE_END:
+            pos += 1
+        if pos == start:
+            raise JsonSyntaxError("expected a value", pos)
+        self.pos = pos
+        return data[start:pos]
+
+    def value_kind(self) -> str:
+        """Classify the value starting at the cursor: 'object' / 'array' /
+        'primitive'."""
+        byte = self.peek()
+        if byte == _LBRACE:
+            return "object"
+        if byte == _LBRACKET:
+            return "array"
+        if byte == -1:
+            raise StreamExhaustedError("unexpected end of input", self.pos)
+        return "primitive"
+
+    # -- structure helpers ---------------------------------------------------
+
+    def at_object_end(self) -> bool:
+        return self.peek() == _RBRACE
+
+    def at_array_end(self) -> bool:
+        return self.peek() == _RBRACKET
+
+    def consume_comma_or(self, closer: int) -> bool:
+        """After a member: consume ',' (return True) or ``closer`` (False)."""
+        self.skip_ws()
+        byte = self.peek()
+        if byte == _COMMA:
+            self.pos += 1
+            self.skip_ws()
+            return True
+        if byte == closer:
+            self.pos += 1
+            return False
+        raise JsonSyntaxError(f"expected ',' or {chr(closer)!r}", self.pos)

@@ -1,0 +1,63 @@
+"""Bit-parallel substrate (paper Section 4.1, Algorithm 3).
+
+This subpackage provides everything below the fast-forward algorithms:
+
+- :mod:`repro.bits.words` — 64-bit word primitives (the bit tricks of
+  Algorithm 3: isolate lowest set bit, clear lowest set bit, interval
+  subtraction, popcount, position of the interval end).
+- :mod:`repro.bits.classify` — numpy-vectorized character classification of
+  a chunk into per-metacharacter word bitmaps (the SIMD substitute).
+- :mod:`repro.bits.strings` — the escaped-character and in-string masks
+  (simdjson-style odd-backslash-run and prefix-XOR algorithms) used to
+  remove pseudo-metacharacters inside strings.
+- :mod:`repro.bits.index` — :class:`ChunkIndex` and :class:`BufferIndex`,
+  the lazily-built, forward-only streaming index over the input.
+- :mod:`repro.bits.intervals` — structural intervals (Definition 4.1) as
+  literal word bitmaps, matching Algorithm 3 line by line.
+- :mod:`repro.bits.scanner` — the three-primitive scanner interface that
+  the fast-forward functions are written against, with a paper-faithful
+  word-at-a-time implementation and a vectorized implementation.
+"""
+
+from repro.bits.classify import CharClass, classify_chunk
+from repro.bits.index import BufferIndex, ChunkIndex
+from repro.bits.intervals import IntervalBuilder, StructuralInterval
+from repro.bits.posindex import PositionBufferIndex, PositionChunk, build_position_chunk
+from repro.bits.scanner import Scanner, VectorScanner, WordScanner
+from repro.bits.words import (
+    WORD_BITS,
+    WORD_MASK,
+    clear_lowest_bit,
+    interval_between,
+    interval_end,
+    lowest_bit,
+    mask_from,
+    mask_up_to,
+    popcount,
+    select_kth_bit,
+)
+
+__all__ = [
+    "WORD_BITS",
+    "WORD_MASK",
+    "BufferIndex",
+    "CharClass",
+    "ChunkIndex",
+    "IntervalBuilder",
+    "PositionBufferIndex",
+    "PositionChunk",
+    "Scanner",
+    "StructuralInterval",
+    "VectorScanner",
+    "WordScanner",
+    "build_position_chunk",
+    "classify_chunk",
+    "clear_lowest_bit",
+    "interval_between",
+    "interval_end",
+    "lowest_bit",
+    "mask_from",
+    "mask_up_to",
+    "popcount",
+    "select_kth_bit",
+]

@@ -1,0 +1,131 @@
+"""Vectorized character classification (the SIMD substitute).
+
+The paper classifies 256-bit blocks of input with SIMD compare
+instructions to build one bitmap per metacharacter (``buildRawCharBitmap``
+in Algorithm 3).  Here a whole chunk is classified at once with numpy:
+``buf == ord(c)`` produces a boolean vector, ``np.packbits(...,
+bitorder='little')`` packs it into the mirrored bit order the paper uses
+(first character in the least-significant bit), and the packed bytes are
+viewed both as ``uint64`` words and as one arbitrary-precision Python
+integer for chunk-wide carry algorithms.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+_WORD_BYTES = 8
+
+
+class CharClass(enum.Enum):
+    """Metacharacter classes tracked by the structural index.
+
+    The first six are JSON's structural metacharacters; ``QUOTE`` and
+    ``BACKSLASH`` are inputs to the string mask; the remaining entries are
+    unions used by specific fast-forward functions (e.g. ``OPEN`` by
+    ``goOverPriAttrs``, which advances to the next ``{`` or ``[``).
+    """
+
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COLON = ":"
+    COMMA = ","
+    QUOTE = '"'
+    BACKSLASH = "\\"
+    #: ``{`` or ``[`` — start of any non-primitive value.
+    OPEN = "{["
+    #: ``}`` or ``]`` — end of any non-primitive value.
+    CLOSE = "}]"
+    #: ``,`` or ``}`` — ends a primitive attribute value.
+    COMMA_OR_RBRACE = ",}"
+    #: ``,`` or ``]`` — ends a primitive array element.
+    COMMA_OR_RBRACKET = ",]"
+    #: All six structural metacharacters (simdjson/Pison stage-1 output).
+    ANY = "{}[]:,"
+
+    @property
+    def chars(self) -> bytes:
+        """The member characters of this class, as bytes."""
+        return self.value.encode("ascii")
+
+
+#: Classes whose bitmaps are filtered of pseudo-metacharacters inside
+#: strings and exposed by :class:`repro.bits.index.ChunkIndex`.
+STRUCTURAL_CLASSES = (
+    CharClass.LBRACE,
+    CharClass.RBRACE,
+    CharClass.LBRACKET,
+    CharClass.RBRACKET,
+    CharClass.COLON,
+    CharClass.COMMA,
+)
+
+#: Union classes derived by OR-ing structural bitmaps.
+DERIVED_CLASSES = {
+    CharClass.OPEN: (CharClass.LBRACE, CharClass.LBRACKET),
+    CharClass.CLOSE: (CharClass.RBRACE, CharClass.RBRACKET),
+    CharClass.COMMA_OR_RBRACE: (CharClass.COMMA, CharClass.RBRACE),
+    CharClass.COMMA_OR_RBRACKET: (CharClass.COMMA, CharClass.RBRACKET),
+    CharClass.ANY: STRUCTURAL_CLASSES,
+}
+
+#: JSON insignificant whitespace (RFC 8259).
+WHITESPACE = b" \t\n\r"
+
+
+def pack_bool_mask(mask: np.ndarray) -> np.ndarray:
+    """Pack a boolean per-character vector into word-aligned bytes.
+
+    The result length is padded to a multiple of 8 bytes so it can be
+    viewed as ``uint64`` words; pad bits are zero, which is safe for every
+    consumer (a zero bit means "not a member of the class").
+    """
+    packed = np.packbits(mask, bitorder="little")
+    remainder = packed.size % _WORD_BYTES
+    if remainder:
+        packed = np.pad(packed, (0, _WORD_BYTES - remainder))
+    return packed
+
+
+def packed_to_words(packed: np.ndarray) -> np.ndarray:
+    """View packed little-endian bytes as mirrored ``uint64`` words."""
+    return packed.view(np.dtype("<u8"))
+
+
+def packed_to_int(packed: np.ndarray) -> int:
+    """View packed bytes as one chunk-wide Python integer (bit 0 = char 0)."""
+    return int.from_bytes(packed.tobytes(), "little")
+
+
+def int_to_words(value: int, n_words: int) -> np.ndarray:
+    """Convert a chunk-wide integer back to mirrored ``uint64`` words."""
+    raw = value.to_bytes(n_words * _WORD_BYTES, "little")
+    return np.frombuffer(raw, dtype=np.dtype("<u8")).copy()
+
+
+def classify_chunk(chunk: bytes | np.ndarray) -> dict[CharClass, np.ndarray]:
+    """Build the raw (unfiltered) bitmap for every base character class.
+
+    Parameters
+    ----------
+    chunk:
+        The input characters, as bytes or a ``uint8`` array.
+
+    Returns
+    -------
+    dict mapping each base :class:`CharClass` (the six structural
+    metacharacters plus ``QUOTE`` and ``BACKSLASH``) to its packed byte
+    bitmap (see :func:`pack_bool_mask`).  Derived union classes are *not*
+    materialized here; :class:`repro.bits.index.ChunkIndex` ORs them after
+    string filtering.
+    """
+    buf = np.frombuffer(chunk, dtype=np.uint8) if isinstance(chunk, (bytes, bytearray, memoryview)) else chunk
+    bitmaps: dict[CharClass, np.ndarray] = {}
+    for cls in (*STRUCTURAL_CLASSES, CharClass.QUOTE, CharClass.BACKSLASH):
+        code = cls.chars[0]
+        bitmaps[cls] = pack_bool_mask(buf == code)
+    return bitmaps

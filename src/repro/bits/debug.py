@@ -1,0 +1,91 @@
+"""Human-readable views of the bit-parallel layer (teaching/debugging).
+
+Renders the structures of Figures 7-8 against the raw text: per-class
+structural bitmaps, the in-string mask, structural intervals, and
+fast-forward traces.  Used by ``examples/fastforward_anatomy.py`` and
+handy in a REPL::
+
+    >>> from repro.bits.debug import render_classes
+    >>> print(render_classes(b'{"a{": [1]}'))   # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from repro.bits.classify import STRUCTURAL_CLASSES, CharClass
+from repro.bits.index import BufferIndex, build_chunk_index
+from repro.bits.strings import naive_string_mask
+
+
+def _printable(data: bytes) -> str:
+    return "".join(chr(b) if 32 <= b < 127 else "." for b in data)
+
+
+def ruler(data: bytes) -> str:
+    """A 0-9 repeating position ruler aligned under the text."""
+    return "".join(str(i % 10) for i in range(len(data)))
+
+
+def render_bitmap(data: bytes, positions: list[int], mark: str = "^") -> str:
+    """One marker line: ``mark`` under each listed position."""
+    line = [" "] * len(data)
+    for pos in positions:
+        if 0 <= pos < len(data):
+            line[pos] = mark
+    return "".join(line)
+
+
+def render_classes(data: bytes, classes: tuple[CharClass, ...] = STRUCTURAL_CLASSES) -> str:
+    """Text + ruler + one row per structural class (string-filtered).
+
+    The rendering makes pseudo-metacharacter removal visible: a ``{``
+    inside a string gets no marker on the LBRACE row.
+    """
+    chunk = build_chunk_index(data, 0)
+    lines = [_printable(data), ruler(data)]
+    for cls in classes:
+        positions = list(chunk.positions_list(cls))
+        lines.append(render_bitmap(data, positions) + f"   {cls.name}")
+    return "\n".join(lines)
+
+
+def render_string_mask(data: bytes) -> str:
+    """Text + the in-string mask (``#`` = inside a string literal)."""
+    mask = naive_string_mask(data).in_string
+    marks = "".join("#" if mask >> i & 1 else " " for i in range(len(data)))
+    return "\n".join([_printable(data), ruler(data), marks + "   in-string"])
+
+
+def render_interval(data: bytes, start: int, end: int | None, label: str = "interval") -> str:
+    """Text + a ``[===)`` span for one structural interval."""
+    stop = len(data) if end is None else end
+    line = [" "] * len(data)
+    for i in range(start, min(stop, len(data))):
+        line[i] = "="
+    if start < len(data):
+        line[start] = "["
+    if end is not None and end < len(data):
+        line[end] = ")"
+    return "\n".join([_printable(data), "".join(line) + f"   {label}"])
+
+
+def render_trace(data: bytes, events: list[tuple[str, int, int]]) -> str:
+    """Text + one row per fast-forward event from ``JsonSki.trace_run``.
+
+    Each row shows the skipped span filled with the group name's digit
+    (G2 → ``2``), giving an at-a-glance picture of how much of the
+    stream was never examined.
+    """
+    lines = [_printable(data), ruler(data)]
+    for group, start, end in events:
+        digit = group[-1]
+        line = [" "] * len(data)
+        for i in range(start, min(end, len(data))):
+            line[i] = digit
+        lines.append("".join(line) + f"   {group} [{start}:{end})")
+    return "\n".join(lines)
+
+
+def coverage_summary(data: bytes, events: list[tuple[str, int, int]]) -> str:
+    """One line: how much of the input the events fast-forwarded."""
+    skipped = sum(end - start for _, start, end in events)
+    return f"fast-forwarded {skipped}/{len(data)} bytes ({skipped / max(len(data), 1):.1%})"

@@ -1,0 +1,153 @@
+"""String masks: removing pseudo-metacharacters inside JSON strings.
+
+Algorithm 3's ``buildMetacharBitmap`` ANDs every raw metacharacter bitmap
+with a *string bitmap* so that, e.g., the ``{`` in ``"a{b"`` is never
+mistaken for structure.  The construction (cited by the paper from Mison,
+Pison and simdjson) has two bit-parallel stages:
+
+1. **Escaped characters** — characters preceded by an odd-length run of
+   backslashes (:func:`repro.bits.words.escaped_positions`).  An escaped
+   quote does not open or close a string.
+2. **In-string mask** — the prefix XOR of the unescaped-quote bitmap: a
+   position is inside a string iff the number of unescaped quotes at or
+   before it is odd (:func:`repro.bits.words.prefix_xor`).
+
+Both stages carry state across chunk boundaries (a backslash run or an
+open string may straddle chunks), which is what makes the index streamable.
+
+The resulting ``in_string`` mask covers the *opening* quote and the string
+body but not the closing quote; since quotes are not structural
+metacharacters, filtering with ``~in_string`` removes exactly the
+pseudo-metacharacters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bits.words import escaped_positions, prefix_xor
+
+
+@dataclass(frozen=True)
+class StringCarry:
+    """Cross-chunk state of the string-mask computation.
+
+    Attributes
+    ----------
+    escape:
+        1 if the previous chunk ended with an odd-length backslash run
+        (its escaping effect spills onto this chunk's first character).
+    in_string:
+        1 if the previous chunk ended inside a string literal.
+    """
+
+    escape: int = 0
+    in_string: int = 0
+
+
+#: State at the very start of a stream: outside any string, nothing escaped.
+INITIAL_CARRY = StringCarry(0, 0)
+
+
+@dataclass(frozen=True)
+class StringMaskResult:
+    """Chunk-wide string-mask bitmaps, as Python integers (bit 0 = char 0)."""
+
+    in_string: int
+    unescaped_quotes: int
+    escaped: int
+    carry_out: StringCarry
+
+
+def compute_string_mask(
+    quotes: int,
+    backslashes: int,
+    bits: int,
+    carry: StringCarry = INITIAL_CARRY,
+    length: int | None = None,
+) -> StringMaskResult:
+    """Compute the in-string mask for one chunk.
+
+    Parameters
+    ----------
+    quotes, backslashes:
+        Raw bitmaps of ``"`` and ``\\`` characters for the chunk, as
+        chunk-wide integers.
+    bits:
+        Width of the chunk in characters (must be even; in practice a
+        multiple of 64).
+    carry:
+        State left by the previous chunk.
+    length:
+        Actual character count when the chunk is shorter than ``bits``
+        (zero-padded tail).  The escape carry must be read at the true
+        chunk end: a backslash run ending at ``length - 1`` escapes the
+        *next chunk's* first character, which the padded computation
+        records as an escaped bit at position ``length``.
+    """
+    if length is None:
+        length = bits
+    if bits == 0:
+        return StringMaskResult(0, 0, 0, carry)
+    mask = (1 << bits) - 1
+    escaped, escape_overflow = escaped_positions(backslashes, carry.escape, bits)
+    if length == bits:
+        escape_out = escape_overflow
+    else:
+        escape_out = (escaped >> length) & 1
+    unescaped_quotes = quotes & ~escaped & mask
+    in_string = prefix_xor(unescaped_quotes, bits)
+    if carry.in_string:
+        in_string ^= mask
+    in_string_out = (in_string >> (bits - 1)) & 1
+    return StringMaskResult(
+        in_string=in_string,
+        unescaped_quotes=unescaped_quotes,
+        escaped=escaped,
+        carry_out=StringCarry(escape_out, in_string_out),
+    )
+
+
+def naive_string_mask(chunk: bytes, carry: StringCarry = INITIAL_CARRY) -> StringMaskResult:
+    """Character-by-character oracle for :func:`compute_string_mask`.
+
+    Used by the test suite to validate the bit-parallel construction on
+    arbitrary (including pathological) inputs.  Conventions match the
+    bit-parallel path exactly: the opening quote is inside the in-string
+    mask and the closing quote is not, and ``escaped`` marks only
+    run-terminating characters (a character following an odd-length
+    backslash run) — never the backslashes inside a run, which are
+    consumed by the run itself.
+    """
+    in_string = 0
+    unescaped = 0
+    escaped_bits = 0
+    inside = bool(carry.in_string)
+    run = 1 if carry.escape else 0
+    for i, byte in enumerate(chunk):
+        if byte == 0x5C:  # backslash: extend (or start) the run
+            run += 1
+            if inside:
+                in_string |= 1 << i
+            continue
+        escaped = run % 2 == 1
+        run = 0
+        if escaped:
+            escaped_bits |= 1 << i
+            if inside:
+                in_string |= 1 << i
+            continue
+        if byte == 0x22:  # unescaped quote
+            unescaped |= 1 << i
+            if not inside:
+                in_string |= 1 << i  # opening quote is inside the mask
+            inside = not inside
+            continue
+        if inside:
+            in_string |= 1 << i
+    return StringMaskResult(
+        in_string=in_string,
+        unescaped_quotes=unescaped,
+        escaped=escaped_bits,
+        carry_out=StringCarry(run % 2, int(inside)),
+    )

@@ -1,0 +1,215 @@
+"""64-bit word primitives (paper Algorithm 3).
+
+The paper manipulates *mirrored* metacharacter bitmaps: bit ``j`` of a word
+corresponds to the ``j``-th character of the 64-character block, with the
+first character in the least-significant bit.  Under that convention the
+"next" occurrence of a metacharacter is the *lowest* set bit, which the
+classic two's-complement tricks extract in O(1):
+
+========================  =======================================
+operation                  expression
+========================  =======================================
+isolate lowest set bit     ``b & -b``
+clear lowest set bit       ``b & (b - 1)``
+mask of bits below ``b``   ``b - 1``      (``b`` a single bit)
+interval between bits      ``b_end - b_start``
+count set bits             ``int.bit_count`` (POPCNT)
+position of highest bit    ``int.bit_length`` (64 - LZCNT)
+========================  =======================================
+
+Python integers are arbitrary precision, so every helper masks its result
+back to 64 bits where an overflow could occur.  The same functions are also
+used by :mod:`repro.bits.strings` on whole-chunk integers, where the word
+width is passed explicitly.
+"""
+
+from __future__ import annotations
+
+WORD_BITS = 64
+WORD_MASK = (1 << WORD_BITS) - 1
+
+#: Alternating 0101... mask — even bit positions (paper's escape algorithm).
+EVEN_BITS = 0x5555_5555_5555_5555
+#: Alternating 1010... mask — odd bit positions.
+ODD_BITS = 0xAAAA_AAAA_AAAA_AAAA
+
+
+def lowest_bit(word: int) -> int:
+    """Isolate the lowest set bit of ``word`` (0 if ``word`` is 0).
+
+    This is the paper's ``bitmap & -bitmap`` (Algorithm 3, line 26): under
+    the mirrored convention it selects the *next* metacharacter.
+    """
+    return word & -word
+
+
+def clear_lowest_bit(word: int) -> int:
+    """Clear the lowest set bit (Algorithm 3, line 27: ``b & (b - 1)``)."""
+    return word & (word - 1)
+
+
+def lowest_bit_position(word: int) -> int:
+    """Position (0-based from LSB) of the lowest set bit.
+
+    Equivalent to the TZCNT instruction.  ``word`` must be non-zero.
+    """
+    if word == 0:
+        raise ValueError("lowest_bit_position of zero word")
+    return (word & -word).bit_length() - 1
+
+
+def highest_bit_position(word: int) -> int:
+    """Position of the highest set bit (64 - LZCNT - 1 on a real CPU).
+
+    This is ``intervalEnd`` in Algorithm 3 (lines 33-36): the paper counts
+    leading zeros of the mirrored bitmap, then mirrors the count back.
+    ``word`` must be non-zero.
+    """
+    if word == 0:
+        raise ValueError("highest_bit_position of zero word")
+    return word.bit_length() - 1
+
+
+def mask_up_to(pos: int) -> int:
+    """Mask with bits ``[0, pos]`` set (inclusive of ``pos``).
+
+    Algorithm 3 lines 4-5 build this as ``b_start ^ (b_start - 1)`` where
+    ``b_start = 1 << pos``; the closed form is identical.
+    """
+    b_start = 1 << pos
+    return b_start ^ (b_start - 1)
+
+
+def mask_from(pos: int) -> int:
+    """64-bit mask with bits ``[pos, 63]`` set."""
+    return WORD_MASK & ~((1 << pos) - 1)
+
+
+def interval_between(b_start: int, b_end: int) -> int:
+    """Interval bitmap covering ``[b_start, b_end)`` (Algorithm 3 line 8).
+
+    ``b_start`` and ``b_end`` are single-bit masks with
+    ``b_start < b_end``; the subtraction sets exactly the bits at and above
+    ``b_start`` and strictly below ``b_end``.  ``b_end == 0`` means "no end
+    in this word" and yields the open interval ``[b_start, 63]`` masked to
+    the word width, matching how the paper extends an interval across
+    words (Figure 8).
+    """
+    if b_end == 0:
+        return WORD_MASK & ~(b_start - 1)
+    return b_end - b_start
+
+
+def interval_end(interval: int) -> int:
+    """Position of the end of an interval bitmap (its highest set bit).
+
+    Mirrors Algorithm 3's ``intervalEnd``: with mirrored bitmaps the paper
+    uses LZCNT and mirrors; with Python ints ``bit_length`` is the same
+    computation.
+    """
+    return highest_bit_position(interval)
+
+
+def popcount(word: int) -> int:
+    """Number of set bits (the POPCNT of Algorithm 4 line 11)."""
+    return word.bit_count()
+
+
+def select_kth_bit(word: int, k: int) -> int:
+    """Position of the ``k``-th (1-based) lowest set bit of ``word``.
+
+    Algorithm 4 line 15 uses this (``getPosition(bitmap, num)``) to locate
+    the closing brace that ends the object.  Raises :class:`ValueError` if
+    ``word`` has fewer than ``k`` set bits.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    w = word
+    for _ in range(k - 1):
+        w = w & (w - 1)
+    if w == 0:
+        raise ValueError(f"word has fewer than {k} set bits")
+    return (w & -w).bit_length() - 1
+
+
+def prefix_xor(word: int, bits: int = WORD_BITS) -> int:
+    """Prefix XOR of a ``bits``-wide word (the CLMUL-by-all-ones trick).
+
+    Bit ``i`` of the result is the XOR of bits ``0..i`` of ``word``.  Used
+    to turn an unescaped-quote bitmap into an in-string mask
+    (:mod:`repro.bits.strings`): between an opening and a closing quote the
+    running parity of quotes seen so far is odd.
+
+    Runs in ``log2(bits)`` shift-XOR steps, each bit-parallel across the
+    whole word — the pure-Python stand-in for the carry-less multiply that
+    simdjson uses.
+    """
+    shift = 1
+    while shift < bits:
+        word ^= word << shift
+        shift <<= 1
+    return word & ((1 << bits) - 1)
+
+
+def escaped_positions(backslashes: int, carry: int, bits: int = WORD_BITS) -> tuple[int, int]:
+    """Mask of characters escaped by odd-length backslash runs.
+
+    This is simdjson's ``find_odd_backslash_sequences`` (the construction
+    the paper's ``buildStringBitmap`` cites from [34, 40]), generalized to a
+    ``bits``-wide word so chunk-sized integers work too.
+
+    A character is *escaped* when it is preceded by an odd-length run of
+    backslashes; escaped quotes must not toggle the in-string state.  The
+    algorithm classifies each run by the parity of its start position and
+    lets an integer addition carry-propagate to the run end — all
+    bit-parallel.
+
+    Parameters
+    ----------
+    backslashes:
+        Bitmap of backslash characters in this word.
+    carry:
+        1 if the previous word ended with an odd-length backslash run that
+        escapes this word's first character, else 0.
+
+    Returns
+    -------
+    (escaped, carry_out):
+        ``escaped`` is the bitmap of escaped character positions within this
+        word; ``carry_out`` feeds the next word.
+    """
+    if bits % 2:
+        raise ValueError("word width must be even for run-parity chaining")
+    mask = (1 << bits) - 1
+    even_bits = EVEN_BITS
+    width = 64
+    while width < bits:
+        even_bits |= even_bits << width
+        width <<= 1
+    even_bits &= mask
+    odd_bits = ~even_bits & mask
+
+    bs = backslashes & mask
+    # Run starts: a backslash not preceded by a backslash.
+    start_edges = bs & ~(bs << 1) & mask
+    # XOR-ing the carry flips only bit 0's even/odd classification: a run
+    # that continues from the previous word behaves as if it were one bit
+    # longer, which is exactly what the pending odd-length prefix means.
+    even_start_mask = even_bits ^ carry
+    even_starts = start_edges & even_start_mask
+    odd_starts = start_edges & ~even_start_mask & mask
+
+    # Adding the start bit to the run lets the carry ripple to the first
+    # position *after* the run; the parity of that landing position versus
+    # the start classification reveals the run-length parity.
+    even_carries = (bs + even_starts) & mask
+    odd_sum = bs + odd_starts
+    carry_out = int(odd_sum >> bits)
+    odd_carries = (odd_sum | carry) & mask
+
+    even_carry_ends = even_carries & ~bs & mask
+    odd_carry_ends = odd_carries & ~bs & mask
+    even_start_odd_end = even_carry_ends & odd_bits
+    odd_start_even_end = odd_carry_ends & even_bits
+    escaped = (even_start_odd_end | odd_start_even_end) & mask
+    return escaped, carry_out

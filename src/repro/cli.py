@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro QUERY [FILE]``.
+
+Streams a JSON file (or stdin) through a chosen engine and prints the
+matches, one per line — a grep for JSONPath.  Examples::
+
+    python -m repro '$.place.name' tweet.json
+    python -m repro '$[*].text' tweets.json --count
+    python -m repro '$.text' tweets.jsonl --jsonl --engine jpstream
+    python -m repro '$.pd[*].cp[1:3].id' catalog.json --stats
+
+Exit status is 0 when at least one match was found, 1 when none (like
+``grep``), 2 on usage or input errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.engine import JsonSki
+from repro.engine.stats import GROUPS
+from repro.errors import ReproError
+from repro.harness.runner import METHOD_LABELS, make_engine
+from repro.stream.records import RecordStream
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Stream JSONPath queries over JSON with bit-parallel fast-forwarding (JSONSki).",
+    )
+    parser.add_argument("query", help="JSONPath expression, e.g. '$.place.name'")
+    parser.add_argument("file", nargs="?", default="-", help="input file ('-' or omitted: stdin)")
+    parser.add_argument("--engine", choices=sorted(METHOD_LABELS), default="jsonski",
+                        help="query engine (default: jsonski)")
+    parser.add_argument("--jsonl", action="store_true",
+                        help="input is newline-delimited JSON (one record per line)")
+    parser.add_argument("--raw", action="store_true",
+                        help="print raw matched text instead of one JSON value per line")
+    parser.add_argument("--count", action="store_true", help="print only the number of matches")
+    parser.add_argument("--first", action="store_true", help="print only the first match (early termination)")
+    parser.add_argument("--paths", action="store_true",
+                        help="prefix each match with its normalized path (jsonski only)")
+    parser.add_argument("--stats", action="store_true",
+                        help="report fast-forward ratios to stderr (jsonski only)")
+    parser.add_argument("--explain", action="store_true",
+                        help="print the query's static fast-forward plan and exit")
+    parser.add_argument("--analyze", action="store_true",
+                        help="probe the input and report measured fast-forward behaviour")
+    parser.add_argument("--cross-check", action="store_true",
+                        help="run every engine and the oracle; fail on any disagreement")
+    return parser
+
+
+def _read_input(path: str) -> bytes:
+    if path == "-":
+        return sys.stdin.buffer.read()
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def _print_stats(engine: JsonSki, err) -> None:
+    stats = engine.last_stats
+    if stats is None:
+        return
+    parts = ", ".join(f"{g}={stats.ratio(g):.1%}" for g in GROUPS if stats.ratio(g) > 0)
+    print(f"fast-forwarded {stats.overall_ratio:.1%} of {stats.total_length} bytes ({parts})", file=err)
+
+
+def main(argv: list[str] | None = None, out=None, err=None) -> int:
+    out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
+    args = build_parser().parse_args(argv)
+
+    if args.explain:
+        from repro.query.explain import explain
+
+        try:
+            print(explain(args.query).describe(), file=out)
+        except ReproError as exc:
+            print(f"error: {exc}", file=err)
+            return 2
+        return 0
+
+    if args.analyze:
+        from repro.analysis import analyze
+
+        try:
+            data = _read_input(args.file)
+            print(analyze(data, args.query).describe(), file=out)
+        except (OSError, ReproError) as exc:
+            print(f"error: {exc}", file=err)
+            return 2
+        return 0
+
+    if args.cross_check:
+        from repro.crosscheck import cross_check, cross_check_records
+
+        try:
+            data = _read_input(args.file)
+            if args.jsonl:
+                results = cross_check_records(data, args.query)
+                print(f"{len(results)} records cross-checked, all engines agree", file=out)
+            else:
+                print(cross_check(data, args.query).describe(), file=out)
+        except (OSError, ReproError) as exc:
+            print(f"error: {exc}", file=err)
+            return 2
+        return 0
+
+    jsonski_only = args.paths or args.stats
+    if jsonski_only and args.engine != "jsonski":
+        print("--paths/--stats require --engine jsonski", file=err)
+        return 2
+
+    try:
+        data = _read_input(args.file)
+    except OSError as exc:
+        print(f"cannot read {args.file}: {exc}", file=err)
+        return 2
+
+    try:
+        if args.engine == "jsonski":
+            engine = JsonSki(args.query, collect_stats=args.stats)
+        else:
+            engine = make_engine(args.engine, args.query)
+
+        if args.first and isinstance(engine, JsonSki) and not args.jsonl and not args.paths:
+            match = engine.first(data)
+            if match is not None:
+                print(match.text.decode("utf-8", "replace") if args.raw else match.value(), file=out)
+            return 0 if match is not None else 1
+
+        if args.jsonl:
+            stream = RecordStream.from_jsonl(data)
+            if args.paths:
+                pairs = [p for i in range(len(stream)) for p in engine.run_with_paths(stream.record(i))]
+            else:
+                matches = engine.run_records(stream)
+        elif args.paths:
+            pairs = engine.run_with_paths(data)
+        else:
+            matches = engine.run(data)
+    except ReproError as exc:
+        print(f"error: {exc}", file=err)
+        position = getattr(exc, "position", None)
+        if position is not None and data:
+            from repro.errors import format_error_context
+
+            print(format_error_context(data, position), file=err)
+        return 2
+
+    if args.stats and isinstance(engine, JsonSki):
+        _print_stats(engine, err)
+
+    if args.paths:
+        n = len(pairs)
+        for path, match in pairs[: 1 if args.first else n]:
+            rendered = "$" + "".join(f"[{k!r}]" if isinstance(k, str) else f"[{k}]" for k in path)
+            value = match.text.decode("utf-8", "replace") if args.raw else match.value()
+            print(f"{rendered}\t{value}", file=out)
+        return 0 if n else 1
+
+    n = len(matches)
+    if args.count:
+        print(n, file=out)
+        return 0 if n else 1
+    shown = list(matches)[: 1 if args.first else n]
+    for match in shown:
+        print(match.text.decode("utf-8", "replace") if args.raw else match.value(), file=out)
+    return 0 if n else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Convenience shim in the style of other Python JSONPath libraries.
+
+For code migrating from ``jsonpath-ng``-like APIs: ``parse(query)``
+returns an object whose ``find`` works on *parsed Python values* (dicts
+and lists) and returns datum objects with ``value`` and ``full_path``.
+
+This is sugar over :mod:`repro.reference`; for raw bytes and real
+streaming performance use :class:`repro.JsonSki` directly.
+
+>>> from repro.compat import parse
+>>> [d.value for d in parse("$.a[*]").find({"a": [1, 2]})]
+[1, 2]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.jsonpath.ast import Path
+from repro.jsonpath.parser import parse_path
+from repro.reference.evaluator import evaluate_with_paths
+
+
+@dataclass(frozen=True)
+class Datum:
+    """One result of :meth:`CompiledPath.find`."""
+
+    value: Any
+    #: Normalized location as a tuple of keys/indices.
+    path: tuple
+
+    @property
+    def full_path(self) -> str:
+        """The location rendered as a JSONPath string."""
+        parts = []
+        for key in self.path:
+            if isinstance(key, int):
+                parts.append(f"[{key}]")
+            elif isinstance(key, str) and key.isidentifier():
+                parts.append(f".{key}")
+            else:
+                escaped = str(key).replace("\\", "\\\\").replace("'", "\\'")
+                parts.append(f"['{escaped}']")
+        return "$" + "".join(parts)
+
+
+@dataclass(frozen=True)
+class CompiledPath:
+    """A parsed query exposing value-level evaluation."""
+
+    path: Path
+
+    def find(self, value: Any) -> list[Datum]:
+        """Evaluate against a parsed Python value, in document order."""
+        return [Datum(v, p) for p, v in evaluate_with_paths(self.path, value)]
+
+    def values(self, value: Any) -> list[Any]:
+        """Just the matched values."""
+        return [d.value for d in self.find(value)]
+
+    def __str__(self) -> str:
+        return self.path.unparse()
+
+
+def parse(query: str) -> CompiledPath:
+    """Compile a JSONPath for value-level evaluation."""
+    return CompiledPath(parse_path(query))

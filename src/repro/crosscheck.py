@@ -1,0 +1,95 @@
+"""Cross-engine verification on user data.
+
+Runs a query through every engine (and the ``json.loads`` oracle) and
+asserts they agree — the differential test the suite applies to random
+inputs, packaged for a user's *own* records.  Useful before trusting the
+fast-forwarding engine on a feed with unusual structure, and as a bug
+report generator: a :class:`CrossCheckFailure` carries the minimal
+reproduction facts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError, UnsupportedQueryError
+from repro.harness.runner import METHOD_LABELS, make_engine
+from repro.jsonpath.ast import Path
+from repro.jsonpath.parser import parse_path
+from repro.reference import evaluate_bytes
+
+#: Engines included in a cross-check (everything except the ablation
+#: word-mode duplicate, which shares the jsonski code path).
+DEFAULT_ENGINES = ("jsonski", "jsonski-word", "rds", "jpstream", "rapidjson", "simdjson", "pison", "stdlib")
+
+
+class CrossCheckFailure(ReproError):
+    """Two engines (or an engine and the oracle) disagreed."""
+
+    def __init__(self, query: str, engine: str, got: list, expected: list) -> None:
+        super().__init__(
+            f"engine {engine!r} disagrees with the oracle on {query!r}: "
+            f"{len(got)} vs {len(expected)} matches"
+        )
+        self.query = query
+        self.engine = engine
+        self.got = got
+        self.expected = expected
+
+
+@dataclass
+class CrossCheckResult:
+    """Outcome of one cross-check: which engines ran and agreed."""
+
+    query: str
+    n_matches: int
+    agreed: list[str] = field(default_factory=list)
+    skipped: dict[str, str] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        lines = [f"{self.query}: {self.n_matches} matches, {len(self.agreed)} engines agree"]
+        lines.extend(f"  ok      {METHOD_LABELS[name]}" for name in self.agreed)
+        lines.extend(f"  skipped {METHOD_LABELS[name]} ({reason})" for name, reason in self.skipped.items())
+        return "\n".join(lines)
+
+
+def _canonical(values: list) -> list[str]:
+    return [json.dumps(v, sort_keys=True) for v in values]
+
+
+def cross_check(
+    data: bytes | str,
+    query: str | Path,
+    engines: tuple[str, ...] = DEFAULT_ENGINES,
+) -> CrossCheckResult:
+    """Verify every engine against the oracle on one record.
+
+    Raises :class:`CrossCheckFailure` at the first disagreement; engines
+    that legitimately cannot run the query (e.g. Pison with ``..``) are
+    recorded as skipped, not failed.
+    """
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    path = parse_path(query) if isinstance(query, str) else query
+    expected = _canonical(evaluate_bytes(path, data))
+    result = CrossCheckResult(query=path.unparse(), n_matches=len(expected))
+    for name in engines:
+        try:
+            engine = make_engine(name, path)
+        except UnsupportedQueryError as exc:
+            result.skipped[name] = str(exc).split("(")[0].strip()
+            continue
+        got = _canonical(engine.run(data).values())
+        if got != expected:
+            raise CrossCheckFailure(result.query, name, got, expected)
+        result.agreed.append(name)
+    return result
+
+
+def cross_check_records(data: bytes, query: str | Path, jsonl: bool = True) -> list[CrossCheckResult]:
+    """Cross-check every record of a JSONL (or concatenated) payload."""
+    from repro.stream.records import RecordStream
+
+    stream = RecordStream.from_jsonl(data) if jsonl else RecordStream.from_concatenated(data)
+    return [cross_check(stream.record(i), query) for i in range(len(stream))]

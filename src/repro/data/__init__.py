@@ -1,0 +1,27 @@
+"""Synthetic evaluation datasets (paper Tables 4-5).
+
+The paper evaluates on six proprietary real-world dumps (Twitter, Best
+Buy, Google Maps Directions, NSPL, Walmart, Wikidata).  This package
+generates schema-faithful synthetic equivalents, sized on demand and
+deterministic under a seed, in both of the paper's formats: one single
+large record, or a sequence of small records with an offset array.
+
+The Table 5 queries are carried verbatim (the paper's abbreviated field
+names — ``pd``, ``cp``, ``rt``, ``lg`` … — are used as the generators'
+actual field names so the query text matches the paper exactly).
+"""
+
+from repro.data.datasets import DATASETS, QuerySpec, dataset, large_record, record_stream
+from repro.data.stats import structural_stats
+from repro.data.synth import random_json, random_path
+
+__all__ = [
+    "DATASETS",
+    "QuerySpec",
+    "dataset",
+    "large_record",
+    "random_json",
+    "random_path",
+    "record_stream",
+    "structural_stats",
+]

@@ -1,0 +1,99 @@
+"""Structural statistics of a JSON input (reproduces Table 4's columns).
+
+Counts objects, arrays, attributes, primitives, and maximum nesting depth
+— computed from the bit-parallel structural index (so it is fast enough
+to run on every generated dataset in the benchmark harness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.simdjson_like import structural_positions
+
+_LBRACE, _RBRACE = 0x7B, 0x7D
+_LBRACKET, _RBRACKET = 0x5B, 0x5D
+_COMMA, _COLON = 0x2C, 0x3A
+
+
+@dataclass(frozen=True)
+class StructuralStats:
+    """Table 4 row for one input."""
+
+    n_objects: int
+    n_arrays: int
+    n_attributes: int
+    n_primitives: int
+    depth: int
+    size_bytes: int
+
+    def as_row(self) -> dict[str, int]:
+        return {
+            "#objects": self.n_objects,
+            "#arrays": self.n_arrays,
+            "#attr": self.n_attributes,
+            "#prim": self.n_primitives,
+            "depth": self.depth,
+            "bytes": self.size_bytes,
+        }
+
+
+def structural_stats(data: bytes) -> StructuralStats:
+    """Compute structural statistics for one record (or concatenation).
+
+    Primitive counting uses the containment identity: every value is
+    either an attribute value, an array element, or a root; array element
+    counts come from per-array comma counts (elements = commas + 1 for
+    non-empty arrays), which a single sweep over the structural positions
+    accumulates alongside the depth profile.
+    """
+    structs = structural_positions(data)
+    if len(structs) == 0:
+        # A bare primitive record.
+        return StructuralStats(0, 0, 0, 1 if data.strip() else 0, 0, len(data))
+    bytes_at = np.frombuffer(data, dtype=np.uint8)[structs]
+
+    n_objects = int(np.count_nonzero(bytes_at == _LBRACE))
+    n_arrays = int(np.count_nonzero(bytes_at == _LBRACKET))
+    n_attributes = int(np.count_nonzero(bytes_at == _COLON))
+
+    # One sweep computes the depth profile and the total value count:
+    # values = roots + attribute values (#colons) + array elements, and
+    # primitives = values - containers.
+    depth = 0
+    max_depth = 0
+    roots = 0
+    elements = 0
+    stack: list[list[int]] = []  # per open container: [is_array, commas, open_pos]
+    for pos, byte in zip(structs.tolist(), bytes_at.tolist()):
+        if byte == _LBRACE or byte == _LBRACKET:
+            if depth == 0:
+                roots += 1
+            depth += 1
+            if depth > max_depth:
+                max_depth = depth
+            stack.append([byte == _LBRACKET, 0, pos])
+        elif byte == _RBRACE or byte == _RBRACKET:
+            is_array, commas, open_pos = stack.pop()
+            depth -= 1
+            if is_array:
+                if commas:
+                    elements += commas + 1
+                elif data[open_pos + 1 : pos].strip():
+                    # No commas but non-whitespace content: one element.
+                    elements += 1
+        elif byte == _COMMA:
+            if stack and stack[-1][0]:
+                stack[-1][1] += 1
+
+    total_values = roots + n_attributes + elements
+    return StructuralStats(
+        n_objects=n_objects,
+        n_arrays=n_arrays,
+        n_attributes=n_attributes,
+        n_primitives=total_values - n_objects - n_arrays,
+        depth=max_depth,
+        size_bytes=len(data),
+    )

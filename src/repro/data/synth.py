@@ -1,0 +1,87 @@
+"""Generic random JSON generation, for fuzzing and property-based tests.
+
+Unlike :mod:`repro.data.datasets` (schema-faithful evaluation inputs),
+this module produces *arbitrary* well-formed JSON, biased toward the
+structures that historically break parsers: escaped quotes, metacharacters
+inside strings, empty containers, deep nesting, numbers in every notation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+#: String pool stressing the string mask: pseudo-metacharacters, escapes,
+#: backslash runs, empty strings, unicode escapes.
+TRICKY_STRINGS = [
+    "",
+    "plain",
+    "a{b}c",
+    "[1, 2]",
+    "a:b,c",
+    'quote:"',
+    "back\\slash",
+    "\\\\",
+    "\\\"{",
+    "tab\tnl\n",
+    "unicode é東",
+    "ends with backslash\\",
+    '{"fake": "json"}',
+]
+
+#: Key pool; a small alphabet maximizes accidental key collisions, which
+#: is what query matching needs to be tested against.
+KEYS = ["a", "b", "c", "d", "e", "x", "y", "z", "nm", "id", "k{", "w]w"]
+
+NUMBERS = [0, -1, 7, 3.5, -0.25, 1e9, -2e-3, 123456789012345]
+
+
+def random_json(rng: random.Random, max_depth: int = 4, breadth: int = 5, object_bias: float = 0.35) -> Any:
+    """Build a random JSON value as Python objects.
+
+    ``object_bias`` is the probability mass split between objects and
+    arrays once the value is a container.
+    """
+    if max_depth <= 0 or rng.random() < 0.35:
+        kind = rng.random()
+        if kind < 0.4:
+            return rng.choice(TRICKY_STRINGS)
+        if kind < 0.8:
+            return rng.choice(NUMBERS)
+        return rng.choice([True, False, None])
+    if rng.random() < object_bias + 0.5 * object_bias:
+        n = rng.randrange(0, breadth)
+        obj: dict[str, Any] = {}
+        for _ in range(n):
+            obj[rng.choice(KEYS)] = random_json(rng, max_depth - 1, breadth, object_bias)
+        return obj
+    return [random_json(rng, max_depth - 1, breadth, object_bias) for _ in range(rng.randrange(0, breadth))]
+
+
+def random_path(rng: random.Random, max_steps: int = 4, allow_descendant: bool = True) -> str:
+    """Build a random JSONPath over the :data:`KEYS` alphabet."""
+    steps: list[str] = []
+    for _ in range(rng.randrange(1, max_steps + 1)):
+        r = rng.random()
+        if r < 0.4:
+            steps.append("." + rng.choice("abcdexyz"))
+        elif r < 0.5:
+            steps.append(".*")
+        elif r < 0.65:
+            steps.append(f"[{rng.randrange(0, 4)}]")
+        elif r < 0.8:
+            start = rng.randrange(0, 3)
+            steps.append(f"[{start}:{start + rng.randrange(1, 3)}]")
+        elif r < 0.86:
+            steps.append("[*]")
+        elif r < 0.90:
+            picks = sorted({rng.randrange(0, 5) for _ in range(rng.randrange(2, 4))})
+            steps.append("[" + ",".join(map(str, picks)) + "]")
+        elif r < 0.94:
+            names = sorted({rng.choice("abcdexyz") for _ in range(rng.randrange(2, 4))})
+            steps.append("[" + ",".join(f"'{n}'" for n in names) + "]")
+        elif not allow_descendant:
+            steps.append("[*]")
+        else:
+            steps.append(".." + rng.choice("abcdexyz"))
+    return "$" + "".join(steps)

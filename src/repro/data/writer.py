@@ -1,0 +1,66 @@
+"""On-disk materialization and caching of generated datasets.
+
+Benchmarks run the same inputs through many engines; the writer caches
+each ``(dataset, format, size, seed)`` combination under a cache
+directory (default ``~/.cache/repro-jsonski``, override with the
+``REPRO_DATA_DIR`` environment variable) so generation cost is paid once
+per session, not once per engine.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.datasets import large_record, record_stream
+from repro.stream.records import RecordStream
+
+
+def cache_dir() -> Path:
+    """Resolve (and create) the dataset cache directory."""
+    root = os.environ.get("REPRO_DATA_DIR")
+    path = Path(root) if root else Path.home() / ".cache" / "repro-jsonski"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def materialize_large(name: str, target_bytes: int, seed: int = 0) -> Path:
+    """Write (or reuse) the large-record file for a dataset; returns its
+    path."""
+    path = cache_dir() / f"{name}-large-{target_bytes}-{seed}.json"
+    if not path.exists():
+        tmp = path.with_suffix(".tmp")
+        tmp.write_bytes(large_record(name, target_bytes, seed))
+        tmp.rename(path)
+    return path
+
+
+def materialize_records(name: str, target_bytes: int, seed: int = 0) -> tuple[Path, Path]:
+    """Write (or reuse) the small-records payload + offset files.
+
+    Mirrors the paper's storage layout: the records in one array plus "an
+    offset array for starting positions".  Returns
+    ``(payload_path, offsets_path)``.
+    """
+    payload_path = cache_dir() / f"{name}-records-{target_bytes}-{seed}.jsonl"
+    offsets_path = payload_path.with_suffix(".offsets.npy")
+    if not (payload_path.exists() and offsets_path.exists()):
+        stream = record_stream(name, target_bytes, seed)
+        tmp = payload_path.with_suffix(".tmp")
+        tmp.write_bytes(stream.payload)
+        np.save(str(offsets_path), stream.offsets)
+        tmp.rename(payload_path)
+    return payload_path, offsets_path
+
+
+def load_large(name: str, target_bytes: int, seed: int = 0) -> bytes:
+    """Materialize + read the large-record input."""
+    return materialize_large(name, target_bytes, seed).read_bytes()
+
+
+def load_records(name: str, target_bytes: int, seed: int = 0) -> RecordStream:
+    """Materialize + load the small-records input."""
+    payload_path, offsets_path = materialize_records(name, target_bytes, seed)
+    return RecordStream(payload_path.read_bytes(), np.load(str(offsets_path)))

@@ -1,0 +1,21 @@
+"""Streaming engines: the paper's contribution.
+
+- :mod:`repro.engine.rds` — plain recursive-descent streaming
+  (Algorithm 1): every token examined, query automaton driven token by
+  token.  Serves as the FF-off ablation baseline.
+- :mod:`repro.engine.jsonski` — streaming with bit-parallel
+  fast-forwarding (Algorithm 2): the JSONSki engine.
+- :mod:`repro.engine.fastforward` — the G1-G5 fast-forward functions of
+  Table 1, built on the scanner primitives.
+- :mod:`repro.engine.output` / :mod:`repro.engine.stats` — match
+  collection and fast-forward-ratio accounting (Table 6).
+"""
+
+from repro.engine.events import Event, iter_events
+from repro.engine.jsonski import JsonSki
+from repro.engine.multi import JsonSkiMulti
+from repro.engine.output import Match, MatchList
+from repro.engine.rds import RecursiveDescentStreamer
+from repro.engine.stats import FastForwardStats
+
+__all__ = ["Event", "FastForwardStats", "JsonSki", "JsonSkiMulti", "Match", "MatchList", "RecursiveDescentStreamer", "iter_events"]

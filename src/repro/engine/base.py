@@ -1,0 +1,67 @@
+"""Common engine interface.
+
+Every query processor in this package — JSONSki, the FF-off streamer,
+and the four baselines — implements ``run`` / ``run_records`` over the
+same :class:`~repro.engine.output.MatchList`; this base class adds the
+derived conveniences (``count``, ``exists``, ``first``) so downstream
+code can swap engines freely.
+
+``exists`` and ``first`` are *early-termination* queries: a streaming
+engine can stop at the first match (JSONSki overrides them to do exactly
+that — the paper's NSPL1/WP2 observation generalized to an API), while
+preprocessing engines inherit the run-everything defaults.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.engine.output import Match, MatchList
+    from repro.stream.records import RecordStream
+
+
+class EngineBase:
+    """Mixin providing derived query operations over ``run``."""
+
+    def run(self, data: bytes | str) -> "MatchList":  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def run_records(self, stream: "RecordStream") -> "MatchList":
+        from repro.engine.output import MatchList
+
+        all_matches = MatchList()
+        for record in stream:
+            all_matches.extend(self.run(record))
+        return all_matches
+
+    def run_file(self, path: str) -> "MatchList":
+        """Read a file and stream it as one record."""
+        with open(path, "rb") as handle:
+            return self.run(handle.read())
+
+    def iter_matches_jsonl(self, path: str):
+        """Lazily yield ``(record_index, Match)`` over a JSONL file.
+
+        Bounded memory: one record is resident at a time.  Matches
+        reference each record's own bytes, so they stay valid after the
+        generator advances.
+        """
+        from repro.stream.filestream import iter_jsonl
+
+        for i, record in enumerate(iter_jsonl(path)):
+            for match in self.run(record):
+                yield i, match
+
+    def count(self, data: bytes | str) -> int:
+        """Number of matches in one record."""
+        return len(self.run(data))
+
+    def first(self, data: bytes | str) -> "Match | None":
+        """The first match in document order, or ``None``."""
+        matches = self.run(data)
+        return matches[0] if len(matches) else None
+
+    def exists(self, data: bytes | str) -> bool:
+        """Whether the record contains at least one match."""
+        return self.first(data) is not None

@@ -1,0 +1,193 @@
+"""SAX-style streaming events (the token-level substrate, made public).
+
+The engines in this package consume tokens privately; this module
+exposes the same single-pass traversal as a generator of events, for
+analytics that need structure but not JSONPath — schema discovery,
+depth histograms, custom extraction logic:
+
+>>> from repro.engine.events import iter_events
+>>> [e.kind for e in iter_events(b'{"a": [1]}')]
+['start_object', 'key', 'start_array', 'primitive', 'end_array', 'end_object']
+
+Events carry byte offsets, so consumers can slice the raw text exactly
+like the engines' matches.  The traversal is the detailed
+(character-by-character) one: by definition an event stream examines
+every token — fast-forwarding is exactly the optimization of *not*
+producing these events, which is why JSONSki outperforms SAX-style
+processing (paper Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.baselines.tokenizer import Tokenizer
+from repro.engine.names import decode_name
+from repro.errors import JsonSyntaxError
+
+_LBRACE, _RBRACE = 0x7B, 0x7D
+_LBRACKET, _RBRACKET = 0x5B, 0x5D
+_COLON = 0x3A
+
+#: Event kinds, in the order a well-formed record can produce them.
+KINDS = ("start_object", "end_object", "start_array", "end_array", "key", "primitive")
+
+
+@dataclass(frozen=True)
+class Event:
+    """One streaming event.
+
+    ``start``/``end`` delimit the token's bytes (for containers the
+    opening/closing character; for keys the name *including* quotes).
+    ``value`` is the decoded key for ``key`` events, else ``None`` —
+    primitives are not decoded (slice and decode lazily if needed).
+    """
+
+    kind: str
+    start: int
+    end: int
+    value: str | None = None
+    depth: int = 0
+
+
+def iter_events(data: bytes | str) -> Iterator[Event]:
+    """Yield the event stream of one JSON record.
+
+    Raises :class:`~repro.errors.JsonSyntaxError` on malformed input (the
+    traversal is detailed, so — unlike fast-forwarding — everything is
+    checked to token granularity).
+    """
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    tok = Tokenizer(data)
+    tok.skip_ws()
+    yield from _value(tok, depth=0)
+    tok.skip_ws()
+    if tok.pos != tok.size:
+        raise JsonSyntaxError("trailing content after the record", tok.pos)
+
+
+def _value(tok: Tokenizer, depth: int) -> Iterator[Event]:
+    kind = tok.value_kind()
+    if kind == "object":
+        yield from _object(tok, depth)
+    elif kind == "array":
+        yield from _array(tok, depth)
+    else:
+        start = tok.pos
+        tok.read_primitive()
+        yield Event("primitive", start, tok.pos, depth=depth)
+
+
+def _object(tok: Tokenizer, depth: int) -> Iterator[Event]:
+    start = tok.pos
+    tok.expect(_LBRACE, "'{'")
+    yield Event("start_object", start, start + 1, depth=depth)
+    tok.skip_ws()
+    if tok.at_object_end():
+        tok.pos += 1
+        yield Event("end_object", tok.pos - 1, tok.pos, depth=depth)
+        return
+    while True:
+        key_start = tok.pos
+        raw = tok.read_string()
+        yield Event("key", key_start, tok.pos, value=decode_name(raw), depth=depth)
+        tok.skip_ws()
+        tok.expect(_COLON, "':'")
+        tok.skip_ws()
+        yield from _value(tok, depth + 1)
+        if not tok.consume_comma_or(_RBRACE):
+            yield Event("end_object", tok.pos - 1, tok.pos, depth=depth)
+            return
+
+
+def _array(tok: Tokenizer, depth: int) -> Iterator[Event]:
+    start = tok.pos
+    tok.expect(_LBRACKET, "'['")
+    yield Event("start_array", start, start + 1, depth=depth)
+    tok.skip_ws()
+    if tok.at_array_end():
+        tok.pos += 1
+        yield Event("end_array", tok.pos - 1, tok.pos, depth=depth)
+        return
+    while True:
+        yield from _value(tok, depth + 1)
+        if not tok.consume_comma_or(_RBRACKET):
+            yield Event("end_array", tok.pos - 1, tok.pos, depth=depth)
+            return
+
+
+# ---------------------------------------------------------------------------
+# small consumers built on the event stream
+
+
+def depth_histogram(data: bytes | str) -> dict[int, int]:
+    """Number of values (containers + primitives) at each depth."""
+    histogram: dict[int, int] = {}
+    for event in iter_events(data):
+        if event.kind in ("start_object", "start_array", "primitive"):
+            histogram[event.depth] = histogram.get(event.depth, 0) + 1
+    return histogram
+
+
+def key_frequencies(data: bytes | str) -> dict[str, int]:
+    """How often each attribute name occurs, at any depth."""
+    freq: dict[str, int] = {}
+    for event in iter_events(data):
+        if event.kind == "key":
+            freq[event.value] = freq.get(event.value, 0) + 1
+    return freq
+
+
+def _segment(key: str) -> str:
+    if key.isidentifier():
+        return "." + key
+    escaped = key.replace("\\", "\\\\").replace("'", "\\'")
+    return f"['{escaped}']"
+
+
+def discover_paths(data: bytes | str, max_paths: int = 1000) -> list[str]:
+    """Distinct attribute paths present in the record (schema sketch).
+
+    Array levels are abbreviated ``[*]``; at most ``max_paths`` distinct
+    paths are collected, in first-appearance order.  Useful for writing
+    queries against unfamiliar feeds: every returned string parses as a
+    query for this package.
+    """
+    paths: list[str] = []
+    seen: set[str] = set()
+    segments: list[str] = []  # one per open value (root's is "")
+    containers: list[str] = []  # 'obj'/'ary' per open container
+    pending_key: str | None = None
+
+    def record() -> None:
+        if not segments or not any(segments):
+            return
+        path = "$" + "".join(segments)
+        if path not in seen and len(seen) < max_paths:
+            seen.add(path)
+            paths.append(path)
+
+    for event in iter_events(data):
+        if event.kind == "key":
+            pending_key = event.value
+        elif event.kind in ("start_object", "start_array", "primitive"):
+            if pending_key is not None:
+                segments.append(_segment(pending_key))
+                pending_key = None
+            elif containers and containers[-1] == "ary":
+                segments.append("[*]")
+            else:
+                segments.append("")  # the root value
+            record()
+            if event.kind == "start_object":
+                containers.append("obj")
+            elif event.kind == "start_array":
+                containers.append("ary")
+            else:
+                segments.pop()  # a primitive's value closes immediately
+        else:  # end_object / end_array
+            containers.pop()
+            segments.pop()
+    return paths

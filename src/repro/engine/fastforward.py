@@ -1,0 +1,273 @@
+"""Bit-parallel fast-forward functions (paper Table 1, Algorithms 4-5).
+
+All functions operate on absolute positions over a
+:class:`repro.stream.buffer.StreamBuffer` and find their targets purely
+through the scanner primitives (structural-interval boundaries, counting,
+k-th selection) — never by examining characters one at a time.  The
+counting-based pairing of Lemma 4.2 / Theorem 4.3 locates every object and
+array end.
+
+Position conventions:
+
+- ``go_over_obj`` / ``go_over_ary`` take ``pos`` at the opening ``{`` /
+  ``[`` and return the position *after* the matching closer.
+- ``go_to_obj_end`` / ``go_to_ary_end`` take a position *inside* the
+  container (at the current level) and likewise return the position after
+  its closer.
+- ``go_over_pri`` returns the position of the value's structural
+  delimiter (``,`` or the container's closer).
+- The G1 sweeps (:meth:`go_to_obj_attr`, :meth:`go_to_ary_elem`) and the
+  G5 skip (:meth:`go_over_elems`) return plain tuples (documented on each
+  method) — they sit on the engine's innermost loop, where object
+  allocation is measurable.
+
+Validation semantics follow the paper (Section 3.3): fast-forwarded
+segments are checked only for brace/bracket pairing; a stream that ends
+while a structure is open raises
+:class:`repro.errors.StreamExhaustedError`.
+"""
+
+from __future__ import annotations
+
+from repro.bits.classify import CharClass
+from repro.bits.scanner import NOT_FOUND
+from repro.errors import StreamExhaustedError
+from repro.stream.buffer import StreamBuffer
+
+_LBRACE, _RBRACE = 0x7B, 0x7D
+_LBRACKET, _RBRACKET = 0x5B, 0x5D
+_QUOTE, _COMMA = 0x22, 0x2C
+_QUOTE_B, _COMMA_B, _BACKSLASH = b'"', b",", 0x5C
+_WS = frozenset(b" \t\n\r")
+
+
+class FastForwarder:
+    """The Table 1 function groups over one stream buffer."""
+
+    def __init__(self, buffer: StreamBuffer) -> None:
+        self.buffer = buffer
+        self.scanner = buffer.scanner
+        self.data = buffer.data
+        self.size = len(buffer.data)
+        # Bound methods: these are called once or more per skipped
+        # structure, so attribute-lookup cost matters.
+        self._find_next = buffer.scanner.find_next
+        self._find_prev = buffer.scanner.find_prev
+        self._count_range = buffer.scanner.count_range
+        self._kth_in_range = buffer.scanner.kth_in_range
+        self._pair_close = buffer.scanner.pair_close
+
+    # ------------------------------------------------------------------
+    # G2/G3 core: counting-based pairing (Algorithm 4, Theorem 4.3)
+
+    def _go_to_close(self, pos: int, open_cls: CharClass, close_cls: CharClass, num_open: int) -> int:
+        """Position after the closer that balances ``num_open`` opens.
+
+        Delegates Algorithm 4's interval-counting walk (Theorem 4.3) to
+        the scanner's :meth:`~repro.bits.scanner.Scanner.pair_close`: if an
+        interval between successive opens holds at least ``num_open``
+        closers, the structure ends there and the ``num_open``-th closer
+        is its end; otherwise the unpaired-open count is carried into the
+        next interval.
+        """
+        end = self._pair_close(open_cls, close_cls, pos, num_open)
+        if end == NOT_FOUND:
+            raise StreamExhaustedError(
+                f"stream ended with unclosed {open_cls.value!r}", self.size
+            )
+        return end + 1
+
+    def go_over_obj(self, pos: int) -> int:
+        """``goOverObj()``: move past the object starting at ``pos``."""
+        if self.data[pos] != _LBRACE:
+            raise StreamExhaustedError("expected '{' to go over an object", pos)
+        return self._go_to_close(pos + 1, CharClass.LBRACE, CharClass.RBRACE, 1)
+
+    def go_over_ary(self, pos: int) -> int:
+        """``goOverAry()``: move past the array starting at ``pos``."""
+        if self.data[pos] != _LBRACKET:
+            raise StreamExhaustedError("expected '[' to go over an array", pos)
+        return self._go_to_close(pos + 1, CharClass.LBRACKET, CharClass.RBRACKET, 1)
+
+    def go_to_obj_end(self, pos: int) -> int:
+        """``goToObjEnd()`` (G4): from inside an object to after its ``}``."""
+        return self._go_to_close(pos, CharClass.LBRACE, CharClass.RBRACE, 1)
+
+    def go_to_ary_end(self, pos: int) -> int:
+        """``goToAryEnd()`` (G5): from inside an array to after its ``]``."""
+        return self._go_to_close(pos, CharClass.LBRACKET, CharClass.RBRACKET, 1)
+
+    def go_over_pri(self, pos: int, in_object: bool) -> int:
+        """``goOverPriAttr()`` / ``goOverPriElem()``: position of the
+        structural delimiter ending the primitive value at ``pos``.
+
+        The delimiter is the next structural ``,`` or the enclosing
+        container's closer, whichever comes first — Algorithm 4's comma
+        interval with the closer check folded into a single union-class
+        scan.
+
+        Fast paths: a non-string primitive cannot contain strings before
+        its delimiter, so a byte-level memchr race between ``,`` and the
+        closer is exact; a string primitive whose closing quote is
+        provably unescaped (previous byte not a backslash) ends at the
+        first non-whitespace byte after it.  Anything trickier falls back
+        to the string-filtered bitmap scan.
+        """
+        data = self.data
+        byte = data[pos]
+        closer = _RBRACE if in_object else _RBRACKET
+        if byte != _QUOTE:
+            comma = data.find(_COMMA_B, pos)
+            close = data.find(b"}" if in_object else b"]", pos)
+            if comma < 0:
+                delim = close
+            elif close < 0:
+                delim = comma
+            else:
+                delim = comma if comma < close else close
+            if delim < 0:
+                raise StreamExhaustedError("stream ended inside a primitive value", pos)
+            return delim
+        quote = data.find(_QUOTE_B, pos + 1)
+        if quote > 0 and data[quote - 1] != _BACKSLASH:
+            delim = quote + 1
+            size = self.size
+            while delim < size and data[delim] in _WS:
+                delim += 1
+            if delim < size and (data[delim] == _COMMA or data[delim] == closer):
+                return delim
+        cls = CharClass.COMMA_OR_RBRACE if in_object else CharClass.COMMA_OR_RBRACKET
+        delim = self._find_next(cls, pos)
+        if delim == NOT_FOUND:
+            raise StreamExhaustedError("stream ended inside a primitive value", pos)
+        return delim
+
+    # ------------------------------------------------------------------
+    # G1: type-directed sweeps (Algorithm 5)
+
+    def go_to_obj_attr(self, pos: int, want: str) -> tuple[bool, int, bytes | None, int]:
+        """``goToObjAttr()`` / ``goToAryAttr()``: sweep to the next
+        attribute whose value is an object (``want='object'``) or array
+        (``want='array'``).
+
+        ``pos`` must be at the current level of the object (at an
+        attribute name, or just after ``{`` or ``,``).  Runs of primitive
+        attributes are crossed with a single jump to the next ``{``/``[``
+        (the enhanced ``goOverPriAttrs`` of Algorithm 5); values of the
+        wrong structured type are crossed with ``goOverObj``/``goOverAry``.
+
+        Returns ``(ended, position, name_raw, value_pos)``:
+
+        - ``(True, end_pos, None, 0)`` — the object closed; ``end_pos``
+          is just past its ``}``.
+        - ``(False, name_start, name_raw, value_pos)`` — an attribute of
+          the wanted type; ``name_start`` is its opening quote.
+        """
+        want_byte = _LBRACE if want == "object" else _LBRACKET
+        data, find_next = self.data, self._find_next
+        cur = pos
+        while True:
+            nxt_open = find_next(CharClass.OPEN, cur)
+            nxt_close = find_next(CharClass.RBRACE, cur)
+            if nxt_close == NOT_FOUND:
+                raise StreamExhaustedError("stream ended inside an object", cur)
+            if nxt_open == NOT_FOUND or nxt_close < nxt_open:
+                # No structured value before the object closes.
+                return True, nxt_close + 1, None, 0
+            open_byte = data[nxt_open]
+            if open_byte == want_byte:
+                name_start, name_raw = self._attr_name_before(nxt_open)
+                return False, name_start, name_raw, nxt_open
+            # A structured value of the other type: go over it and resume.
+            if open_byte == _LBRACE:
+                cur = self._go_to_close(nxt_open + 1, CharClass.LBRACE, CharClass.RBRACE, 1)
+            else:
+                cur = self._go_to_close(nxt_open + 1, CharClass.LBRACKET, CharClass.RBRACKET, 1)
+
+    def go_to_ary_elem(self, pos: int, want: str) -> tuple[bool, int, int]:
+        """``goToObjElem()`` / ``goToAryElem()``: sweep to the next element
+        of the wanted structured type, counting crossed commas so index
+        constraints stay exact (Algorithm 5's counter).
+
+        Returns ``(ended, position, commas_skipped)``; ``position`` is one
+        past ``]`` when ``ended``, else the element's opening character.
+        """
+        want_byte = _LBRACE if want == "object" else _LBRACKET
+        data, find_next, count_range = self.data, self._find_next, self._count_range
+        cur = pos
+        commas = 0
+        while True:
+            nxt_open = find_next(CharClass.OPEN, cur)
+            nxt_close = find_next(CharClass.RBRACKET, cur)
+            if nxt_close == NOT_FOUND:
+                raise StreamExhaustedError("stream ended inside an array", cur)
+            if nxt_open == NOT_FOUND or nxt_close < nxt_open:
+                commas += count_range(CharClass.COMMA, cur, nxt_close)
+                return True, nxt_close + 1, commas
+            commas += count_range(CharClass.COMMA, cur, nxt_open)
+            open_byte = data[nxt_open]
+            if open_byte == want_byte:
+                return False, nxt_open, commas
+            if open_byte == _LBRACE:
+                cur = self._go_to_close(nxt_open + 1, CharClass.LBRACE, CharClass.RBRACE, 1)
+            else:
+                cur = self._go_to_close(nxt_open + 1, CharClass.LBRACKET, CharClass.RBRACKET, 1)
+
+    # ------------------------------------------------------------------
+    # G5: index-constrained element skipping
+
+    def go_over_elems(self, pos: int, k: int) -> tuple[bool, int, int]:
+        """``goOverElems(K)``: skip exactly ``k`` elements (and their
+        separating commas) starting from the element at ``pos``.
+
+        Returns ``(ended, position, elements_skipped)``: the start of the
+        following element (``elements_skipped == k``), or one past ``]``
+        if the array closes first.
+        """
+        data = self.data
+        size = self.size
+        cur = pos
+        skipped = 0
+        while skipped < k:
+            while cur < size and data[cur] in _WS:
+                cur += 1
+            byte = data[cur]
+            if byte == _LBRACE:
+                cur = self._go_to_close(cur + 1, CharClass.LBRACE, CharClass.RBRACE, 1)
+            elif byte == _LBRACKET:
+                cur = self._go_to_close(cur + 1, CharClass.LBRACKET, CharClass.RBRACKET, 1)
+            else:
+                cur = self.go_over_pri(cur, in_object=False)
+            # After the value: the next structural char is ',' or ']'.
+            while cur < size and data[cur] in _WS:
+                cur += 1
+            delim_byte = data[cur]
+            if delim_byte == _COMMA:
+                cur += 1
+                skipped += 1
+            elif delim_byte == _RBRACKET:
+                return True, cur + 1, skipped
+            else:
+                raise StreamExhaustedError("expected ',' or ']' after array element", cur)
+        while cur < size and data[cur] in _WS:
+            cur += 1
+        return False, cur, skipped
+
+    # ------------------------------------------------------------------
+    # helpers
+
+    def _attr_name_before(self, value_pos: int) -> tuple[int, bytes]:
+        """Recover the attribute name whose value starts at ``value_pos``.
+
+        The name's closing quote is the nearest unescaped quote behind the
+        value (only the colon and whitespace separate them), found with
+        the backward scanner primitive — still bit-parallel, no character
+        scanning.
+        """
+        close = self._find_prev(CharClass.QUOTE, value_pos - 1)
+        if close == NOT_FOUND:
+            raise StreamExhaustedError("attribute value without a name", value_pos)
+        open_quote = self._find_prev(CharClass.QUOTE, close - 1)
+        if open_quote == NOT_FOUND:
+            raise StreamExhaustedError("unpaired quote before attribute value", close)
+        return open_quote, self.data[open_quote + 1 : close]

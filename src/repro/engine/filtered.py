@@ -1,0 +1,129 @@
+"""Filter predicates via query splitting.
+
+A path with a filter — ``$.items[?(@.price > 10)].name`` — is evaluated
+as a composition of filter-free streaming passes:
+
+1. the **outer** engine streams the record for
+   ``$.items[*]`` (the filter replaced by a wildcard), yielding each
+   candidate element as a raw slice with its global offset;
+2. the **predicate** runs over each slice, itself via tiny
+   fast-forwarding sub-engines (one per ``@``-path), so even the
+   predicate does not parse the whole element;
+3. elements that pass are fed to the **inner** engine compiled for the
+   remaining steps (``$.name`` relative to the element), with match
+   offsets remapped to the original record.
+
+The composition is recursive, so any number of filters nest naturally,
+and the hot streaming paths stay completely unaware of predicates.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.engine.base import EngineBase
+from repro.engine.output import MatchList
+from repro.jsonpath.ast import Filter, Path, WildcardIndex
+from repro.jsonpath.filter import And, Comparison, Exists, FilterExpr, Not, Or, RelPath
+from repro.jsonpath.ast import Child, Index
+
+
+class SlicePredicate:
+    """Evaluate a :class:`FilterExpr` against a raw JSON slice.
+
+    Each distinct ``@``-path is compiled once into a fast-forwarding
+    sub-engine; existence and first-value extraction then stream the
+    candidate element instead of parsing it wholesale.  An empty
+    ``@``-path (the element itself) falls back to ``json.loads``.
+    """
+
+    def __init__(self, expr: FilterExpr) -> None:
+        self.expr = expr
+        self._engines: dict[RelPath, Any] = {}
+        self._collect(expr)
+
+    def _collect(self, expr: FilterExpr) -> None:
+        if isinstance(expr, (Exists, Comparison)):
+            path = expr.path
+            if path.steps and path not in self._engines:
+                from repro.engine.jsonski import JsonSki
+
+                self._engines[path] = JsonSki(Path(tuple(path.steps)))
+        elif isinstance(expr, Not):
+            self._collect(expr.operand)
+        elif isinstance(expr, (And, Or)):
+            self._collect(expr.left)
+            self._collect(expr.right)
+
+    def _resolve(self, path: RelPath, slice_: bytes) -> tuple[bool, Any]:
+        if not path.steps:
+            try:
+                return True, json.loads(slice_)
+            except ValueError:
+                return False, None
+        match = self._engines[path].first(slice_)
+        if match is None:
+            return False, None
+        return True, match.value()
+
+    def matches(self, slice_: bytes) -> bool:
+        return self._eval(self.expr, slice_)
+
+    def _eval(self, expr: FilterExpr, slice_: bytes) -> bool:
+        if isinstance(expr, Exists):
+            found, _ = self._resolve(expr.path, slice_)
+            return found
+        if isinstance(expr, Comparison):
+            found, value = self._resolve(expr.path, slice_)
+            if not found:
+                return False
+            # Reuse the value-level comparison semantics.
+            probe = Comparison(RelPath(()), expr.op, expr.literal)
+            return probe.matches(value)
+        if isinstance(expr, Not):
+            return not self._eval(expr.operand, slice_)
+        if isinstance(expr, And):
+            return self._eval(expr.left, slice_) and self._eval(expr.right, slice_)
+        if isinstance(expr, Or):
+            return self._eval(expr.left, slice_) or self._eval(expr.right, slice_)
+        raise TypeError(f"unknown filter node {expr!r}")  # pragma: no cover
+
+
+class FilteredJsonSki(EngineBase):
+    """Streaming evaluation of a path containing filter steps."""
+
+    def __init__(self, path: Path, **engine_kwargs: Any) -> None:
+        from repro.engine.jsonski import JsonSki
+
+        split = next(i for i, s in enumerate(path.steps) if isinstance(s, Filter))
+        filter_step: Filter = path.steps[split]  # type: ignore[assignment]
+        outer_path = Path(path.steps[:split] + (WildcardIndex(),))
+        inner_steps = path.steps[split + 1 :]
+        self.path = path
+        self._engine_kwargs = engine_kwargs
+        self.outer = JsonSki(outer_path, **engine_kwargs)
+        self.predicate = SlicePredicate(filter_step.expr)
+        # The inner remainder may itself contain filters; JsonSki's
+        # constructor dispatches back here in that case.
+        self.inner = JsonSki(Path(inner_steps), **engine_kwargs) if inner_steps else None
+        self.last_stats = None
+
+    def run(self, data: bytes | str) -> MatchList:
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        candidates = self.outer.run(data)
+        # Fast-forward statistics, where collected, describe the outer
+        # pass (the one that scans the record).
+        self.last_stats = self.outer.last_stats
+        matches = MatchList()
+        for candidate in candidates:
+            slice_ = candidate.text
+            if not self.predicate.matches(slice_):
+                continue
+            if self.inner is None:
+                matches.add(data, candidate.start, candidate.end)
+                continue
+            for inner_match in self.inner.run(slice_):
+                matches.add(data, candidate.start + inner_match.start, candidate.start + inner_match.end)
+        return matches

@@ -1,0 +1,515 @@
+"""JSONSki: recursive-descent streaming with bit-parallel fast-forwarding.
+
+This is the paper's Algorithm 2 made whole: the recursive-descent
+streaming model of Section 3.1 drives the query automaton, and every
+opportunity of Section 3.2 is taken through the fast-forward functions of
+:mod:`repro.engine.fastforward`:
+
+- **G1** — inside a container whose matching values must be objects (or
+  arrays), sweep directly to the next value of that type
+  (``goToObjAttr``/``goToAryElem``), never touching the skipped
+  attributes' names or the primitive runs in between.
+- **G2** — when the automaton reports UNMATCHED for an attribute name or
+  element index, go over the value by type without examining it.
+- **G3** — when the automaton reports ACCEPT, go over the value the same
+  way but record it as a match (the output *is* the raw skipped text).
+- **G4** — after any attribute of an object matches (concrete names are
+  unique), fast-forward to the object's end.
+- **G5** — with index constraints ``[n]``/``[m:n]``, skip the elements
+  before the range and cut to the array's end once past it.
+
+Match offsets, per-group fast-forward statistics (Table 6), and the
+descendant extension (``..``, with type inference disabled as the paper
+predicts) are all handled here.
+
+Implementation note: the ``_Run`` methods are written against raw bytes
+and int status flags with locals pulled out of ``self`` — this is the
+innermost loop of the library, and attribute lookups and enum dispatch
+were measurable against the character-at-a-time baselines.
+"""
+
+from __future__ import annotations
+
+from repro.bits.classify import CharClass
+from repro.bits.index import DEFAULT_CHUNK_SIZE
+from repro.engine.base import EngineBase
+from repro.engine.names import decode_name
+from repro.engine.fastforward import FastForwarder
+from repro.engine.output import MatchList
+from repro.engine.stats import FastForwardStats
+from repro.errors import JsonSyntaxError
+from repro.jsonpath.ast import Path
+from repro.query.automaton import ACCEPT, ALIVE, QueryAutomaton, compile_query
+from repro.stream.buffer import StreamBuffer
+from repro.stream.records import RecordStream
+
+_LBRACE, _RBRACE = 0x7B, 0x7D
+_LBRACKET, _RBRACKET = 0x5B, 0x5D
+_QUOTE, _COMMA, _COLON = 0x22, 0x2C, 0x3A
+_QUOTE_B, _BACKSLASH = b'"', 0x5C
+_WS = frozenset(b" \t\n\r")
+
+
+class _LimitReached(Exception):
+    """Internal: the run collected as many matches as requested."""
+
+
+class JsonSki(EngineBase):
+    """The JSONSki streaming engine for one compiled query.
+
+    Parameters
+    ----------
+    query:
+        JSONPath text or a parsed :class:`Path`.
+    mode:
+        Scanner implementation: ``'vector'`` (default) or ``'word'``
+        (paper-faithful word-at-a-time bit manipulation).
+    chunk_size, cache_chunks:
+        Index chunking; see :class:`repro.bits.index.BufferIndex`.
+    collect_stats:
+        When true, :attr:`last_stats` carries the per-group fast-forward
+        ratios of the most recent run (Table 6).
+
+    Example
+    -------
+    >>> engine = JsonSki("$.place.name")
+    >>> engine.run(b'{"place": {"name": "Manhattan"}}').values()
+    ['Manhattan']
+    """
+
+    def __init__(
+        self,
+        query: str | Path,
+        mode: str = "vector",
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        cache_chunks: int | None = 4,
+        collect_stats: bool = False,
+    ) -> None:
+        path = query if isinstance(query, Path) else None
+        if path is None:
+            from repro.jsonpath.parser import parse_path
+
+            path = parse_path(query)
+        self._delegate = None
+        if path.has_filter:
+            # Filter predicates are evaluated by query splitting (see
+            # repro.engine.filtered); this instance proxies to the
+            # composed engine.
+            from repro.engine.filtered import FilteredJsonSki
+
+            self._delegate = FilteredJsonSki(
+                path, mode=mode, chunk_size=chunk_size,
+                cache_chunks=cache_chunks, collect_stats=collect_stats,
+            )
+            self.automaton = None
+        else:
+            self.automaton = compile_query(path)
+        self.path = path
+        self.mode = mode
+        self.chunk_size = chunk_size
+        self.cache_chunks = cache_chunks
+        self.collect_stats = collect_stats
+        self.last_stats: FastForwardStats | None = None
+        #: Raw attribute name -> decoded text, shared across runs (dataset
+        #: keys repeat massively).
+        self._name_cache: dict[bytes, str] = {}
+
+    # ------------------------------------------------------------------
+
+    def _buffer(self, data: bytes | str | StreamBuffer) -> StreamBuffer:
+        if isinstance(data, StreamBuffer):
+            return data
+        return StreamBuffer(data, mode=self.mode, chunk_size=self.chunk_size, cache_chunks=self.cache_chunks)
+
+    def run(self, data: bytes | str | StreamBuffer) -> MatchList:
+        """Stream one JSON record and return its matches.
+
+        Match offsets are relative to the provided record text.
+        """
+        if self._delegate is not None:
+            matches = self._delegate.run(data)
+            self.last_stats = self._delegate.last_stats
+            return matches
+        run = _Run(self.automaton, self._buffer(data), self.collect_stats, self._name_cache)
+        matches = run.execute()
+        self.last_stats = run.stats
+        return matches
+
+    def run_with_paths(self, data: bytes | str | StreamBuffer) -> list[tuple[tuple, "object"]]:
+        """Stream one record; return ``(normalized_path, Match)`` pairs.
+
+        The normalized path is a tuple of attribute names (str) and array
+        indices (int) from the root to the matched value, in the format of
+        :func:`repro.reference.evaluate_with_paths`.
+        """
+        if self._delegate is not None:
+            from repro.errors import UnsupportedQueryError
+
+            raise UnsupportedQueryError("run_with_paths is not available for filter queries")
+        run = _Run(self.automaton, self._buffer(data), self.collect_stats, self._name_cache, track_paths=True)
+        matches = run.execute()
+        self.last_stats = run.stats
+        assert run.match_paths is not None
+        return [(path, matches[i]) for i, path in enumerate(run.match_paths)]
+
+    def trace_run(self, data: bytes | str | StreamBuffer):
+        """Stream one record and return ``(matches, events)`` where
+        ``events`` is the ordered fast-forward log: ``(group, start,
+        end)`` for every skip the engine performed — the raw material
+        behind the Table 6 ratios, useful for debugging and teaching.
+        """
+        if self._delegate is not None:
+            from repro.errors import UnsupportedQueryError
+
+            raise UnsupportedQueryError("trace_run is not available for filter queries")
+        run = _Run(self.automaton, self._buffer(data), self.collect_stats, self._name_cache, trace=True)
+        matches = run.execute()
+        self.last_stats = run.stats
+        return matches, run.trace
+
+    def first(self, data: bytes | str | StreamBuffer):
+        """First match in document order, or ``None`` — *early
+        termination*: streaming stops the moment the match is captured
+        (the generalization of the paper's NSPL1/WP2 observation)."""
+        if self._delegate is not None:
+            matches = self._delegate.run(data)
+            return matches[0] if len(matches) else None
+        run = _Run(self.automaton, self._buffer(data), collect_stats=False, name_cache=self._name_cache, limit=1)
+        matches = run.execute()
+        return matches[0] if len(matches) else None
+
+    def exists(self, data: bytes | str | StreamBuffer) -> bool:
+        """Whether the record matches at all; stops at the first hit."""
+        return self.first(data) is not None
+
+    def run_records(self, stream: RecordStream) -> MatchList:
+        """Stream a small-record sequence; matches accumulate in order."""
+        all_matches = MatchList()
+        total_stats = FastForwardStats() if self.collect_stats else None
+        for i in range(len(stream)):
+            matches = self.run(stream.record(i))
+            all_matches.extend(matches)
+            if total_stats is not None and self.last_stats is not None:
+                total_stats.merge(self.last_stats)
+        self.last_stats = total_stats
+        return all_matches
+
+
+class _Run:
+    """State of one streaming pass: position, matches, statistics."""
+
+    def __init__(
+        self,
+        automaton: QueryAutomaton,
+        buffer: StreamBuffer,
+        collect_stats: bool,
+        name_cache: dict[bytes, str],
+        track_paths: bool = False,
+        limit: int | None = None,
+        trace: bool = False,
+    ) -> None:
+        self.qa = automaton
+        self.buffer = buffer
+        self.data = buffer.data
+        self.size = len(buffer.data)
+        self.ff = FastForwarder(buffer)
+        self.matches = MatchList()
+        self.stats = FastForwardStats() if collect_stats else None
+        self.names = name_cache
+        self.pos = 0
+        #: Current container path (names/indices), when tracking paths.
+        self.path_stack: list = []
+        self.match_paths: list[tuple] | None = [] if track_paths else None
+        self.limit = limit
+        self._n_emitted = 0
+        #: Optional fast-forward event log: (group, start, end) triples.
+        self.trace: list[tuple[str, int, int]] | None = [] if trace else None
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def _record(self, group: str, start: int, end: int) -> None:
+        if self.stats is not None and end > start:
+            self.stats.chars[group] += end - start
+        if self.trace is not None and end > start:
+            self.trace.append((group, start, end))
+
+    def _skip_ws(self, pos: int) -> int:
+        data, size = self.data, self.size
+        while pos < size and data[pos] in _WS:
+            pos += 1
+        return pos
+
+    def _rstrip(self, start: int, end: int) -> int:
+        data = self.data
+        while end > start and data[end - 1] in _WS:
+            end -= 1
+        return end
+
+    def _name(self, raw: bytes) -> str:
+        """Decode an attribute name (memoized; escape-free fast path)."""
+        cached = self.names.get(raw)
+        if cached is None:
+            cached = self.names[raw] = decode_name(raw)
+        return cached
+
+    # -- entry ----------------------------------------------------------
+
+    def execute(self) -> MatchList:
+        self.pos = self._skip_ws(0)
+        if self.pos >= self.size:
+            raise JsonSyntaxError("empty input", 0)
+        byte = self.data[self.pos]
+        state = self.qa.start_state
+        try:
+            if byte == _LBRACE:
+                self._object(state)
+            elif byte == _LBRACKET:
+                self._array(state)
+            # A primitive root cannot match any path with at least one step.
+        except _LimitReached:
+            pass
+        if self.stats is not None:
+            self.stats.total_length = self.size
+        return self.matches
+
+    def _emit(self, vstart: int, vend: int, key, state: int) -> None:
+        """Record a match (and its path / the early-termination limit).
+
+        ``state`` is the accepting automaton state — unused here, but the
+        multi-query engine dispatches on it to tag matches per query.
+        """
+        self.matches.add(self.data, vstart, vend)
+        if self.match_paths is not None:
+            self.match_paths.append((*self.path_stack, key))
+        self._n_emitted += 1
+        if self.limit is not None and self._n_emitted >= self.limit:
+            raise _LimitReached
+
+    def _reserve(self, key, state: int):
+        """Reserve a pre-order slot for a container match whose end is not
+        yet known (descendant extension)."""
+        slot = self.matches.reserve()
+        if self.match_paths is not None:
+            self.match_paths.append((*self.path_stack, key))
+        self._n_emitted += 1
+        return slot
+
+    def _fill(self, token, vstart: int, vend: int) -> None:
+        self.matches.fill(token, self.data, vstart, vend)
+
+    # -- value dispatch ---------------------------------------------------
+
+    def _skip_value(self, vstart: int, vbyte: int, group: str, in_object: bool) -> int:
+        """G2/G3: go over a value without examining it; returns the
+        position after a container value, or at the delimiter for a
+        primitive."""
+        if vbyte == _LBRACE:
+            vend = self.ff.go_over_obj(vstart)
+        elif vbyte == _LBRACKET:
+            vend = self.ff.go_over_ary(vstart)
+        else:
+            vend = self.ff.go_over_pri(vstart, in_object=in_object)
+        self._record(group, vstart, vend)
+        return vend
+
+    def _consume_value(self, state: int, vstart: int, vbyte: int, in_object: bool) -> int:
+        """MATCHED: recurse into a container; a primitive is a dead end
+        (the automaton still expects deeper structure) and is gone over."""
+        if vbyte == _LBRACE:
+            self.pos = vstart
+            self._object(state)
+            return self.pos
+        if vbyte == _LBRACKET:
+            self.pos = vstart
+            self._array(state)
+            return self.pos
+        vend = self.ff.go_over_pri(vstart, in_object=in_object)
+        self._record("G2", vstart, vend)
+        return vend
+
+    def _descend(self, state: int, vstart: int, vbyte: int, in_object: bool, key) -> int:
+        """Recurse into a matched value, maintaining the path stack."""
+        if self.match_paths is None:
+            return self._consume_value(state, vstart, vbyte, in_object)
+        self.path_stack.append(key)
+        try:
+            return self._consume_value(state, vstart, vbyte, in_object)
+        finally:
+            self.path_stack.pop()
+
+    def _emit_end(self, vstart: int, vbyte: int, vend: int) -> int:
+        """Trim a primitive's trailing whitespace before the delimiter."""
+        if vbyte == _LBRACE or vbyte == _LBRACKET:
+            return vend
+        return self._rstrip(vstart, vend)
+
+    # -- object (Algorithm 2) --------------------------------------------
+
+    def _object(self, state: int) -> None:
+        qa, ff, data = self.qa, self.ff, self.data
+        find_next = self.buffer.scanner.find_next
+        on_key, status_flags = qa.on_key, qa.status_flags
+        if data[self.pos] != _LBRACE:
+            raise JsonSyntaxError("expected '{'", self.pos)
+        pos = self._skip_ws(self.pos + 1)
+        if pos >= self.size:
+            raise JsonSyntaxError("stream ended inside an object", pos)
+        if data[pos] == _RBRACE:
+            self.pos = pos + 1
+            return
+        if not qa.can_match_in_object(state):
+            # The query selects from an array here; the object is
+            # irrelevant in its entirety.
+            end = ff.go_to_obj_end(pos)
+            self._record("G2", pos, end)
+            self.pos = end
+            return
+        expected = qa.expected_type(state)
+        typed = expected == "object" or expected == "array"
+        skippable = qa.object_skippable(state)
+        while True:
+            # ``pos`` is at the start of an attribute name.
+            if typed:
+                ended, p1, name_raw, vstart = ff.go_to_obj_attr(pos, expected)  # G1
+                self._record("G1", pos, p1)
+                if ended:
+                    self.pos = p1
+                    return
+            else:
+                if data[pos] != _QUOTE:
+                    raise JsonSyntaxError("expected attribute name", pos)
+                # Closing quote: memchr is faster than the bitmap when the
+                # preceding byte proves the quote unescaped (the common
+                # case); otherwise fall back to the unescaped-quote bitmap.
+                close = data.find(_QUOTE_B, pos + 1)
+                if close < 0:
+                    raise JsonSyntaxError("unterminated attribute name", pos)
+                if data[close - 1] == _BACKSLASH:
+                    close = find_next(CharClass.QUOTE, pos + 1)
+                    if close < 0:
+                        raise JsonSyntaxError("unterminated attribute name", pos)
+                # Legal JSON puts the colon right after the name (modulo
+                # whitespace) — two byte reads instead of a bitmap scan.
+                colon = self._skip_ws(close + 1)
+                if colon >= self.size or data[colon] != _COLON:
+                    raise JsonSyntaxError("attribute without ':'", close)
+                name_raw = data[pos + 1 : close]
+                vstart = self._skip_ws(colon + 1)
+            name = self._name(name_raw)
+            state2 = on_key(state, name)
+            flags = status_flags(state2)
+            if vstart >= self.size:
+                raise JsonSyntaxError("stream ended before attribute value", vstart)
+            vbyte = data[vstart]
+            if flags == 0:  # UNMATCHED
+                vend = self._skip_value(vstart, vbyte, "G2", True)
+            elif flags == ACCEPT:
+                vend = self._skip_value(vstart, vbyte, "G3", True)
+                self._emit(vstart, self._emit_end(vstart, vbyte, vend), name, state2)
+            elif flags == ALIVE:  # MATCHED
+                vend = self._descend(state2, vstart, vbyte, True, name)
+            elif self.limit is not None:
+                # ACCEPT|ALIVE under early termination (limit=1): the outer
+                # value is itself the next match in document order, so the
+                # nested matches are never needed — skip instead of recurse.
+                vend = self._skip_value(vstart, vbyte, "G3", True)
+                self._emit(vstart, self._emit_end(vstart, vbyte, vend), name, state2)
+            else:  # ACCEPT | ALIVE: pre-order — reserve before recursing
+                token = self._reserve(name, state2)
+                vend = self._descend(state2, vstart, vbyte, True, name)
+                self._fill(token, vstart, self._emit_end(vstart, vbyte, vend))
+            pos = vend
+            if flags and skippable:
+                end = ff.go_to_obj_end(pos)  # G4
+                self._record("G4", pos, end)
+                self.pos = end
+                return
+            pos = self._skip_ws(pos)
+            byte = data[pos] if pos < self.size else -1
+            if byte == _COMMA:
+                pos = self._skip_ws(pos + 1)
+            elif byte == _RBRACE:
+                self.pos = pos + 1
+                return
+            else:
+                raise JsonSyntaxError("expected ',' or '}' in object", pos)
+
+    # -- array (Algorithm 2, array side) -----------------------------------
+
+    def _array(self, state: int) -> None:
+        qa, ff, data = self.qa, self.ff, self.data
+        on_element, status_flags = qa.on_element, qa.status_flags
+        if data[self.pos] != _LBRACKET:
+            raise JsonSyntaxError("expected '['", self.pos)
+        pos = self._skip_ws(self.pos + 1)
+        if pos >= self.size:
+            raise JsonSyntaxError("stream ended inside an array", pos)
+        if data[pos] == _RBRACKET:
+            self.pos = pos + 1
+            return
+        if not qa.can_match_in_array(state):
+            end = ff.go_to_ary_end(pos)
+            self._record("G2", pos, end)
+            self.pos = end
+            return
+        rng = qa.element_range(state)
+        start = stop = None
+        if rng is not None:
+            start, stop = rng
+        expected = qa.expected_type(state)
+        want_byte = _LBRACE if expected == "object" else _LBRACKET if expected == "array" else -1
+        idx = 0
+        while True:
+            # ``pos`` is at the start of element ``idx``.
+            if rng is not None:
+                if stop is not None and idx >= stop:
+                    end = ff.go_to_ary_end(pos)  # G5 (past the range)
+                    self._record("G5", pos, end)
+                    self.pos = end
+                    return
+                if idx < start:
+                    ended, p1, skipped = ff.go_over_elems(pos, start - idx)  # G5
+                    self._record("G5", pos, p1)
+                    if ended:
+                        self.pos = p1
+                        return
+                    idx += skipped
+                    pos = p1
+                    continue
+            vbyte = data[pos]
+            if want_byte >= 0 and vbyte != want_byte:
+                ended, p1, commas = ff.go_to_ary_elem(pos, expected)  # G1
+                self._record("G1", pos, p1)
+                if ended:
+                    self.pos = p1
+                    return
+                idx += commas
+                pos = p1
+                continue
+            state2 = on_element(state, idx)
+            flags = status_flags(state2)
+            vstart = pos
+            if flags == 0:  # UNMATCHED
+                vend = self._skip_value(vstart, vbyte, "G2", False)
+            elif flags == ACCEPT:
+                vend = self._skip_value(vstart, vbyte, "G3", False)
+                self._emit(vstart, self._emit_end(vstart, vbyte, vend), idx, state2)
+            elif flags == ALIVE:  # MATCHED
+                vend = self._descend(state2, vstart, vbyte, False, idx)
+            elif self.limit is not None:
+                vend = self._skip_value(vstart, vbyte, "G3", False)
+                self._emit(vstart, self._emit_end(vstart, vbyte, vend), idx, state2)
+            else:  # ACCEPT | ALIVE
+                token = self._reserve(idx, state2)
+                vend = self._descend(state2, vstart, vbyte, False, idx)
+                self._fill(token, vstart, self._emit_end(vstart, vbyte, vend))
+            pos = self._skip_ws(vend)
+            byte = data[pos] if pos < self.size else -1
+            if byte == _COMMA:
+                idx += 1
+                pos = self._skip_ws(pos + 1)
+            elif byte == _RBRACKET:
+                self.pos = pos + 1
+                return
+            else:
+                raise JsonSyntaxError("expected ',' or ']' in array", pos)

@@ -1,0 +1,104 @@
+"""Match collection.
+
+Streaming engines output the *raw text* of each matched value (the paper's
+G3 functions "output an object and move pos to its end" — no parsing of
+the output).  :class:`Match` therefore stores byte offsets into the input
+and decodes lazily on request.
+
+Internally matches are bare ``(source, start, end)`` tuples — engines add
+thousands of matches per run, and dataclass construction was measurable;
+:class:`Match` objects are materialized only on access.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class Match:
+    """One matched value: ``source[start:end]``."""
+
+    source: bytes
+    start: int
+    end: int
+
+    @property
+    def text(self) -> bytes:
+        """The raw matched JSON text."""
+        return self.source[self.start : self.end]
+
+    def value(self) -> Any:
+        """Decode the matched text into a Python value."""
+        return json.loads(self.text)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = self.text[:40]
+        suffix = b"..." if len(self.text) > 40 else b""
+        return f"Match({self.start}:{self.end}, {preview + suffix!r})"
+
+
+class MatchList:
+    """Ordered collection of matches from one engine run."""
+
+    __slots__ = ("_matches",)
+
+    def __init__(self) -> None:
+        self._matches: list[tuple[bytes, int, int] | None] = []
+
+    def add(self, source: bytes, start: int, end: int) -> None:
+        self._matches.append((source, start, end))
+
+    def reserve(self) -> int:
+        """Reserve a slot for a match whose end is not yet known.
+
+        Keeps document (pre-)order for container-valued matches that are
+        emitted only after their content has been streamed — the
+        descendant extension can find further matches *inside* such a
+        value, and those must come after it.
+        """
+        self._matches.append(None)
+        return len(self._matches) - 1
+
+    def fill(self, slot: int, source: bytes, start: int, end: int) -> None:
+        """Fill a slot created by :meth:`reserve`."""
+        if self._matches[slot] is not None:
+            raise ValueError(f"slot {slot} already filled")
+        self._matches[slot] = (source, start, end)
+
+    def _entry(self, i: int) -> tuple[bytes, int, int]:
+        entry = self._matches[i]
+        if entry is None:
+            raise ValueError(f"match slot {i} was reserved but never filled")
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._matches)
+
+    def __iter__(self) -> Iterator[Match]:
+        for i in range(len(self._matches)):
+            yield Match(*self._entry(i))
+
+    def __getitem__(self, i: int) -> Match:
+        return Match(*self._entry(i))
+
+    def texts(self) -> list[bytes]:
+        """Raw text of every match, in document order."""
+        return [source[start:end] for source, start, end in map(self._entry, range(len(self._matches)))]
+
+    def values(self) -> list[Any]:
+        """Decoded value of every match, in document order."""
+        return [json.loads(text) for text in self.texts()]
+
+    def extend(self, other: "MatchList") -> None:
+        self._matches.extend(other._matches)
+
+    def to_jsonl(self) -> bytes:
+        """Serialize the matches as newline-delimited JSON (raw slices).
+
+        Every match text is already valid JSON, so the output is valid
+        JSONL without re-encoding — streaming output for streaming input.
+        """
+        return b"\n".join(self.texts()) + (b"\n" if len(self) else b"")

@@ -1,0 +1,113 @@
+"""Plain recursive-descent streaming (paper Algorithm 1) — no fast-forward.
+
+This is the streaming model JSONSki builds on, *before* any fast-forward
+optimization: one recursive function per JSON non-terminal, the query
+automaton embedded at the [Key]/[Val]/[Ary-S]/[Ary-E]/[Com] transition
+points, and every token recognized character by character.  It exists as
+
+1. the ablation baseline "fast-forward off" (benchmark A1), and
+2. the executable form of Algorithm 1 for the test suite (its matches
+   must equal JSONSki's on every input).
+"""
+
+from __future__ import annotations
+
+
+from repro.baselines.tokenizer import Tokenizer
+from repro.engine.base import EngineBase
+from repro.engine.names import decode_name as _decode_name
+from repro.engine.output import MatchList
+from repro.errors import JsonSyntaxError
+from repro.jsonpath.ast import Path
+from repro.query.automaton import QueryAutomaton, compile_query
+from repro.stream.records import RecordStream
+
+_LBRACE, _RBRACE = 0x7B, 0x7D
+_LBRACKET, _RBRACKET = 0x5B, 0x5D
+
+
+class RecursiveDescentStreamer(EngineBase):
+    """Algorithm 1: recursive-descent streaming query evaluation."""
+
+    def __init__(self, query: str | Path) -> None:
+        self.automaton: QueryAutomaton = compile_query(query)
+
+    def run(self, data: bytes | str) -> MatchList:
+        """Stream one record, examining every token."""
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        run = _Run(self.automaton, data)
+        return run.execute()
+
+
+
+
+class _Run:
+    def __init__(self, automaton: QueryAutomaton, data: bytes) -> None:
+        self.qa = automaton
+        self.tok = Tokenizer(data)
+        self.data = data
+        self.matches = MatchList()
+
+    def execute(self) -> MatchList:
+        tok = self.tok
+        tok.skip_ws()
+        kind = tok.value_kind()
+        state = self.qa.start_state
+        if kind == "object":
+            self._object(state)
+        elif kind == "array":
+            self._array(state)
+        else:
+            tok.read_primitive()  # a primitive root cannot match
+        return self.matches
+
+    # ------------------------------------------------------------------
+
+    def _value(self, state: int) -> None:
+        """Consume one value, collecting matches for accepting states."""
+        tok = self.tok
+        status = self.qa.status(state)
+        start = tok.pos
+        slot = self.matches.reserve() if status.is_accept else -1
+        kind = tok.value_kind()
+        if kind == "object":
+            self._object(state)
+        elif kind == "array":
+            self._array(state)
+        else:
+            tok.read_primitive()
+        if status.is_accept:
+            self.matches.fill(slot, self.data, start, tok.pos)
+
+    def _object(self, state: int) -> None:
+        tok, qa = self.tok, self.qa
+        tok.expect(_LBRACE, "'{'")
+        tok.skip_ws()
+        if tok.at_object_end():
+            tok.pos += 1
+            return
+        while True:
+            name = tok.read_string()  # [Key]
+            tok.skip_ws()
+            tok.expect(0x3A, "':'")
+            tok.skip_ws()
+            state2 = qa.on_key(state, _decode_name(name))
+            self._value(state2)  # [Val] happens on return (state restored)
+            if not tok.consume_comma_or(_RBRACE):
+                return
+
+    def _array(self, state: int) -> None:
+        tok, qa = self.tok, self.qa
+        tok.expect(_LBRACKET, "'['")  # [Ary-S]
+        tok.skip_ws()
+        if tok.at_array_end():
+            tok.pos += 1
+            return
+        index = 0
+        while True:
+            state2 = qa.on_element(state, index)
+            self._value(state2)
+            if not tok.consume_comma_or(_RBRACKET):
+                return  # [Ary-E]
+            index += 1  # [Com]

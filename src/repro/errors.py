@@ -1,0 +1,78 @@
+"""Exception hierarchy for the JSONSki reproduction.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class JsonPathSyntaxError(ReproError):
+    """A JSONPath expression could not be parsed.
+
+    Carries the offending expression and the character offset at which
+    parsing failed, so tooling can point at the error location.
+    """
+
+    def __init__(self, message: str, expression: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position} in {expression!r})")
+        self.expression = expression
+        self.position = position
+
+
+class UnsupportedQueryError(ReproError):
+    """A parsed JSONPath uses a feature a particular engine cannot run."""
+
+
+class JsonSyntaxError(ReproError):
+    """The input stream is not well-formed JSON.
+
+    ``position`` is the byte offset at which the problem was detected.
+    Note that, as in the paper (Section 3.3), fast-forwarded segments are
+    only validated at the level of brace/bracket pairing, so some malformed
+    inputs inside skipped regions are *not* reported.
+    """
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at byte {position})")
+        self.position = position
+
+
+class StreamExhaustedError(JsonSyntaxError):
+    """The stream ended while a structure was still open."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(message, position)
+
+
+class RecordTooLargeError(ReproError):
+    """A single record exceeds an engine's supported size.
+
+    Mirrors simdjson's documented 4 GB single-record limit (paper
+    Section 5.4); the limit is configurable in
+    :class:`repro.baselines.simdjson_like.SimdJsonLike`.
+    """
+
+
+def format_error_context(data: bytes, position: int, width: int = 30) -> str:
+    """Render the input around an error position, gdb-style.
+
+    Returns two lines: the (printable-sanitized) text surrounding
+    ``position`` and a caret pointing at the offending byte.  Used by the
+    CLI so a :class:`JsonSyntaxError` is actionable without a hex editor.
+    """
+    position = max(0, min(position, max(len(data) - 1, 0)))
+    lo = max(0, position - width)
+    hi = min(len(data), position + width)
+    snippet = data[lo:hi].decode("utf-8", "replace")
+    printable = "".join(ch if ch.isprintable() else "." for ch in snippet)
+    prefix = "..." if lo > 0 else ""
+    suffix = "..." if hi < len(data) else ""
+    caret_at = len(prefix) + len("".join(
+        ch if ch.isprintable() else "." for ch in data[lo:position].decode("utf-8", "replace")
+    ))
+    return f"{prefix}{printable}{suffix}\n" + " " * caret_at + "^"

@@ -1,0 +1,21 @@
+"""Benchmark harness: regenerates every table and figure of the paper.
+
+- :mod:`repro.harness.runner` — method registry and timing helpers.
+- :mod:`repro.harness.memory` — peak-memory measurement (Figure 13).
+- :mod:`repro.harness.tables` — ASCII tables / figure series rendering.
+- :mod:`repro.harness.experiments` — one function per paper table/figure.
+- :mod:`repro.harness.report` — composes EXPERIMENTS.md from the above.
+"""
+
+from repro.harness.runner import METHOD_LABELS, STREAMING_METHODS, Measurement, make_engine, time_run
+from repro.harness.tables import render_series, render_table
+
+__all__ = [
+    "METHOD_LABELS",
+    "Measurement",
+    "STREAMING_METHODS",
+    "make_engine",
+    "render_series",
+    "render_table",
+    "time_run",
+]

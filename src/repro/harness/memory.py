@@ -1,0 +1,46 @@
+"""Peak-memory measurement (paper Figure 13).
+
+Uses :mod:`tracemalloc`, which numpy cooperates with, so both Python
+objects (DOM nodes, leveled index lists) and array buffers (bitmap words,
+position arrays) are counted.  The reported number is the peak
+*auxiliary* allocation of the run — everything the method allocates
+beyond the input buffer itself, which is the quantity that separates the
+streaming scheme (bounded) from the preprocessing scheme (O(input) or
+worse) in Figure 13.
+"""
+
+from __future__ import annotations
+
+import gc
+import tracemalloc
+from typing import Any, Callable, TypeVar
+
+T = TypeVar("T")
+
+
+def measure_peak(fn: Callable[[], T]) -> tuple[T, int]:
+    """Run ``fn`` and return ``(result, peak_allocated_bytes)``.
+
+    tracemalloc slows execution several-fold; never combine this with
+    timing measurements.
+    """
+    gc.collect()
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    base, _ = tracemalloc.get_traced_memory()
+    try:
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not was_tracing:
+            tracemalloc.stop()
+    return result, max(0, peak - base)
+
+
+def measure_engine_peak(engine: Any, data: bytes) -> tuple[int, int]:
+    """Peak auxiliary bytes of one ``engine.run(data)``; returns
+    ``(n_matches, peak_bytes)``."""
+    matches, peak = measure_peak(lambda: engine.run(data))
+    return len(matches), peak

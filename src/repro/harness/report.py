@@ -1,0 +1,83 @@
+"""Compose the full evaluation report (the data behind EXPERIMENTS.md).
+
+Run as a module to print every table and figure at a chosen size::
+
+    python -m repro.harness.report --size 400000
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.harness import experiments as exp
+from repro.harness.tables import render_table
+
+
+def _sections(size: int, workers: int, fast: bool) -> list:
+    return [
+        exp.exp_table4(size),
+        exp.exp_table5(size),
+        exp.exp_fig10(size, workers),
+        exp.exp_fig11(size),
+        exp.exp_fig12(size, workers),
+        exp.exp_fig13(min(size, 1 << 20) if fast else size),
+        exp.exp_fig14(),
+        exp.exp_table6(size),
+        exp.exp_ablation_fastforward(size),
+        exp.exp_ablation_scanner(min(size, 1 << 18) if fast else size),
+        exp.exp_ablation_chunksize(size),
+    ]
+
+
+def _compare_sections(size: int) -> list:
+    return [
+        exp.exp_table6_compare(size),
+        exp.exp_fig10_compare(size),
+    ]
+
+
+def generate(size: int, workers: int = 16, fast: bool = False) -> str:
+    """Render every experiment at ``size`` bytes into one text report."""
+    sections = _sections(size, workers, fast)
+    return "\n\n".join(render_table(headers, rows, title=title) for title, headers, rows in sections)
+
+
+def generate_markdown(size: int, workers: int = 16, fast: bool = False) -> str:
+    """Render every experiment as a GitHub-markdown report."""
+    parts = ["# Measured results", "",
+             f"Inputs ≈ {size} bytes per dataset, {workers} simulated workers.", ""]
+    for title, headers, rows in _sections(size, workers, fast):
+        parts.append(f"## {title}")
+        parts.append("")
+        parts.append("| " + " | ".join(str(h) for h in headers) + " |")
+        parts.append("|" + "|".join("---" for _ in headers) + "|")
+        for row in rows:
+            cells = []
+            for value in row:
+                cells.append(f"{value:.4g}" if isinstance(value, float) else str(value))
+            parts.append("| " + " | ".join(cells) + " |")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=exp.DEFAULT_SIZE, help="target bytes per dataset")
+    parser.add_argument("--workers", type=int, default=exp.DEFAULT_WORKERS, help="simulated worker count")
+    parser.add_argument("--fast", action="store_true", help="shrink the slowest experiments")
+    parser.add_argument("--markdown", action="store_true", help="emit GitHub markdown instead of aligned text")
+    parser.add_argument("--compare-paper", action="store_true",
+                        help="print only the paper-vs-measured comparison tables")
+    args = parser.parse_args()
+    if args.compare_paper:
+        print("\n\n".join(
+            render_table(headers, rows, title=title)
+            for title, headers, rows in _compare_sections(args.size)
+        ))
+        return
+    render = generate_markdown if args.markdown else generate
+    print(render(args.size, args.workers, fast=args.fast))
+
+
+if __name__ == "__main__":
+    main()

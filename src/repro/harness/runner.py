@@ -1,0 +1,83 @@
+"""Method registry and timing helpers shared by all benchmarks."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.baselines import JPStream, PisonLike, RapidJsonLike, SimdJsonLike
+from repro.baselines.stdlib_json import StdlibJson
+from repro.engine import JsonSki, RecursiveDescentStreamer
+from repro.engine.output import MatchList
+from repro.jsonpath.ast import Path
+
+#: The five methods of the paper's Table 2, in its order, plus this
+#: reproduction's extra ablation engines.
+METHOD_LABELS: dict[str, str] = {
+    "jpstream": "JPStream",
+    "rapidjson": "RapidJSON",
+    "simdjson": "simdjson",
+    "pison": "Pison",
+    "jsonski": "JSONSki",
+    "jsonski-word": "JSONSki(word)",
+    "rds": "RDS(no-FF)",
+    "stdlib": "json.loads+walk",
+}
+
+#: Methods following the streaming scheme (memory ≈ input-only).
+STREAMING_METHODS = ("jpstream", "jsonski", "jsonski-word", "rds")
+
+_FACTORIES: dict[str, Callable[[Any], object]] = {
+    "jpstream": JPStream,
+    "rapidjson": RapidJsonLike,
+    "simdjson": SimdJsonLike,
+    "pison": PisonLike,
+    "jsonski": JsonSki,
+    "jsonski-word": lambda q: JsonSki(q, mode="word"),
+    "rds": RecursiveDescentStreamer,
+    "stdlib": StdlibJson,
+}
+
+
+def make_engine(method: str, query: str | Path) -> object:
+    """Instantiate a registered method for one query."""
+    try:
+        factory = _FACTORIES[method]
+    except KeyError:
+        raise KeyError(f"unknown method {method!r}; expected one of {sorted(_FACTORIES)}") from None
+    return factory(query)
+
+
+@dataclass
+class Measurement:
+    """One timed experiment cell."""
+
+    method: str
+    dataset: str
+    query_id: str
+    seconds: float
+    n_matches: int
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+def time_run(engine: object, data: bytes, repeat: int = 1) -> tuple[float, MatchList]:
+    """Best-of-``repeat`` wall time of ``engine.run(data)``."""
+    best = float("inf")
+    matches = MatchList()
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        matches = engine.run(data)
+        best = min(best, time.perf_counter() - t0)
+    return best, matches
+
+
+def time_run_records(engine: object, stream: object, repeat: int = 1) -> tuple[float, MatchList]:
+    """Best-of-``repeat`` wall time of ``engine.run_records(stream)``."""
+    best = float("inf")
+    matches = MatchList()
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        matches = engine.run_records(stream)
+        best = min(best, time.perf_counter() - t0)
+    return best, matches

@@ -1,0 +1,70 @@
+"""ASCII rendering of tables and figure series.
+
+The paper's figures are bar/line charts; the harness renders the same
+data as aligned text tables (one row per bar group / line point) so the
+"figure" can be regenerated and diffed in a terminal or CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str | None = None) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    xs: Sequence[Any],
+    series: dict[str, Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render line-chart data (Figure 14 style): one row per x value."""
+    headers = [x_label, *series.keys()]
+    rows = [[x, *(series[name][i] for name in series)] for i, x in enumerate(xs)]
+    return render_table(headers, rows, title=title)
+
+
+def format_bytes(n: int) -> str:
+    """Human-readable byte count."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def format_ratio(r: float) -> str:
+    """Table 6 style percentage with the paper's <0.01% convention."""
+    if r == 0:
+        return "0.00%"
+    if r < 0.0001:
+        return "<0.01%"
+    return f"{100 * r:.2f}%"

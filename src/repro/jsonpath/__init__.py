@@ -1,0 +1,34 @@
+"""JSONPath front-end.
+
+Supports the notation set of the paper's JSONSki implementation
+(Section 5.1): root ``$``, child ``.name`` / ``['name']``, array index
+``[n]``, index range ``[m:n]``, and wildcard ``[*]`` / ``.*`` — plus the
+descendant operator ``..name``, which the paper lists as future work and
+this reproduction implements as an extension (with the fast-forward
+limitation the paper predicts: value types cannot be inferred below a
+descendant step).
+"""
+
+from repro.jsonpath.ast import (
+    Child,
+    Descendant,
+    Index,
+    Path,
+    Slice,
+    Step,
+    WildcardChild,
+    WildcardIndex,
+)
+from repro.jsonpath.parser import parse_path
+
+__all__ = [
+    "Child",
+    "Descendant",
+    "Index",
+    "Path",
+    "Slice",
+    "Step",
+    "WildcardChild",
+    "WildcardIndex",
+    "parse_path",
+]

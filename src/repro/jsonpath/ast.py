@@ -1,0 +1,201 @@
+"""JSONPath abstract syntax.
+
+A parsed path is a :class:`Path`: a sequence of :class:`Step` objects
+applied from the anonymous root ``$``.  Each step carries the structural
+knowledge the query automaton exploits for fast-forwarding:
+
+- ``container`` — the container kind the step selects *from* (``'object'``
+  for key steps, ``'array'`` for index steps, ``'any'`` for descendants);
+- ``value_kind()`` on :class:`Path` — the container kind a step's selected
+  value must have for the path to continue, which is the type-inference
+  rule of Section 3.2 ("from ``$.place.name`` we can infer that ``place``
+  is an object").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Step:
+    """Base class for path steps."""
+
+    #: Container kind this step selects from: 'object', 'array', or 'any'.
+    container = "any"
+
+    def unparse(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Child(Step):
+    """``.name`` or ``['name']`` — select one attribute of an object."""
+
+    name: str
+    container = "object"
+
+    def unparse(self) -> str:
+        if self.name.isidentifier():
+            return f".{self.name}"
+        escaped = self.name.replace("\\", "\\\\").replace("'", "\\'")
+        return f"['{escaped}']"
+
+
+@dataclass(frozen=True)
+class WildcardChild(Step):
+    """``.*`` — select every attribute of an object."""
+
+    container = "object"
+
+    def unparse(self) -> str:
+        return ".*"
+
+
+@dataclass(frozen=True)
+class Index(Step):
+    """``[n]`` — select the element at index ``n`` (0-based, ``n >= 0``)."""
+
+    index: int
+    container = "array"
+
+    def unparse(self) -> str:
+        return f"[{self.index}]"
+
+
+@dataclass(frozen=True)
+class Slice(Step):
+    """``[m:n]`` — select elements with ``m <= index < n`` (paper's range).
+
+    ``stop`` may be ``None`` for an open range ``[m:]``.
+    """
+
+    start: int
+    stop: int | None
+    container = "array"
+
+    def unparse(self) -> str:
+        stop = "" if self.stop is None else str(self.stop)
+        return f"[{self.start}:{stop}]"
+
+
+@dataclass(frozen=True)
+class WildcardIndex(Step):
+    """``[*]`` — select every element of an array."""
+
+    container = "array"
+
+    def unparse(self) -> str:
+        return "[*]"
+
+
+@dataclass(frozen=True)
+class MultiName(Step):
+    """``['a','b']`` — select several attributes of an object (extension).
+
+    Matches are produced in *document order* (the streaming-natural
+    semantics); names are normalized to a sorted, deduplicated tuple.
+    """
+
+    names: tuple[str, ...]
+    container = "object"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "names", tuple(sorted(set(self.names))))
+
+    def unparse(self) -> str:
+        quoted = ",".join(
+            "'" + name.replace("\\", "\\\\").replace("'", "\\'") + "'" for name in self.names
+        )
+        return f"[{quoted}]"
+
+
+@dataclass(frozen=True)
+class MultiIndex(Step):
+    """``[1,3,5]`` — select several array elements (extension).
+
+    Matches are produced in document order; indices are normalized to a
+    sorted, deduplicated tuple.
+    """
+
+    indices: tuple[int, ...]
+    container = "array"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "indices", tuple(sorted(set(self.indices))))
+
+    def unparse(self) -> str:
+        return "[" + ",".join(str(i) for i in self.indices) + "]"
+
+
+@dataclass(frozen=True)
+class Filter(Step):
+    """``[?(expr)]`` — keep array elements satisfying a predicate
+    (extension; see :mod:`repro.jsonpath.filter`)."""
+
+    expr: object  # FilterExpr
+    container = "array"
+
+    def unparse(self) -> str:
+        return f"[?({self.expr.unparse()})]"
+
+
+@dataclass(frozen=True)
+class Descendant(Step):
+    """``..name`` — select the named attribute at any depth (extension)."""
+
+    name: str
+    container = "any"
+
+    def unparse(self) -> str:
+        return f"..{self.name}"
+
+
+#: Steps that select from objects by key.
+KEY_STEPS = (Child, WildcardChild, MultiName, Descendant)
+#: Steps that select from arrays by position.
+INDEX_STEPS = (Index, Slice, WildcardIndex, MultiIndex, Filter)
+
+
+@dataclass(frozen=True)
+class Path:
+    """A complete JSONPath: ``$`` followed by ``steps``."""
+
+    steps: tuple[Step, ...]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def unparse(self) -> str:
+        """Render back to JSONPath text (inverse of ``parse_path``)."""
+        return "$" + "".join(step.unparse() for step in self.steps)
+
+    def value_kind(self, depth: int) -> str:
+        """Container kind the value selected by step ``depth`` must have.
+
+        This is the type inference of Section 3.2: the value must be
+        whatever the *next* step selects from.  Returns ``'object'``,
+        ``'array'``, or ``'unknown'`` (last level, or below a descendant
+        step whose traversal admits both kinds).
+        """
+        if depth + 1 >= len(self.steps):
+            return "unknown"
+        nxt = self.steps[depth + 1]
+        if isinstance(nxt, Descendant):
+            return "unknown"
+        if nxt.container == "object":
+            return "object"
+        if nxt.container == "array":
+            return "array"
+        return "unknown"
+
+    @property
+    def has_descendant(self) -> bool:
+        return any(isinstance(s, Descendant) for s in self.steps)
+
+    @property
+    def has_filter(self) -> bool:
+        return any(isinstance(s, Filter) for s in self.steps)

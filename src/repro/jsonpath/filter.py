@@ -1,0 +1,172 @@
+"""Filter expressions: ``[?(@.price > 10)]`` (extension).
+
+The paper's dialect has no predicates; they are the most-requested
+JSONPath feature beyond it, so this reproduction adds a useful core:
+
+.. code-block:: text
+
+    filter     ::= '[?(' or-expr ')]'
+    or-expr    ::= and-expr ('||' and-expr)*
+    and-expr   ::= unary ('&&' unary)*
+    unary      ::= '!' unary | '(' or-expr ')' | predicate
+    predicate  ::= rel-path (op literal)?          # bare path = existence
+    rel-path   ::= '@' ('.' NAME | '[' INT ']' | '[' STRING ']')*
+    op         ::= '==' '!=' '<' '<=' '>' '>='
+    literal    ::= NUMBER | STRING | true | false | null
+
+Comparison semantics: the relative path is resolved against the candidate
+element; no match ⇒ the predicate is false; the *first* match is compared.
+Ordering comparisons require both sides to be numbers, or both strings;
+``==``/``!=`` compare any equal/unequal values (with ``!=`` false when the
+path has no match at all — absent is not "unequal").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+#: Comparison operators, longest first for the scanner.
+OPERATORS = ("==", "!=", "<=", ">=", "<", ">")
+
+
+@dataclass(frozen=True)
+class RelPath:
+    """A ``@``-rooted chain of child/index steps."""
+
+    steps: tuple[object, ...]  # Child | Index (from repro.jsonpath.ast)
+
+    def unparse(self) -> str:
+        return "@" + "".join(step.unparse() for step in self.steps)
+
+    def resolve(self, value: Any) -> tuple[bool, Any]:
+        """(found, value) of the first match under a parsed element."""
+        from repro.jsonpath.ast import Child, Index
+
+        current = value
+        for step in self.steps:
+            if isinstance(step, Child):
+                if isinstance(current, dict) and step.name in current:
+                    current = current[step.name]
+                else:
+                    return False, None
+            elif isinstance(step, Index):
+                if isinstance(current, list) and 0 <= step.index < len(current):
+                    current = current[step.index]
+                else:
+                    return False, None
+            else:  # pragma: no cover - parser only emits Child/Index
+                raise TypeError(f"unsupported relative step {step!r}")
+        return True, current
+
+
+@dataclass(frozen=True)
+class FilterExpr:
+    """Base class for predicate nodes."""
+
+    def unparse(self) -> str:
+        raise NotImplementedError
+
+    def matches(self, value: Any) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Exists(FilterExpr):
+    path: RelPath
+
+    def unparse(self) -> str:
+        return self.path.unparse()
+
+    def matches(self, value: Any) -> bool:
+        found, _ = self.path.resolve(value)
+        return found
+
+
+@dataclass(frozen=True)
+class Comparison(FilterExpr):
+    path: RelPath
+    op: str
+    literal: Any
+
+    def unparse(self) -> str:
+        if isinstance(self.literal, str):
+            escaped = self.literal.replace("\\", "\\\\").replace("'", "\\'")
+            lit = f"'{escaped}'"
+        elif self.literal is True:
+            lit = "true"
+        elif self.literal is False:
+            lit = "false"
+        elif self.literal is None:
+            lit = "null"
+        else:
+            lit = repr(self.literal)
+        return f"{self.path.unparse()} {self.op} {lit}"
+
+    def matches(self, value: Any) -> bool:
+        found, actual = self.path.resolve(value)
+        if not found:
+            return False
+        lit = self.literal
+        if self.op == "==":
+            return _json_equal(actual, lit)
+        if self.op == "!=":
+            return not _json_equal(actual, lit)
+        # Ordering: numbers with numbers (bool excluded), strings with strings.
+        if isinstance(actual, bool) or isinstance(lit, bool):
+            return False
+        if isinstance(actual, (int, float)) and isinstance(lit, (int, float)):
+            pass
+        elif isinstance(actual, str) and isinstance(lit, str):
+            pass
+        else:
+            return False
+        if self.op == "<":
+            return actual < lit
+        if self.op == "<=":
+            return actual <= lit
+        if self.op == ">":
+            return actual > lit
+        return actual >= lit
+
+
+def _json_equal(a: Any, b: Any) -> bool:
+    """JSON equality: bools are not numbers."""
+    if isinstance(a, bool) != isinstance(b, bool):
+        return False
+    return a == b
+
+
+@dataclass(frozen=True)
+class Not(FilterExpr):
+    operand: FilterExpr
+
+    def unparse(self) -> str:
+        return f"!({self.operand.unparse()})"
+
+    def matches(self, value: Any) -> bool:
+        return not self.operand.matches(value)
+
+
+@dataclass(frozen=True)
+class And(FilterExpr):
+    left: FilterExpr
+    right: FilterExpr
+
+    def unparse(self) -> str:
+        return f"{self.left.unparse()} && {self.right.unparse()}"
+
+    def matches(self, value: Any) -> bool:
+        return self.left.matches(value) and self.right.matches(value)
+
+
+@dataclass(frozen=True)
+class Or(FilterExpr):
+    left: FilterExpr
+    right: FilterExpr
+
+    def unparse(self) -> str:
+        return f"{self.left.unparse()} || {self.right.unparse()}"
+
+    def matches(self, value: Any) -> bool:
+        return self.left.matches(value) or self.right.matches(value)

@@ -1,0 +1,74 @@
+"""The paper's reported numbers, as data.
+
+Transcribed from Jiang & Zhao, ASPLOS 2022 — Tables 4-6 and the headline
+ratios of Section 5.2 — so the harness can print paper-vs-measured
+side by side (``python -m repro.harness.report --compare-paper``) and
+EXPERIMENTS.md can be regenerated mechanically.
+
+Numbers here are *the paper's*, not ours; each constant cites where it
+comes from.
+"""
+
+from __future__ import annotations
+
+#: Table 4 — dataset statistics of the 1 GB evaluation inputs.
+PAPER_TABLE4 = {
+    #        #objects   #arrays    #attr     #prim     #sub     depth
+    "TT":   (2_390_000, 2_290_000, 26_500_000, 24_300_000, 150_000, 11),
+    "BB":   (1_910_000, 4_880_000, 40_700_000, 35_800_000, 230_000, 7),
+    "GMD":  (10_300_000, 43_000,   29_000_000, 21_000_000, 4_440,   9),
+    "NSPL": (613,        3_500_000, 1_660,     84_200_000, 1_740_000, 9),
+    "WM":   (333_000,    34_000,   8_190_000,  9_920,      275_000, 4),
+    "WP":   (17_300_000, 6_530_000, 53_200_000, 35_000_000, 137_000, 12),
+}
+
+#: Table 5 — match counts of the twelve queries on the 1 GB inputs.
+PAPER_TABLE5_MATCHES = {
+    "TT1": 88_881, "TT2": 150_135,
+    "BB1": 459_332, "BB2": 8_857,
+    "GMD1": 1_716_752, "GMD2": 270,
+    "NSPL1": 44, "NSPL2": 3_509_764,
+    "WM1": 15_892, "WM2": 272_499,
+    "WP1": 15_603, "WP2": 35,
+}
+
+#: Table 6 — fast-forward ratios by group (fractions of the stream).
+#: ``None`` marks the paper's "–" (group not applicable); "<0.01%" cells
+#: are recorded as 0.0001.
+PAPER_TABLE6 = {
+    #        G1       G2       G3       G4       G5       Overall
+    "TT1":  (0.1280,  0.7822,  0.0022,  0.0820,  None,    0.9944),
+    "TT2":  (0.0000,  0.0117,  0.0228,  0.9562,  0.0075,  0.9907),
+    "BB1":  (0.1434,  0.0072,  0.0049,  0.8219,  0.0075,  0.9849),
+    "BB2":  (0.8924,  0.0873,  0.0002,  0.0001,  None,    0.9799),
+    "GMD1": (0.1318,  0.0004,  0.0106,  0.8313,  None,    0.9741),
+    "GMD2": (0.0002,  0.9997,  0.0001,  0.0000,  None,    0.9999),
+    "NSPL1": (0.0001, 0.0001,  0.0001,  0.9999,  None,    0.9999),
+    "NSPL2": (0.8345, 0.0000,  0.0155,  0.0001,  0.1094,  0.9594),
+    "WM1":  (0.9797,  0.0013,  0.0001,  0.0166,  None,    0.9977),
+    "WM2":  (0.0001,  0.0033,  0.0190,  0.9656,  None,    0.9879),
+    "WP1":  (0.0147,  0.8308,  0.0001,  0.1477,  None,    0.9933),
+    "WP2":  (0.0001,  0.0002,  0.0001,  0.0001,  0.9996,  0.9999),
+}
+
+#: Section 5.2 headline speedups of JSONSki over each serial method
+#: (single large record, average over the twelve queries).
+PAPER_FIG10_SPEEDUPS = {
+    "jpstream": 12.3,
+    "simdjson": 4.8,
+    "pison": 3.1,
+}
+
+#: Section 5.2 — 16-thread scaling factors on small records (Figure 12).
+PAPER_FIG12_SCALING = {"jpstream": 11.9, "pison": 11.8, "jsonski": 10.3}
+
+#: Section 5.2 — single-record 16-thread comparisons: JSONSki(1t) beats
+#: JPStream(16) by 28% and trails Pison(16) by 48%.
+PAPER_SINGLE_VS_16 = {"jpstream16": +0.28, "pison16": -0.48}
+
+
+def dominant_groups(qid: str, threshold: float = 0.05) -> tuple[str, ...]:
+    """The groups the paper bolds for a query (> 5% contribution)."""
+    row = PAPER_TABLE6[qid]
+    groups = ("G1", "G2", "G3", "G4", "G5")
+    return tuple(g for g, v in zip(groups, row[:5]) if v is not None and v > threshold)

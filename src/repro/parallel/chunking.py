@@ -1,0 +1,198 @@
+"""Top-level chunking of one large record (speculative parallelism).
+
+JPStream and Pison process a *single* large record in parallel by
+splitting it into chunks and resolving each chunk's entry context
+(string state, nesting depth) speculatively or with cheap pre-passes.
+This module performs that partitioning exactly: the bit-parallel index
+locates the record's top-level unit array and each element's span, and
+chunk inputs are re-wrapped slices whose entry context is correct by
+construction.  The partitioning cost is what a real implementation pays
+serially before workers start, so callers time it and charge it to the
+parallel run (see :mod:`repro.parallel.speculation`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.fastforward import FastForwarder
+from repro.errors import JsonSyntaxError, UnsupportedQueryError
+from repro.jsonpath.ast import Child, Path
+from repro.jsonpath.parser import parse_path
+from repro.stream.buffer import StreamBuffer
+
+_LBRACE, _RBRACE = 0x7B, 0x7D
+_LBRACKET, _RBRACKET = 0x5B, 0x5D
+_COMMA, _QUOTE = 0x2C, 0x22
+
+
+@dataclass(frozen=True)
+class ChunkInput:
+    """One re-wrapped chunk: a standalone record covering a contiguous
+    block of top-level elements."""
+
+    data: bytes
+    #: Global index of the first element in this chunk.
+    element_offset: int
+    n_elements: int
+    #: True for the chunk that carries the record's real prefix (any
+    #: attributes before the unit array, e.g. NSPL's ``mt``).
+    has_real_prefix: bool
+
+
+@dataclass
+class TopLevelSplit:
+    """Result of locating the unit array and its element spans."""
+
+    data: bytes
+    array_path: Path
+    #: ``[start, end)`` of each top-level element's text.
+    element_spans: list[tuple[int, int]]
+    #: Offset of the unit array's ``[``.
+    array_open: int
+    #: Offset of the unit array's ``]``.
+    array_close: int
+
+    def _minimal_prefix_suffix(self) -> tuple[bytes, bytes]:
+        """Synthetic wrapper reproducing the array's nesting context."""
+        prefix = b""
+        for step in self.array_path.steps:
+            name = step.name.replace("\\", "\\\\").replace('"', '\\"')
+            prefix += b'{"' + name.encode("utf-8") + b'":'
+        return prefix + b"[", b"]" + b"}" * len(self.array_path.steps)
+
+    def chunk_inputs(self, n_chunks: int) -> list[ChunkInput]:
+        """Partition the elements into up to ``n_chunks`` contiguous,
+        byte-balanced blocks and re-wrap each as a standalone record.
+
+        Chunk 0 keeps the record's real prefix (everything up to and
+        including the array ``[``) and the last chunk keeps the real
+        suffix, so attributes outside the unit array stay queryable.
+        """
+        spans = self.element_spans
+        if not spans:
+            return [ChunkInput(self.data, 0, 0, True)]
+        n_chunks = max(1, min(n_chunks, len(spans)))
+        total_bytes = spans[-1][1] - spans[0][0]
+        target = total_bytes / n_chunks
+        mini_prefix, mini_suffix = self._minimal_prefix_suffix()
+        real_prefix = self.data[: self.array_open + 1]
+        real_suffix = self.data[self.array_close :]
+
+        chunks: list[ChunkInput] = []
+        i = 0
+        for c in range(n_chunks):
+            if i >= len(spans):
+                break
+            j = i
+            budget = (c + 1) * target + spans[0][0]
+            while j < len(spans) and (j == i or spans[j][1] <= budget):
+                j += 1
+            body = self.data[spans[i][0] : spans[j - 1][1]]
+            last = j >= len(spans)
+            chunk_data = (
+                (real_prefix if c == 0 else mini_prefix)
+                + body
+                + (real_suffix if last else mini_suffix)
+            )
+            chunks.append(ChunkInput(chunk_data, i, j - i, has_real_prefix=(c == 0)))
+            i = j
+        return chunks
+
+
+def split_top_level(data: bytes, array_path: str | Path, mode: str = "vector") -> TopLevelSplit:
+    """Locate the unit array named by ``array_path`` and enumerate its
+    element spans with the bit-parallel fast-forward machinery.
+
+    ``array_path`` must be ``$`` (the record root is the array) or a
+    chain of child steps (e.g. ``$.pd``).
+    """
+    if isinstance(array_path, str):
+        steps = () if array_path.strip() == "$" else parse_path(array_path).steps
+    else:
+        steps = array_path.steps
+    if not all(isinstance(s, Child) for s in steps):
+        raise UnsupportedQueryError("array_path must be '$' or a chain of child steps")
+    buffer = StreamBuffer(data, mode=mode)
+    ff = FastForwarder(buffer)
+    pos = buffer.skip_ws(0)
+
+    # Navigate the child chain to the unit array.
+    for step in steps:
+        if buffer.byte_at(pos) != _LBRACE:
+            raise JsonSyntaxError(f"expected object while resolving {step.name!r}", pos)
+        pos = _find_attr(buffer, ff, pos, step.name)
+    if buffer.byte_at(pos) != _LBRACKET:
+        raise JsonSyntaxError("partition path does not lead to an array", pos)
+    array_open = pos
+
+    # Enumerate element spans.
+    spans: list[tuple[int, int]] = []
+    cur = buffer.skip_ws(array_open + 1)
+    while True:
+        byte = buffer.byte_at(cur)
+        if byte == _RBRACKET:
+            array_close = cur
+            break
+        start = cur
+        if byte == _LBRACE:
+            end = ff.go_over_obj(cur)
+        elif byte == _LBRACKET:
+            end = ff.go_over_ary(cur)
+        else:
+            delim = ff.go_over_pri(cur, in_object=False)
+            end = buffer.rstrip_ws(cur, delim)
+        spans.append((start, end))
+        cur = buffer.skip_ws(end)
+        byte = buffer.byte_at(cur)
+        if byte == _COMMA:
+            cur = buffer.skip_ws(cur + 1)
+        elif byte == _RBRACKET:
+            array_close = cur
+            break
+        else:
+            raise JsonSyntaxError("expected ',' or ']' in unit array", cur)
+
+    return TopLevelSplit(
+        data=data,
+        array_path=Path(tuple(steps)),
+        element_spans=spans,
+        array_open=array_open,
+        array_close=array_close,
+    )
+
+
+def _find_attr(buffer: StreamBuffer, ff: FastForwarder, obj_pos: int, name: str) -> int:
+    """Position of the value of attribute ``name`` in the object at
+    ``obj_pos``, skipping other attributes with fast-forwards."""
+    from repro.bits.classify import CharClass
+    from repro.bits.scanner import NOT_FOUND
+
+    pos = buffer.skip_ws(obj_pos + 1)
+    scanner = buffer.scanner
+    while buffer.byte_at(pos) != _RBRACE:
+        if buffer.byte_at(pos) != _QUOTE:
+            raise JsonSyntaxError("expected attribute name", pos)
+        close = scanner.find_next(CharClass.QUOTE, pos + 1)
+        colon = scanner.find_next(CharClass.COLON, close + 1)
+        if close == NOT_FOUND or colon == NOT_FOUND:
+            raise JsonSyntaxError("malformed attribute", pos)
+        attr = buffer.slice(pos + 1, close).decode("utf-8", errors="replace")
+        vstart = buffer.skip_ws(colon + 1)
+        if attr == name:
+            return vstart
+        byte = buffer.byte_at(vstart)
+        if byte == _LBRACE:
+            after = ff.go_over_obj(vstart)
+        elif byte == _LBRACKET:
+            after = ff.go_over_ary(vstart)
+        else:
+            after = ff.go_over_pri(vstart, in_object=True)
+        after = buffer.skip_ws(after)
+        if buffer.byte_at(after) == _COMMA:
+            pos = buffer.skip_ws(after + 1)
+        elif buffer.byte_at(after) == _RBRACE:
+            break
+        else:
+            raise JsonSyntaxError("expected ',' or '}' in object", after)
+    raise JsonSyntaxError(f"attribute {name!r} not found while partitioning", obj_pos)

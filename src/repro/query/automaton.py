@@ -1,0 +1,324 @@
+"""Pushdown query automaton for JSONPath matching (Figure 5).
+
+A path of ``n`` steps yields the linear automaton of Figure 5: state ``q``
+means "the first ``q`` steps are matched", state ``n`` is ACCEPT, and the
+dead state is "no continuation possible".  The per-level stack of Figure 5
+(rules [Key]/[Val]/[Ary-S]/[Ary-E]) lives on the engines' call stacks, so
+this class exposes *pure* transitions:
+
+- :meth:`on_key` — rule [Key]: consume an attribute name at the current
+  level;
+- :meth:`on_element` — rules [Ary-S]/[Com]: consume the array element at a
+  given counter value (the engine maintains the counter).
+
+To support the descendant extension ``..name`` the state is internally a
+*frontier* (set of step indices, the standard NFA-to-DFA powerset, built
+lazily); linear queries always have singleton frontiers, so nothing is
+paid for the common case.
+
+Beyond matching, the automaton answers the questions fast-forwarding needs
+(Section 3.2):
+
+- :meth:`expected_type` — the value type a match at this state must have
+  (drives G1);
+- :meth:`object_skippable` / :meth:`element_range` — whether G4 / G5
+  apply;
+- :meth:`can_match_in_object` / :meth:`can_match_in_array` — whether the
+  current container is relevant at all.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.jsonpath.ast import (
+    Child,
+    Descendant,
+    Index,
+    MultiIndex,
+    MultiName,
+    Path,
+    Slice,
+    WildcardChild,
+    WildcardIndex,
+)
+
+
+class MatchStatus(enum.Enum):
+    """Engine-visible status of a state (paper's UNMATCHED/MATCHED/ACCEPT).
+
+    ``ACCEPT_AND_MATCHED`` arises only under the descendant extension: the
+    value is a match output *and* deeper matches may exist inside it.
+    """
+
+    UNMATCHED = "unmatched"
+    MATCHED = "matched"
+    ACCEPT = "accept"
+    ACCEPT_AND_MATCHED = "accept+matched"
+
+    @property
+    def is_accept(self) -> bool:
+        return self in (MatchStatus.ACCEPT, MatchStatus.ACCEPT_AND_MATCHED)
+
+    @property
+    def is_alive(self) -> bool:
+        """True when deeper matching progress is still possible."""
+        return self in (MatchStatus.MATCHED, MatchStatus.ACCEPT_AND_MATCHED)
+
+
+#: Bit flags of :meth:`QueryAutomaton.status_flags` (the engines' hot path).
+ALIVE = 1
+ACCEPT = 2
+
+_FLAGS_TO_STATUS = {
+    0: MatchStatus.UNMATCHED,
+    ALIVE: MatchStatus.MATCHED,
+    ACCEPT: MatchStatus.ACCEPT,
+    ALIVE | ACCEPT: MatchStatus.ACCEPT_AND_MATCHED,
+}
+
+
+class QueryAutomaton:
+    """Lazily-determinized matching automaton for one :class:`Path`.
+
+    All per-state guidance (status flags, expected type, G4/G5
+    applicability) is memoized in lists indexed by state id — the engines
+    query them once per container or attribute, millions of times per
+    run.
+    """
+
+    def __init__(self, path: Path) -> None:
+        if path.has_filter:
+            from repro.errors import UnsupportedQueryError
+
+            raise UnsupportedQueryError(
+                "filter predicates are evaluated by query splitting in "
+                "JsonSki (and by the tree baselines); the token-level "
+                "automaton engines do not support them"
+            )
+        self.path = path
+        self.steps = path.steps
+        self._n = len(path.steps)
+        self._state_ids: dict[frozenset[int], int] = {}
+        self._frontiers: list[frozenset[int]] = []
+        #: Per-state key-transition maps: {name_or_None: next_state}.
+        self._key_maps: dict[int, dict[str | None, int]] = {}
+        #: Per-state memo lists, grown on intern.
+        self._flags: list[int] = []
+        self._expected: list[str | None] = []
+        self._skippable: list[bool | None] = []
+        self._elem_memo: dict[tuple[int, int], int] = {}
+        self._elem_range: dict[int, tuple[int, int | None] | None] = {}
+        self._can_obj: dict[int, bool] = {}
+        self._can_ary: dict[int, bool] = {}
+        #: Names that appear in the query; all other names are equivalent.
+        self._names = {
+            s.name for s in self.steps if isinstance(s, (Child, Descendant))
+        }
+        for step in self.steps:
+            if isinstance(step, MultiName):
+                self._names.update(step.names)
+        self.start_state = self._intern(frozenset([0]))
+        self.dead_state = self._intern(frozenset())
+
+    # ------------------------------------------------------------------
+    # state interning
+
+    def _intern(self, frontier: frozenset[int]) -> int:
+        state = self._state_ids.get(frontier)
+        if state is None:
+            state = len(self._frontiers)
+            self._state_ids[frontier] = state
+            self._frontiers.append(frontier)
+            flags = 0
+            if self._n in frontier:
+                flags |= ACCEPT
+            if any(q < self._n for q in frontier):
+                flags |= ALIVE
+            self._flags.append(flags)
+            self._expected.append(None)
+            self._skippable.append(None)
+        return state
+
+    def frontier(self, state: int) -> frozenset[int]:
+        """The step-index frontier behind an opaque state id."""
+        return self._frontiers[state]
+
+    # ------------------------------------------------------------------
+    # transitions
+
+    def on_key(self, state: int, name: str) -> int:
+        """Rule [Key]: the state inside the value of attribute ``name``."""
+        key_map = self._key_maps.get(state)
+        if key_map is None:
+            key_map = self._key_maps[state] = {}
+        token = name if name in self._names else None
+        cached = key_map.get(token, -1)
+        if cached >= 0:
+            return cached
+        nxt: set[int] = set()
+        for q in self._frontiers[state]:
+            if q >= self._n:
+                continue
+            step = self.steps[q]
+            if isinstance(step, Child):
+                if step.name == name:
+                    nxt.add(q + 1)
+            elif isinstance(step, WildcardChild):
+                nxt.add(q + 1)
+            elif isinstance(step, MultiName):
+                if name in step.names:
+                    nxt.add(q + 1)
+            elif isinstance(step, Descendant):
+                nxt.add(q)  # keep descending
+                if step.name == name:
+                    nxt.add(q + 1)
+        result = self._intern(frozenset(nxt))
+        key_map[token] = result
+        return result
+
+    def on_element(self, state: int, index: int) -> int:
+        """Rules [Ary-S]/[Com]: the state inside element ``index``."""
+        # Element transitions recur heavily for small indices (every row of
+        # a matrix-like dataset re-runs indices 0..k); memoize those.
+        if index < 1024:
+            memo_key = (state, index)
+            cached = self._elem_memo.get(memo_key)
+            if cached is not None:
+                return cached
+        else:
+            memo_key = None
+        nxt: set[int] = set()
+        for q in self._frontiers[state]:
+            if q >= self._n:
+                continue
+            step = self.steps[q]
+            if isinstance(step, Index):
+                if index == step.index:
+                    nxt.add(q + 1)
+            elif isinstance(step, Slice):
+                if step.start <= index and (step.stop is None or index < step.stop):
+                    nxt.add(q + 1)
+            elif isinstance(step, WildcardIndex):
+                nxt.add(q + 1)
+            elif isinstance(step, MultiIndex):
+                if index in step.indices:
+                    nxt.add(q + 1)
+            elif isinstance(step, Descendant):
+                nxt.add(q)  # descendants traverse arrays transparently
+        result = self._intern(frozenset(nxt))
+        if memo_key is not None:
+            self._elem_memo[memo_key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # status and fast-forward guidance
+
+    def status_flags(self, state: int) -> int:
+        """Fast status: OR of :data:`ALIVE` and :data:`ACCEPT` (0 = dead)."""
+        return self._flags[state]
+
+    def status(self, state: int) -> MatchStatus:
+        return _FLAGS_TO_STATUS[self._flags[state]]
+
+    def can_match_in_object(self, state: int) -> bool:
+        """Can any attribute of an object at this state make progress?"""
+        cached = self._can_obj.get(state)
+        if cached is None:
+            cached = self._can_obj[state] = any(
+                q < self._n and isinstance(self.steps[q], (Child, WildcardChild, MultiName, Descendant))
+                for q in self._frontiers[state]
+            )
+        return cached
+
+    def can_match_in_array(self, state: int) -> bool:
+        """Can any element of an array at this state make progress?"""
+        cached = self._can_ary.get(state)
+        if cached is None:
+            cached = self._can_ary[state] = any(
+                q < self._n
+                and isinstance(self.steps[q], (Index, Slice, WildcardIndex, MultiIndex, Descendant))
+                for q in self._frontiers[state]
+            )
+        return cached
+
+    def expected_type(self, state: int) -> str:
+        """Type a matching attribute/element value must have (G1 inference).
+
+        Returns ``'object'``, ``'array'``, or ``'unknown'``.  The answer is
+        the unique :meth:`Path.value_kind` across the frontier, or
+        ``'unknown'`` when the frontier disagrees or contains a descendant
+        step (the paper's stated limitation for ``..``).
+        """
+        cached = self._expected[state]
+        if cached is not None:
+            return cached
+        kinds: set[str] = set()
+        for q in self._frontiers[state]:
+            if q >= self._n:
+                continue
+            if isinstance(self.steps[q], Descendant):
+                kinds = {"unknown"}
+                break
+            kinds.add(self.path.value_kind(q))
+        result = kinds.pop() if len(kinds) == 1 else "unknown"
+        self._expected[state] = result
+        return result
+
+    def object_skippable(self, state: int) -> bool:
+        """G4 applicability: once one attribute matches, can the rest of
+        the object be skipped?
+
+        True iff every active step is a concrete :class:`Child` — object
+        attribute names are unique, so at most one attribute can match.
+        Wildcards and descendants can match several attributes, so they
+        disable G4.
+        """
+        cached = self._skippable[state]
+        if cached is None:
+            frontier = self._frontiers[state]
+            cached = bool(frontier) and all(
+                q >= self._n or isinstance(self.steps[q], Child) for q in frontier
+            )
+            self._skippable[state] = cached
+        return cached
+
+    def element_range(self, state: int) -> tuple[int, int | None] | None:
+        """G5 applicability: the index window relevant in an array here.
+
+        Returns ``(start, stop)`` (stop ``None`` = unbounded) when a single
+        index-type step governs the array, else ``None`` (no constraint to
+        exploit).
+        """
+        if state in self._elem_range:
+            return self._elem_range[state]
+        ranges: list[tuple[int, int | None]] = []
+        for q in self._frontiers[state]:
+            if q >= self._n:
+                continue
+            step = self.steps[q]
+            if isinstance(step, Index):
+                ranges.append((step.index, step.index + 1))
+            elif isinstance(step, Slice):
+                ranges.append((step.start, step.stop))
+            elif isinstance(step, WildcardIndex):
+                ranges.append((0, None))
+            elif isinstance(step, MultiIndex):
+                # The G5 window of a union is its envelope: everything
+                # before the smallest and after the largest index skips.
+                ranges.append((step.indices[0], step.indices[-1] + 1))
+            elif isinstance(step, Descendant):
+                self._elem_range[state] = None
+                return None
+        result = ranges[0] if len(ranges) == 1 else None
+        self._elem_range[state] = result
+        return result
+
+
+def compile_query(path: Path | str) -> QueryAutomaton:
+    """Compile a path (or JSONPath text) into a :class:`QueryAutomaton`."""
+    from repro.jsonpath.parser import parse_path
+
+    if isinstance(path, str):
+        path = parse_path(path)
+    return QueryAutomaton(path)

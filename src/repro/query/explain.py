@@ -1,0 +1,116 @@
+"""Query plans: which fast-forward opportunities a query enables.
+
+The paper's Section 3.2 derives fast-forward opportunities statically
+from the query (value types per level, G4 applicability, G5 windows).
+:func:`explain` surfaces that derivation as a human-readable plan —
+useful for understanding why one query streams 10× faster than a
+near-identical one, and exposed on the CLI as ``--explain``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.jsonpath.ast import (
+    Child,
+    Descendant,
+    Index,
+    MultiIndex,
+    MultiName,
+    Path,
+    Slice,
+    Step,
+    WildcardChild,
+    WildcardIndex,
+)
+from repro.jsonpath.parser import parse_path
+
+
+@dataclass(frozen=True)
+class LevelPlan:
+    """Static fast-forward plan for one path level."""
+
+    depth: int
+    step: Step
+    #: Container kind this step selects from ('object'/'array'/'any').
+    container: str
+    #: Value type a match at this level must have ('object'/'array'/'unknown').
+    expected_value: str
+    #: G1 applies: siblings of the wrong type are skipped without reading names.
+    g1_type_skip: bool
+    #: G4 applies: after this step matches, the rest of the object is skipped.
+    g4_object_skip: bool
+    #: G5 window (start, stop) when the step constrains array indices.
+    g5_window: tuple[int, int | None] | None
+
+    def describe(self) -> str:
+        parts = [f"level {self.depth}: {self.step.unparse()}  (selects from {self.container})"]
+        if self.expected_value != "unknown":
+            parts.append(f"matching value must be an {self.expected_value}")
+        if self.g1_type_skip:
+            parts.append("G1: skip siblings of the wrong type without reading names")
+        if self.g4_object_skip:
+            parts.append("G4: after the match, fast-forward to the object end")
+        if self.g5_window is not None:
+            start, stop = self.g5_window
+            stop_text = "end" if stop is None else str(stop)
+            parts.append(f"G5: skip elements outside [{start}:{stop_text}]")
+        return "\n    ".join(parts)
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The full static plan for a query."""
+
+    path: Path
+    levels: tuple[LevelPlan, ...]
+
+    @property
+    def has_descendant(self) -> bool:
+        return self.path.has_descendant
+
+    def describe(self) -> str:
+        header = f"query: {self.path.unparse()}"
+        notes = []
+        if self.has_descendant:
+            notes.append(
+                "note: '..' disables type inference below it — levels after a "
+                "descendant step stream without G1 skipping (paper Section 5.1)"
+            )
+        body = "\n".join("  " + level.describe() for level in self.levels)
+        return "\n".join([header, body, *notes])
+
+
+def explain(query: str | Path) -> QueryPlan:
+    """Build the static fast-forward plan for ``query``.
+
+    >>> print(explain("$.place.name").describe())  # doctest: +ELLIPSIS
+    query: $.place.name
+    ...
+    """
+    path = parse_path(query) if isinstance(query, str) else query
+    below_descendant = False
+    levels = []
+    for depth, step in enumerate(path.steps):
+        expected = "unknown" if below_descendant else path.value_kind(depth)
+        g5: tuple[int, int | None] | None = None
+        if isinstance(step, Index):
+            g5 = (step.index, step.index + 1)
+        elif isinstance(step, Slice):
+            g5 = (step.start, step.stop)
+        elif isinstance(step, MultiIndex):
+            g5 = (step.indices[0], step.indices[-1] + 1)
+        levels.append(
+            LevelPlan(
+                depth=depth,
+                step=step,
+                container=step.container,
+                expected_value=expected,
+                g1_type_skip=expected in ("object", "array"),
+                g4_object_skip=isinstance(step, Child) and not below_descendant,
+                g5_window=g5,
+            )
+        )
+        if isinstance(step, Descendant):
+            below_descendant = True
+    return QueryPlan(path=path, levels=tuple(levels))

@@ -1,0 +1,250 @@
+"""Multi-query automaton: evaluate several JSONPaths in one pass.
+
+The paper closes with "developers may exploit these fast-forward
+functions for more opportunities in their own JSON analytics"
+(Section 5.1); sharing one streaming pass between queries is the most
+natural such opportunity.  The frontier construction of
+:class:`repro.query.automaton.QueryAutomaton` generalizes directly:
+elements become ``(query_id, step_index)`` pairs, and fast-forward
+guidance is the *conjunction* of what every live query allows —
+
+- a value type can be skipped (G1) only if **no** query could match it;
+- the remainder of an object can be skipped (G4) only when every live
+  branch targets the *same* concrete attribute name (otherwise another
+  query's attribute may still appear);
+- an array's G5 window is the envelope of all queries' index windows.
+
+So a single extra query never corrupts results — it only (and exactly
+when necessary) disables the sharper fast-forwards.
+"""
+
+from __future__ import annotations
+
+from repro.jsonpath.ast import (
+    Child,
+    Descendant,
+    Index,
+    MultiIndex,
+    MultiName,
+    Path,
+    Slice,
+    WildcardChild,
+    WildcardIndex,
+)
+from repro.jsonpath.parser import parse_path
+from repro.query.automaton import ACCEPT, ALIVE
+
+#: Frontier element: (query id, step index); step index == len(steps)
+#: marks acceptance for that query.
+_Item = tuple[int, int]
+
+
+class MultiQueryAutomaton:
+    """Frontier automaton over several paths; same interface as
+    :class:`~repro.query.automaton.QueryAutomaton` plus
+    :meth:`accepting`."""
+
+    def __init__(self, paths: list[Path | str]) -> None:
+        self.paths: list[Path] = [parse_path(p) if isinstance(p, str) else p for p in paths]
+        if not self.paths:
+            raise ValueError("at least one query is required")
+        if any(p.has_filter for p in self.paths):
+            from repro.errors import UnsupportedQueryError
+
+            raise UnsupportedQueryError("filter predicates are not supported in multi-query mode")
+        self._lens = [len(p.steps) for p in self.paths]
+        self._state_ids: dict[frozenset[_Item], int] = {}
+        self._frontiers: list[frozenset[_Item]] = []
+        self._flags: list[int] = []
+        self._accepting: list[tuple[int, ...]] = []
+        self._key_maps: dict[int, dict[str | None, int]] = {}
+        self._elem_memo: dict[tuple[int, int], int] = {}
+        self._expected: list[str | None] = []
+        self._skippable: list[bool | None] = []
+        self._elem_range: dict[int, tuple[int, int | None] | None] = {}
+        self._can_obj: dict[int, bool] = {}
+        self._can_ary: dict[int, bool] = {}
+        self._names: set[str] = set()
+        for path in self.paths:
+            for step in path.steps:
+                if isinstance(step, (Child, Descendant)):
+                    self._names.add(step.name)
+                elif isinstance(step, MultiName):
+                    self._names.update(step.names)
+        self.start_state = self._intern(frozenset((qid, 0) for qid in range(len(self.paths))))
+        self.dead_state = self._intern(frozenset())
+
+    # ------------------------------------------------------------------
+
+    def _intern(self, frontier: frozenset[_Item]) -> int:
+        state = self._state_ids.get(frontier)
+        if state is None:
+            state = len(self._frontiers)
+            self._state_ids[frontier] = state
+            self._frontiers.append(frontier)
+            accepting = tuple(sorted(qid for qid, q in frontier if q == self._lens[qid]))
+            flags = ACCEPT if accepting else 0
+            if any(q < self._lens[qid] for qid, q in frontier):
+                flags |= ALIVE
+            self._flags.append(flags)
+            self._accepting.append(accepting)
+            self._expected.append(None)
+            self._skippable.append(None)
+        return state
+
+    def frontier(self, state: int) -> frozenset[_Item]:
+        return self._frontiers[state]
+
+    def accepting(self, state: int) -> tuple[int, ...]:
+        """Ids of the queries for which this state is accepting."""
+        return self._accepting[state]
+
+    def status_flags(self, state: int) -> int:
+        return self._flags[state]
+
+    def _live_steps(self, state: int):
+        for qid, q in self._frontiers[state]:
+            if q < self._lens[qid]:
+                yield qid, q, self.paths[qid].steps[q]
+
+    # -- transitions -------------------------------------------------------
+
+    def on_key(self, state: int, name: str) -> int:
+        key_map = self._key_maps.get(state)
+        if key_map is None:
+            key_map = self._key_maps[state] = {}
+        token = name if name in self._names else None
+        cached = key_map.get(token, -1)
+        if cached >= 0:
+            return cached
+        nxt: set[_Item] = set()
+        for qid, q, step in self._live_steps(state):
+            if isinstance(step, Child):
+                if step.name == name:
+                    nxt.add((qid, q + 1))
+            elif isinstance(step, WildcardChild):
+                nxt.add((qid, q + 1))
+            elif isinstance(step, MultiName):
+                if name in step.names:
+                    nxt.add((qid, q + 1))
+            elif isinstance(step, Descendant):
+                nxt.add((qid, q))
+                if step.name == name:
+                    nxt.add((qid, q + 1))
+        result = self._intern(frozenset(nxt))
+        key_map[token] = result
+        return result
+
+    def on_element(self, state: int, index: int) -> int:
+        if index < 1024:
+            memo_key = (state, index)
+            cached = self._elem_memo.get(memo_key)
+            if cached is not None:
+                return cached
+        else:
+            memo_key = None
+        nxt: set[_Item] = set()
+        for qid, q, step in self._live_steps(state):
+            if isinstance(step, Index):
+                if index == step.index:
+                    nxt.add((qid, q + 1))
+            elif isinstance(step, Slice):
+                if step.start <= index and (step.stop is None or index < step.stop):
+                    nxt.add((qid, q + 1))
+            elif isinstance(step, WildcardIndex):
+                nxt.add((qid, q + 1))
+            elif isinstance(step, MultiIndex):
+                if index in step.indices:
+                    nxt.add((qid, q + 1))
+            elif isinstance(step, Descendant):
+                nxt.add((qid, q))
+        result = self._intern(frozenset(nxt))
+        if memo_key is not None:
+            self._elem_memo[memo_key] = result
+        return result
+
+    # -- fast-forward guidance (conjunction across live queries) ------------
+
+    def can_match_in_object(self, state: int) -> bool:
+        cached = self._can_obj.get(state)
+        if cached is None:
+            cached = self._can_obj[state] = any(
+                isinstance(step, (Child, WildcardChild, MultiName, Descendant))
+                for _, _, step in self._live_steps(state)
+            )
+        return cached
+
+    def can_match_in_array(self, state: int) -> bool:
+        cached = self._can_ary.get(state)
+        if cached is None:
+            cached = self._can_ary[state] = any(
+                isinstance(step, (Index, Slice, WildcardIndex, MultiIndex, Descendant))
+                for _, _, step in self._live_steps(state)
+            )
+        return cached
+
+    def expected_type(self, state: int) -> str:
+        cached = self._expected[state]
+        if cached is not None:
+            return cached
+        kinds: set[str] = set()
+        for qid, q, step in self._live_steps(state):
+            if isinstance(step, Descendant):
+                kinds = {"unknown"}
+                break
+            kinds.add(self.paths[qid].value_kind(q))
+        result = kinds.pop() if len(kinds) == 1 else "unknown"
+        self._expected[state] = result
+        return result
+
+    def object_skippable(self, state: int) -> bool:
+        """G4 across queries: sound only when every live branch waits for
+        the *same* concrete attribute name — then the one match consumed
+        them all (names are unique within an object)."""
+        cached = self._skippable[state]
+        if cached is None:
+            names: set[str] = set()
+            ok = bool(self._frontiers[state])
+            for _, _, step in self._live_steps(state):
+                if isinstance(step, Child):
+                    names.add(step.name)
+                else:
+                    ok = False
+                    break
+            cached = ok and len(names) <= 1
+            self._skippable[state] = cached
+        return cached
+
+    def element_range(self, state: int) -> tuple[int, int | None] | None:
+        """G5 envelope across queries (None disables index skipping)."""
+        if state in self._elem_range:
+            return self._elem_range[state]
+        starts: list[int] = []
+        stops: list[int | None] = []
+        result: tuple[int, int | None] | None
+        for _, _, step in self._live_steps(state):
+            if isinstance(step, Index):
+                starts.append(step.index)
+                stops.append(step.index + 1)
+            elif isinstance(step, Slice):
+                starts.append(step.start)
+                stops.append(step.stop)
+            elif isinstance(step, MultiIndex):
+                starts.append(step.indices[0])
+                stops.append(step.indices[-1] + 1)
+            elif isinstance(step, WildcardIndex):
+                starts.append(0)
+                stops.append(None)
+            elif isinstance(step, Descendant):  # no window under '..'
+                self._elem_range[state] = None
+                return None
+            # Key-type steps cannot match in an array: they impose no
+            # window of their own and are skipped here.
+        if not starts:
+            result = None
+        else:
+            start = min(starts)
+            stop = None if any(s is None for s in stops) else max(s for s in stops if s is not None)
+            result = (start, stop)
+        self._elem_range[state] = result
+        return result

@@ -1,0 +1,10 @@
+"""Reference (oracle) JSONPath evaluation over fully-parsed records.
+
+This is deliberately the *slow, obviously-correct* implementation: parse
+with :func:`json.loads`, then walk the tree.  Every streaming engine in
+the package is validated against it.
+"""
+
+from repro.reference.evaluator import evaluate, evaluate_bytes, evaluate_with_paths
+
+__all__ = ["evaluate", "evaluate_bytes", "evaluate_with_paths"]

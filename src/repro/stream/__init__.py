@@ -1,0 +1,7 @@
+"""Input-stream abstractions: the indexed buffer and small-record streams."""
+
+from repro.stream.buffer import StreamBuffer
+from repro.stream.filestream import MappedFile, iter_jsonl
+from repro.stream.records import RecordStream
+
+__all__ = ["MappedFile", "RecordStream", "StreamBuffer", "iter_jsonl"]

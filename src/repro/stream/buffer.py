@@ -1,0 +1,77 @@
+"""The indexed input buffer shared by the streaming engines.
+
+As in the paper's evaluation, inputs are preloaded into memory; streaming
+refers to the *single forward pass* and the bounded auxiliary state (the
+chunked structural index with a small LRU — see
+:class:`repro.bits.index.BufferIndex`).
+"""
+
+from __future__ import annotations
+
+from repro.bits.classify import WHITESPACE
+from repro.bits.index import DEFAULT_CHUNK_SIZE, BufferIndex
+from repro.bits.posindex import PositionBufferIndex
+from repro.bits.scanner import Scanner, make_scanner
+
+_WS = frozenset(WHITESPACE)
+
+
+class StreamBuffer:
+    """JSON text plus its lazily-built structural index and scanner.
+
+    Parameters mirror :class:`BufferIndex`; ``mode`` selects the scanner
+    implementation (``'vector'`` default, ``'word'`` for the
+    paper-faithful word-at-a-time mode).
+    """
+
+    def __init__(
+        self,
+        data: bytes | str,
+        mode: str = "vector",
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        cache_chunks: int | None = 4,
+    ) -> None:
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        self.data = data
+        # Vector mode reads only per-class positions, so it can use the
+        # cheaper position-based index; word mode needs the mirrored word
+        # bitmaps of Algorithm 3.
+        if mode == "vector":
+            self.index = PositionBufferIndex(data, chunk_size=chunk_size, cache_chunks=cache_chunks)
+        else:
+            self.index = BufferIndex(data, chunk_size=chunk_size, cache_chunks=cache_chunks)
+        self.scanner: Scanner = make_scanner(self.index, mode)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def byte_at(self, pos: int) -> int:
+        """Byte value at ``pos`` (-1 past the end)."""
+        return self.data[pos] if pos < len(self.data) else -1
+
+    def skip_ws(self, pos: int) -> int:
+        """First position at or after ``pos`` holding a non-whitespace byte.
+
+        JSON whitespace between tokens is typically zero or one character
+        in machine-generated data, so a byte loop suffices here; heavy
+        indentation would make this the only character-at-a-time path in
+        the engine.
+        """
+        data = self.data
+        n = len(data)
+        while pos < n and data[pos] in _WS:
+            pos += 1
+        return pos
+
+    def slice(self, start: int, end: int) -> bytes:
+        """Raw text of ``[start, end)``."""
+        return self.data[start:end]
+
+    def rstrip_ws(self, start: int, end: int) -> int:
+        """End position of ``[start, end)`` after trimming trailing
+        whitespace (used when capturing primitive match values)."""
+        data = self.data
+        while end > start and data[end - 1] in _WS:
+            end -= 1
+        return end

@@ -1,0 +1,69 @@
+"""File-backed runs with OS-managed memory (mmap).
+
+The paper preloads inputs into RAM; for files larger than comfortable,
+``mmap`` gives the same byte-addressable interface with the OS paging
+data in and out — combined with the engines' forward-only chunked index,
+resident memory stays bounded regardless of file size (the practical
+form of Figure 13/14's streaming claim).
+
+Matches slice the mapped buffer, so the mapping must outlive them —
+hence the context-manager shape:
+
+>>> with MappedFile("big.json") as data:          # doctest: +SKIP
+...     matches = repro.JsonSki("$.pd[*].id").run(data)
+...     ids = matches.values()                    # decode inside the block
+"""
+
+from __future__ import annotations
+
+import mmap
+from pathlib import Path
+from typing import Iterator
+
+
+class MappedFile:
+    """Context manager yielding a read-only memory-mapped buffer.
+
+    The yielded object supports everything the engines need (len,
+    indexing, slicing, ``find``, ``numpy.frombuffer``).  Decode or copy
+    any results you need before leaving the block; afterwards the
+    mapping is closed and match slices become invalid.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle = None
+        self._map: mmap.mmap | None = None
+
+    def __enter__(self) -> mmap.mmap:
+        self._handle = open(self.path, "rb")
+        try:
+            self._map = mmap.mmap(self._handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except ValueError:  # zero-length file cannot be mapped
+            self._handle.close()
+            self._handle = None
+            raise
+        return self._map
+
+    def __exit__(self, *exc_info) -> None:
+        if self._map is not None:
+            self._map.close()
+            self._map = None
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def iter_jsonl(path: str | Path) -> "Iterator[bytes]":
+    """Lazily yield the records of a JSONL file, one at a time.
+
+    Unlike :meth:`repro.stream.records.RecordStream.open_jsonl` (which
+    materializes the payload and an offset array — the paper's storage
+    layout), this generator holds one line at a time: true
+    bounded-memory streaming for record-at-a-time pipelines.
+    """
+    with open(path, "rb") as handle:
+        for line in handle:
+            record = line.strip()
+            if record:
+                yield record

@@ -1,0 +1,132 @@
+"""Small-record streams (paper Section 5.1, "a sequence of small records").
+
+The paper stores each small-record input "in an array, along with an
+offset array for starting positions"; :class:`RecordStream` is exactly
+that: one contiguous payload plus ``(start, end)`` offsets per record.
+The record-parallel scenario (Figure 12) partitions the offset array
+across workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+
+@dataclass
+class RecordStream:
+    """A concatenated sequence of JSON records with explicit offsets."""
+
+    payload: bytes
+    offsets: np.ndarray  # shape (n, 2) int64: start, end per record
+
+    def __post_init__(self) -> None:
+        self.offsets = np.asarray(self.offsets, dtype=np.int64).reshape(-1, 2)
+
+    def __len__(self) -> int:
+        return len(self.offsets)
+
+    @property
+    def size(self) -> int:
+        """Total payload bytes."""
+        return len(self.payload)
+
+    def record(self, i: int) -> bytes:
+        """Raw text of record ``i``."""
+        start, end = self.offsets[i]
+        return self.payload[start:end]
+
+    def __iter__(self) -> Iterator[bytes]:
+        for i in range(len(self)):
+            yield self.record(i)
+
+    @classmethod
+    def from_records(cls, records: list[bytes], separator: bytes = b"\n") -> "RecordStream":
+        """Concatenate records with ``separator`` and compute offsets."""
+        offsets = np.empty((len(records), 2), dtype=np.int64)
+        pos = 0
+        parts: list[bytes] = []
+        for i, rec in enumerate(records):
+            offsets[i] = (pos, pos + len(rec))
+            parts.append(rec)
+            parts.append(separator)
+            pos += len(rec) + len(separator)
+        return cls(payload=b"".join(parts), offsets=offsets)
+
+    @classmethod
+    def from_jsonl(cls, payload: bytes) -> "RecordStream":
+        """Interpret newline-delimited JSON, skipping blank lines."""
+        offsets: list[tuple[int, int]] = []
+        pos = 0
+        n = len(payload)
+        while pos < n:
+            nl = payload.find(b"\n", pos)
+            end = n if nl < 0 else nl
+            if payload[pos:end].strip():
+                offsets.append((pos, end))
+            pos = end + 1
+        return cls(payload=payload, offsets=np.array(offsets, dtype=np.int64))
+
+    @classmethod
+    def open_jsonl(cls, path: str) -> "RecordStream":
+        """Read a newline-delimited JSON file from disk."""
+        with open(path, "rb") as handle:
+            return cls.from_jsonl(handle.read())
+
+    @classmethod
+    def from_concatenated(cls, payload: bytes) -> "RecordStream":
+        """Detect record boundaries in concatenated container records.
+
+        Many feeds ship records back to back with arbitrary whitespace
+        (not necessarily one per line).  The bit-parallel structural
+        index finds the depth-0 closings directly — no detailed parsing —
+        so the offset array is recovered in one index sweep.  Only
+        container-rooted records (objects/arrays, the paper's definition
+        of a JSON record) are supported; non-whitespace text between
+        records raises :class:`~repro.errors.JsonSyntaxError`.
+        """
+        import numpy as np
+
+        from repro.baselines.simdjson_like import structural_positions
+        from repro.errors import JsonSyntaxError
+
+        structs = structural_positions(payload)
+        vals = np.frombuffer(payload, dtype=np.uint8)[structs] if len(structs) else np.empty(0, np.uint8)
+        offsets: list[tuple[int, int]] = []
+        depth = 0
+        start = -1
+        prev_end = 0
+        for pos, byte in zip(structs.tolist(), vals.tolist()):
+            if byte == 0x7B or byte == 0x5B:  # { [
+                if depth == 0:
+                    if payload[prev_end:pos].strip():
+                        raise JsonSyntaxError("non-whitespace between records", prev_end)
+                    start = pos
+                depth += 1
+            elif byte == 0x7D or byte == 0x5D:  # } ]
+                depth -= 1
+                if depth < 0:
+                    raise JsonSyntaxError("unbalanced closing bracket", pos)
+                if depth == 0:
+                    offsets.append((start, pos + 1))
+                    prev_end = pos + 1
+        if depth != 0:
+            raise JsonSyntaxError("payload ended with an unclosed record", len(payload))
+        if payload[prev_end:].strip():
+            raise JsonSyntaxError("trailing non-whitespace after the last record", prev_end)
+        return cls(payload=payload, offsets=np.array(offsets, dtype=np.int64).reshape(-1, 2))
+
+    def partitions(self, n_parts: int) -> list["RecordStream"]:
+        """Split records round-robin-free (contiguous blocks) into
+        ``n_parts`` sub-streams sharing the payload — the unit of work one
+        virtual worker gets in the Figure 12 scenario."""
+        if n_parts <= 0:
+            raise ValueError("n_parts must be positive")
+        bounds = np.linspace(0, len(self), n_parts + 1).astype(np.int64)
+        return [
+            RecordStream(self.payload, self.offsets[bounds[i] : bounds[i + 1]])
+            for i in range(n_parts)
+            if bounds[i + 1] > bounds[i]
+        ]

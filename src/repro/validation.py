@@ -1,0 +1,75 @@
+"""Full syntactic validation of JSON records.
+
+Fast-forwarding deliberately trades full validation for speed (paper
+Section 3.3: skipped segments only get pairing-level checks), and even
+the detailed streaming tokenizer is lexically permissive about primitive
+tokens (it only needs their boundaries).  When a pipeline needs a hard
+guarantee, this module provides the conventional exhaustive check as a
+separate, explicit step: a detailed recursive-descent parse (shared with
+the RapidJSON-like baseline) plus per-token lexical validation.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.baselines.rapidjson_like import _parse_value, parse_dom
+from repro.baselines.tokenizer import Tokenizer
+from repro.baselines.tree import AnyNode, ArrayNode, ObjectNode, PrimitiveNode
+from repro.errors import JsonSyntaxError, ReproError
+
+#: RFC 8259 number grammar.
+_NUMBER = re.compile(rb"-?(?:0|[1-9][0-9]*)(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?\Z")
+_LITERALS = (b"true", b"false", b"null")
+
+
+def _validate_primitive(token: bytes, at: int) -> None:
+    if token.startswith(b'"'):
+        try:
+            json.loads(token)
+        except ValueError as exc:
+            raise JsonSyntaxError(f"invalid string token: {exc}", at) from None
+        return
+    if token in _LITERALS:
+        return
+    if _NUMBER.match(token):
+        return
+    raise JsonSyntaxError(f"invalid primitive token {token[:20]!r}", at)
+
+
+def _validate_tree(node: AnyNode, data: bytes) -> None:
+    if isinstance(node, PrimitiveNode):
+        _validate_primitive(data[node.start : node.end], node.start)
+    elif isinstance(node, ObjectNode):
+        for _, child in node.members:
+            _validate_tree(child, data)
+    elif isinstance(node, ArrayNode):
+        for child in node.elements:
+            _validate_tree(child, data)
+
+
+def validate_json(data: bytes | str) -> None:
+    """Raise :class:`~repro.errors.JsonSyntaxError` (or another
+    :class:`~repro.errors.ReproError`) unless ``data`` is exactly one
+    well-formed JSON record, optionally surrounded by whitespace."""
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    if not data.strip():
+        raise JsonSyntaxError("empty input", 0)
+    tok = Tokenizer(data)
+    tok.skip_ws()
+    root = _parse_value(tok)
+    tok.skip_ws()
+    if tok.pos != len(data):
+        raise JsonSyntaxError("trailing content after the record", tok.pos)
+    _validate_tree(root, data)
+
+
+def is_valid_json(data: bytes | str) -> bool:
+    """Boolean form of :func:`validate_json`."""
+    try:
+        validate_json(data)
+    except ReproError:
+        return False
+    return True

@@ -1,0 +1,46 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+# One moderate profile for the whole suite: enough examples to matter,
+# bounded so `pytest tests/` stays minutes not hours on one core.
+settings.register_profile(
+    "repro",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.load_profile("repro")
+
+#: Engines expected to agree with the reference evaluator on any input.
+ALL_ENGINES = ("jsonski", "jsonski-word", "rds", "jpstream", "rapidjson", "simdjson", "pison")
+
+
+@pytest.fixture(scope="session")
+def tweet_record() -> bytes:
+    """The paper's Figure 1 record (slightly extended)."""
+    return json.dumps(
+        {
+            "coordinates": [40.74118764, -73.9998279],
+            "user": {"id": 6253282},
+            "place": {
+                "name": "Manhattan",
+                "bounding_box": {
+                    "type": "Polygon",
+                    "pos": [[-74.026675, 40.683935], [-74.026675, 40.877483], [-73.910408, 40.877483]],
+                },
+            },
+        }
+    ).encode()
+
+
+def run_engine(name: str, query: str, data: bytes):
+    """Instantiate a registered engine and run one record."""
+    import repro
+
+    return repro.ENGINES[name](query).run(data)

@@ -1,0 +1,141 @@
+"""Query automaton tests (Figure 5 transition semantics + FF guidance)."""
+
+from __future__ import annotations
+
+from repro.query.automaton import ACCEPT, ALIVE, MatchStatus, compile_query
+
+
+class TestLinearPath:
+    def test_key_transitions(self):
+        qa = compile_query("$.place.name")
+        s0 = qa.start_state
+        s1 = qa.on_key(s0, "place")
+        assert qa.status(s1) is MatchStatus.MATCHED
+        s2 = qa.on_key(s1, "name")
+        assert qa.status(s2) is MatchStatus.ACCEPT
+
+    def test_wrong_key_is_dead(self):
+        qa = compile_query("$.place.name")
+        dead = qa.on_key(qa.start_state, "user")
+        assert qa.status(dead) is MatchStatus.UNMATCHED
+        assert dead == qa.dead_state
+        # Dead states stay dead.
+        assert qa.on_key(dead, "place") == qa.dead_state
+
+    def test_status_flags_match_status(self):
+        qa = compile_query("$.a.b")
+        s0 = qa.start_state
+        assert qa.status_flags(s0) == ALIVE
+        acc = qa.on_key(qa.on_key(s0, "a"), "b")
+        assert qa.status_flags(acc) == ACCEPT
+        assert qa.status_flags(qa.dead_state) == 0
+
+    def test_memoization_stable(self):
+        qa = compile_query("$.a")
+        assert qa.on_key(qa.start_state, "a") == qa.on_key(qa.start_state, "a")
+        assert qa.on_key(qa.start_state, "zzz") == qa.on_key(qa.start_state, "yyy")
+
+
+class TestArrayTransitions:
+    def test_index(self):
+        qa = compile_query("$[2]")
+        s0 = qa.start_state
+        assert qa.status(qa.on_element(s0, 1)) is MatchStatus.UNMATCHED
+        assert qa.status(qa.on_element(s0, 2)) is MatchStatus.ACCEPT
+
+    def test_slice(self):
+        qa = compile_query("$[2:4].x")
+        s0 = qa.start_state
+        assert qa.status(qa.on_element(s0, 1)) is MatchStatus.UNMATCHED
+        assert qa.status(qa.on_element(s0, 2)) is MatchStatus.MATCHED
+        assert qa.status(qa.on_element(s0, 3)) is MatchStatus.MATCHED
+        assert qa.status(qa.on_element(s0, 4)) is MatchStatus.UNMATCHED
+
+    def test_open_slice(self):
+        qa = compile_query("$[3:]")
+        assert qa.status(qa.on_element(qa.start_state, 10_000)) is MatchStatus.ACCEPT
+
+    def test_wildcard(self):
+        qa = compile_query("$[*]")
+        for i in (0, 7, 4096):  # beyond the memo bound too
+            assert qa.status(qa.on_element(qa.start_state, i)) is MatchStatus.ACCEPT
+
+    def test_key_in_array_context_is_dead(self):
+        qa = compile_query("$[0]")
+        assert qa.status(qa.on_key(qa.start_state, "x")) is MatchStatus.UNMATCHED
+
+
+class TestDescendant:
+    def test_self_loop(self):
+        qa = compile_query("$..b")
+        s0 = qa.start_state
+        s_other = qa.on_key(s0, "a")
+        assert qa.status(s_other) is MatchStatus.MATCHED  # still descending
+        s_b = qa.on_key(s0, "b")
+        assert qa.status(s_b) is MatchStatus.ACCEPT_AND_MATCHED
+        assert qa.status(s_b).is_accept and qa.status(s_b).is_alive
+
+    def test_traverses_arrays(self):
+        qa = compile_query("$..b")
+        s = qa.on_element(qa.start_state, 5)
+        assert qa.status(s) is MatchStatus.MATCHED
+
+    def test_frontier_contents(self):
+        qa = compile_query("$..b")
+        s_b = qa.on_key(qa.start_state, "b")
+        assert qa.frontier(s_b) == frozenset({0, 1})
+
+
+class TestGuidance:
+    def test_expected_type_object(self):
+        qa = compile_query("$.place.name")
+        assert qa.expected_type(qa.start_state) == "object"
+
+    def test_expected_type_array(self):
+        qa = compile_query("$.pd[*].id")
+        assert qa.expected_type(qa.start_state) == "array"
+        s1 = qa.on_key(qa.start_state, "pd")
+        assert qa.expected_type(s1) == "object"  # elements must be objects
+
+    def test_expected_type_last_level(self):
+        qa = compile_query("$.a")
+        assert qa.expected_type(qa.start_state) == "unknown"
+
+    def test_expected_type_under_descendant(self):
+        qa = compile_query("$..a.b")
+        assert qa.expected_type(qa.start_state) == "unknown"
+
+    def test_object_skippable_concrete_names(self):
+        qa = compile_query("$.a.b")
+        assert qa.object_skippable(qa.start_state)
+
+    def test_object_not_skippable_with_wildcard(self):
+        qa = compile_query("$.*.b")
+        assert not qa.object_skippable(qa.start_state)
+
+    def test_object_not_skippable_with_descendant(self):
+        qa = compile_query("$..b")
+        assert not qa.object_skippable(qa.start_state)
+
+    def test_element_range(self):
+        qa = compile_query("$[2:5]")
+        assert qa.element_range(qa.start_state) == (2, 5)
+        qa = compile_query("$[3]")
+        assert qa.element_range(qa.start_state) == (3, 4)
+        qa = compile_query("$[*]")
+        assert qa.element_range(qa.start_state) == (0, None)
+        qa = compile_query("$..a")
+        assert qa.element_range(qa.start_state) is None
+
+    def test_can_match_in_container(self):
+        qa = compile_query("$.a[0]")
+        s0 = qa.start_state
+        assert qa.can_match_in_object(s0) and not qa.can_match_in_array(s0)
+        s1 = qa.on_key(s0, "a")
+        assert qa.can_match_in_array(s1) and not qa.can_match_in_object(s1)
+        assert not qa.can_match_in_object(qa.dead_state)
+
+    def test_descendant_matches_everywhere(self):
+        qa = compile_query("$..x")
+        assert qa.can_match_in_object(qa.start_state)
+        assert qa.can_match_in_array(qa.start_state)

@@ -1,0 +1,142 @@
+"""Per-baseline behaviour tests (beyond the shared differential suite)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines.jpstream import JPStream
+from repro.baselines.pison_like import LeveledIndex, PisonLike
+from repro.baselines.rapidjson_like import RapidJsonLike, parse_dom
+from repro.baselines.simdjson_like import SimdJsonLike, structural_positions
+from repro.baselines.simdjson_like import parse_dom as simd_parse_dom
+from repro.baselines.tokenizer import Tokenizer
+from repro.baselines.tree import ArrayNode, ObjectNode, PrimitiveNode, count_nodes
+from repro.errors import JsonSyntaxError, RecordTooLargeError, StreamExhaustedError, UnsupportedQueryError
+from repro.stream.records import RecordStream
+
+
+class TestTokenizer:
+    def test_strings_with_escapes(self):
+        tok = Tokenizer(rb'"a\"b\\" rest')
+        assert tok.read_string() == rb'a\"b\\'
+        assert tok.pos == 8
+
+    def test_unterminated_string(self):
+        with pytest.raises(StreamExhaustedError):
+            Tokenizer(b'"abc').read_string()
+
+    def test_primitive_kinds(self):
+        for text, want in [(b"123,", b"123"), (b"true]", b"true"), (b"null}", b"null"), (b"-1.5e3 ", b"-1.5e3")]:
+            assert Tokenizer(text).read_primitive() == want
+
+    def test_string_primitive(self):
+        assert Tokenizer(b'"x,y", 1').read_primitive() == b'"x,y"'
+
+    def test_value_kind(self):
+        assert Tokenizer(b"{").value_kind() == "object"
+        assert Tokenizer(b"[").value_kind() == "array"
+        assert Tokenizer(b"1").value_kind() == "primitive"
+        with pytest.raises(StreamExhaustedError):
+            Tokenizer(b"").value_kind()
+
+    def test_consume_comma_or(self):
+        tok = Tokenizer(b" , next")
+        assert tok.consume_comma_or(0x7D) is True
+        tok = Tokenizer(b" }")
+        assert tok.consume_comma_or(0x7D) is False
+        with pytest.raises(JsonSyntaxError):
+            Tokenizer(b" ;").consume_comma_or(0x7D)
+
+
+class TestRapidJsonLikeDom:
+    def test_dom_shape_and_spans(self):
+        data = b'{"a": [1, {"b": 2}], "c": "s"}'
+        root = parse_dom(data)
+        assert isinstance(root, ObjectNode)
+        assert root.start == 0 and root.end == len(data)
+        (name_a, arr), (name_c, prim) = root.members
+        assert name_a == "a" and isinstance(arr, ArrayNode)
+        assert data[arr.start : arr.end] == b'[1, {"b": 2}]'
+        assert isinstance(arr.elements[0], PrimitiveNode)
+        assert name_c == "c" and data[prim.start : prim.end] == b'"s"'
+
+    def test_count_nodes(self):
+        root = parse_dom(b'{"a": [1, 2], "b": {}}')
+        assert count_nodes(root) == 5
+
+    def test_malformed_raises(self):
+        for bad in (b'{"a" 1}', b"[1 2]", b'{"a": }', b"{,}"):
+            with pytest.raises((JsonSyntaxError, StreamExhaustedError)):
+                parse_dom(bad)
+
+
+class TestSimdJsonLike:
+    def test_structural_positions_filtered(self):
+        data = b'{"a{": ",", "b": [1]}'
+        got = structural_positions(data).tolist()
+        want = [i for i, c in enumerate(data) if c in b"{}[]:," and not (3 <= i <= 3 or 8 <= i <= 8)]
+        assert got == want
+
+    def test_tape_dom_equals_char_dom(self):
+        data = json.dumps({"a": [1, {"b": [True, None, "x,y"]}], "c": 2.5}).encode()
+        assert simd_parse_dom(data) == parse_dom(data)
+
+    def test_record_cap(self):
+        engine = SimdJsonLike("$.a", max_record_bytes=8)
+        with pytest.raises(RecordTooLargeError):
+            engine.run(b'{"a": 123456}')
+
+    def test_small_chunks(self):
+        data = json.dumps({"k": ["v" * 50, {"x": 1}] * 10}).encode()
+        engine = SimdJsonLike("$.k[3].x", chunk_size=64)
+        assert engine.run(data).values() == [1]
+
+
+class TestJPStream:
+    def test_empty_containers(self):
+        assert JPStream("$[*]").run(b"[]").values() == []
+        assert JPStream("$.a").run(b'{"a": {}}').values() == [{}]
+
+    def test_container_match_span(self):
+        data = b'[{"a": 1}, {"b": 2}]'
+        matches = JPStream("$[1]").run(data)
+        assert matches[0].text == b'{"b": 2}'
+
+    def test_deep_iterative_no_recursion_limit(self):
+        # The explicit dual stack must survive nesting far beyond Python's
+        # recursion limit.
+        depth = 5000
+        data = (b'{"a":' * depth) + b"1" + (b"}" * depth)
+        assert len(JPStream("$.x").run(data)) == 0
+
+
+class TestPisonLike:
+    def test_leveled_index_contents(self):
+        data = b'{"a": {"x": 1, "y": [1, 2]}, "b": 2}'
+        idx = LeveledIndex(data, max_levels=3)
+        assert idx.root_span == (0, len(data))
+        assert idx.colons[0].tolist() == [4, 32]
+        assert idx.colons[1].tolist() == [10, 18]
+        assert idx.commas[0].tolist() == [27]
+        assert idx.commas[1].tolist() == [13]
+        assert idx.commas[2].tolist() == [22]
+
+    def test_descendant_unsupported(self):
+        with pytest.raises(UnsupportedQueryError):
+            PisonLike("$..a")
+
+    def test_unbalanced_input(self):
+        with pytest.raises(JsonSyntaxError):
+            PisonLike("$.a").run(b'{"a": 1')
+        with pytest.raises(JsonSyntaxError):
+            PisonLike("$.a").run(b'{"a": 1}}')
+
+    def test_primitive_root_yields_nothing(self):
+        assert PisonLike("$.a").run(b"42").values() == []
+
+    def test_run_records(self):
+        stream = RecordStream.from_records([b'{"a": 1}', b"17", b'{"a": 3}'])
+        assert PisonLike("$.a").run_records(stream).values() == [1, 3]

@@ -1,0 +1,76 @@
+"""StreamBuffer utilities and the on-disk dataset cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import writer
+from repro.stream.buffer import StreamBuffer
+
+
+class TestStreamBuffer:
+    def test_str_input_encoded(self):
+        buf = StreamBuffer('{"é": 1}')
+        assert isinstance(buf.data, bytes)
+        assert len(buf) == len('{"é": 1}'.encode())
+
+    def test_byte_at_past_end(self):
+        buf = StreamBuffer(b"{}")
+        assert buf.byte_at(0) == 0x7B
+        assert buf.byte_at(99) == -1
+
+    def test_skip_ws(self):
+        buf = StreamBuffer(b"  \t\n{}")
+        assert buf.skip_ws(0) == 4
+        assert buf.skip_ws(4) == 4
+        assert StreamBuffer(b"   ").skip_ws(0) == 3  # clamps to end
+
+    def test_rstrip_ws(self):
+        buf = StreamBuffer(b"12  ,")
+        assert buf.rstrip_ws(0, 4) == 2
+        assert buf.rstrip_ws(0, 2) == 2
+
+    def test_slice(self):
+        buf = StreamBuffer(b"abcdef")
+        assert buf.slice(1, 4) == b"bcd"
+
+    def test_word_mode_uses_word_index(self):
+        from repro.bits.index import BufferIndex
+        from repro.bits.posindex import PositionBufferIndex
+
+        assert isinstance(StreamBuffer(b"{}", mode="word").index, BufferIndex)
+        assert isinstance(StreamBuffer(b"{}", mode="vector").index, PositionBufferIndex)
+        assert not isinstance(StreamBuffer(b"{}", mode="word").index, PositionBufferIndex)
+
+
+class TestWriterCache:
+    @pytest.fixture(autouse=True)
+    def _isolated_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_DATA_DIR", str(tmp_path))
+
+    def test_materialize_large_roundtrip(self):
+        path = writer.materialize_large("WM", 5_000, seed=1)
+        data = writer.load_large("WM", 5_000, seed=1)
+        assert path.exists()
+        assert data == path.read_bytes()
+        assert data.startswith(b'{"it":[')
+
+    def test_cache_reused(self):
+        first = writer.materialize_large("WM", 5_000, seed=1)
+        mtime = first.stat().st_mtime_ns
+        second = writer.materialize_large("WM", 5_000, seed=1)
+        assert second.stat().st_mtime_ns == mtime
+
+    def test_records_roundtrip(self):
+        from repro.data.datasets import record_stream
+
+        loaded = writer.load_records("WM", 5_000, seed=2)
+        fresh = record_stream("WM", 5_000, seed=2)
+        assert len(loaded) == len(fresh)
+        assert loaded.record(0) == fresh.record(0)
+        assert loaded.record(len(loaded) - 1) == fresh.record(len(fresh) - 1)
+
+    def test_distinct_keys_distinct_files(self):
+        a = writer.materialize_large("WM", 5_000, seed=1)
+        b = writer.materialize_large("WM", 5_000, seed=2)
+        assert a != b

@@ -1,0 +1,117 @@
+"""Unit tests for chunk re-wrapping and per-chunk query rewriting."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.jsonpath.ast import Index, MultiIndex, Path, Slice, WildcardIndex
+from repro.jsonpath.parser import parse_path
+from repro.parallel.chunking import ChunkInput, split_top_level
+from repro.parallel.speculation import _rewrite_query
+
+
+class TestChunkInputs:
+    DATA = b'{"meta": 1, "it": [' + b",".join(b'{"v": %d}' % i for i in range(20)) + b'], "tail": 2}'
+
+    def test_offsets_and_counts(self):
+        split = split_top_level(self.DATA, "$.it")
+        chunks = split.chunk_inputs(4)
+        assert sum(c.n_elements for c in chunks) == 20
+        offsets = [c.element_offset for c in chunks]
+        assert offsets == sorted(offsets)
+        assert offsets[0] == 0
+
+    def test_every_chunk_parses_and_holds_its_elements(self):
+        split = split_top_level(self.DATA, "$.it")
+        for chunk in split.chunk_inputs(5):
+            value = json.loads(chunk.data)
+            assert [e["v"] for e in value["it"]] == list(
+                range(chunk.element_offset, chunk.element_offset + chunk.n_elements)
+            )
+
+    def test_real_prefix_and_suffix_placement(self):
+        split = split_top_level(self.DATA, "$.it")
+        chunks = split.chunk_inputs(3)
+        assert b'"meta"' in chunks[0].data
+        assert all(b'"meta"' not in c.data for c in chunks[1:])
+        assert b'"tail"' in chunks[-1].data
+        assert all(b'"tail"' not in c.data for c in chunks[:-1])
+
+    def test_single_chunk_is_whole_record(self):
+        split = split_top_level(self.DATA, "$.it")
+        (chunk,) = split.chunk_inputs(1)
+        assert chunk.data == self.DATA
+
+    def test_more_chunks_than_elements(self):
+        data = b'[1, 2]'
+        split = split_top_level(data, "$")
+        chunks = split.chunk_inputs(10)
+        assert len(chunks) <= 2
+        assert sum(c.n_elements for c in chunks) == 2
+
+    def test_empty_array(self):
+        split = split_top_level(b'{"it": []}', "$.it")
+        chunks = split.chunk_inputs(4)
+        assert len(chunks) == 1
+
+    def test_nested_partition_path(self):
+        data = b'{"a": {"b": [10, 20, 30]}}'
+        split = split_top_level(data, "$.a.b")
+        chunks = split.chunk_inputs(2)
+        for chunk in chunks[1:]:
+            value = json.loads(chunk.data)
+            assert "b" in value["a"]  # minimal prefix reproduces nesting
+
+
+def _chunk(offset: int, count: int) -> ChunkInput:
+    return ChunkInput(b"[]", offset, count, has_real_prefix=offset == 0)
+
+
+class TestQueryRewrite:
+    def test_wildcard_untouched(self):
+        path = parse_path("$[*].x")
+        assert _rewrite_query(path, 0, _chunk(5, 10)) is path
+
+    def test_index_localized(self):
+        path = parse_path("$[7].x")
+        local = _rewrite_query(path, 0, _chunk(5, 10))
+        assert local.steps[0] == Index(2)
+
+    def test_index_out_of_window_unmatchable(self):
+        path = parse_path("$[3].x")
+        local = _rewrite_query(path, 0, _chunk(5, 10))
+        assert isinstance(local.steps[0], Index)
+        assert local.steps[0].index > 10  # matches nothing, still parses all
+
+    def test_slice_intersected(self):
+        path = parse_path("$[8:14].x")
+        local = _rewrite_query(path, 0, _chunk(5, 10))
+        assert local.steps[0] == Slice(3, 9)
+
+    def test_slice_open_end(self):
+        path = parse_path("$[8:].x")
+        local = _rewrite_query(path, 0, _chunk(5, 10))
+        assert local.steps[0] == Slice(3, 10)
+
+    def test_multiindex_localized(self):
+        path = parse_path("$[6,9,40].x")
+        local = _rewrite_query(path, 0, _chunk(5, 10))
+        assert local.steps[0] == MultiIndex((1, 4))
+
+    def test_multiindex_single_survivor_becomes_index(self):
+        path = parse_path("$[6,40].x")
+        local = _rewrite_query(path, 0, _chunk(5, 10))
+        assert local.steps[0] == Index(1)
+
+    def test_depth_beyond_steps(self):
+        path = parse_path("$.a")
+        assert _rewrite_query(path, 5, _chunk(0, 3)) is path
+
+    def test_later_steps_untouched(self):
+        path = parse_path("$.pd[3].x")
+        local = _rewrite_query(path, 1, _chunk(2, 4))
+        assert local.steps[0] == path.steps[0]
+        assert local.steps[1] == Index(1)
+        assert local.steps[2] == path.steps[2]

@@ -1,0 +1,84 @@
+"""Tests for chunk classification and bitmap packing helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bits.classify import (
+    DERIVED_CLASSES,
+    STRUCTURAL_CLASSES,
+    CharClass,
+    classify_chunk,
+    int_to_words,
+    pack_bool_mask,
+    packed_to_int,
+    packed_to_words,
+)
+
+
+class TestCharClass:
+    def test_base_classes_have_single_char(self):
+        for cls in STRUCTURAL_CLASSES:
+            assert len(cls.chars) == 1
+
+    def test_derived_classes_union_members(self):
+        for derived, members in DERIVED_CLASSES.items():
+            member_chars = b"".join(m.chars for m in members)
+            assert sorted(derived.chars) == sorted(member_chars)
+
+    def test_any_covers_all_structural(self):
+        assert sorted(CharClass.ANY.chars) == sorted(b"{}[]:,")
+
+
+class TestPacking:
+    def test_pack_pads_to_word(self):
+        packed = pack_bool_mask(np.array([True] * 3))
+        assert packed.size == 8
+
+    def test_mirrored_order(self):
+        # Character 0 must land in bit 0.
+        mask = np.zeros(64, dtype=bool)
+        mask[0] = True
+        mask[63] = True
+        word = int(packed_to_words(pack_bool_mask(mask))[0])
+        assert word == (1 << 63) | 1
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=200))
+    def test_int_roundtrip(self, bits):
+        mask = np.array(bits, dtype=bool)
+        packed = pack_bool_mask(mask)
+        value = packed_to_int(packed)
+        for i, b in enumerate(bits):
+            assert bool(value >> i & 1) == b
+        words = int_to_words(value, packed.size // 8)
+        assert packed_to_int(packed) == packed_to_int(words.view(np.uint8))
+
+
+class TestClassifyChunk:
+    def test_finds_every_metachar(self):
+        chunk = b'{"a": [1, 2], "b": {}}'
+        raw = classify_chunk(chunk)
+        for cls in STRUCTURAL_CLASSES:
+            got = packed_to_int(raw[cls])
+            want = sum(1 << i for i, c in enumerate(chunk) if c == cls.chars[0])
+            assert got == want, cls
+
+    def test_quotes_and_backslashes(self):
+        chunk = b'"a\\"b"'
+        raw = classify_chunk(chunk)
+        # quotes at 0, 3, 5 (the escaped one included — this is raw)
+        assert packed_to_int(raw[CharClass.QUOTE]) == (1 << 0) | (1 << 3) | (1 << 5)
+        assert packed_to_int(raw[CharClass.BACKSLASH]) == 1 << 2
+
+    def test_raw_classification_ignores_strings(self):
+        # classify_chunk is *raw*: pseudo-metacharacters are still marked
+        # (string filtering happens in the index layer).
+        chunk = b'"{"'
+        raw = classify_chunk(chunk)
+        assert packed_to_int(raw[CharClass.LBRACE]) == 1 << 1
+
+    def test_empty_chunk(self):
+        raw = classify_chunk(b"")
+        assert all(arr.size == 0 for arr in raw.values())

@@ -1,0 +1,98 @@
+"""CLI tests (``python -m repro``)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def record_file(tmp_path):
+    path = tmp_path / "doc.json"
+    path.write_bytes(b'{"place": {"name": "Manhattan"}, "tags": ["a", "b"], "n": 3}')
+    return str(path)
+
+
+@pytest.fixture()
+def jsonl_file(tmp_path):
+    path = tmp_path / "docs.jsonl"
+    path.write_bytes(b'{"a": 1}\n{"b": 2}\n{"a": 3}\n')
+    return str(path)
+
+
+def run_cli(argv, stdin: bytes | None = None, monkeypatch=None):
+    out, err = io.StringIO(), io.StringIO()
+    code = main(argv, out=out, err=err)
+    return code, out.getvalue(), err.getvalue()
+
+
+class TestBasics:
+    def test_match_printed(self, record_file):
+        code, out, _ = run_cli(["$.place.name", record_file])
+        assert code == 0
+        assert out.strip() == "Manhattan"
+
+    def test_no_match_exit_1(self, record_file):
+        code, out, _ = run_cli(["$.nope", record_file])
+        assert code == 1
+        assert out == ""
+
+    def test_raw_output(self, record_file):
+        code, out, _ = run_cli(["$.place.name", record_file, "--raw"])
+        assert out.strip() == '"Manhattan"'
+
+    def test_count(self, record_file):
+        code, out, _ = run_cli(["$.tags[*]", record_file, "--count"])
+        assert code == 0 and out.strip() == "2"
+
+    def test_first(self, record_file):
+        code, out, _ = run_cli(["$.tags[*]", record_file, "--first"])
+        assert code == 0 and out.strip() == "a"
+
+    def test_missing_file(self):
+        code, _, err = run_cli(["$.a", "/does/not/exist.json"])
+        assert code == 2 and "cannot read" in err
+
+    def test_bad_query(self, record_file):
+        code, _, err = run_cli(["$.a[", record_file])
+        assert code == 2 and "error:" in err
+
+    def test_malformed_input(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_bytes(b'{"a": ')
+        code, _, err = run_cli(["$.a.b", str(path)])
+        assert code == 2
+
+
+class TestModes:
+    def test_jsonl(self, jsonl_file):
+        code, out, _ = run_cli(["$.a", jsonl_file, "--jsonl"])
+        assert code == 0
+        assert out.split() == ["1", "3"]
+
+    def test_engines_agree(self, record_file):
+        results = {}
+        for engine in ("jsonski", "jpstream", "rapidjson", "simdjson", "pison"):
+            code, out, _ = run_cli(["$.tags[1]", record_file, "--engine", engine])
+            results[engine] = (code, out)
+        assert len(set(results.values())) == 1
+
+    def test_stats_to_stderr(self, record_file):
+        code, out, err = run_cli(["$.n", record_file, "--stats"])
+        assert code == 0
+        assert "fast-forwarded" in err
+        assert "fast-forwarded" not in out
+
+    def test_stats_requires_jsonski(self, record_file):
+        code, _, err = run_cli(["$.n", record_file, "--stats", "--engine", "jpstream"])
+        assert code == 2
+
+    def test_paths(self, record_file):
+        code, out, _ = run_cli(["$.tags[*]", record_file, "--paths"])
+        lines = out.strip().splitlines()
+        assert lines[0].startswith("$['tags'][0]\t")
+        assert lines[1].startswith("$['tags'][1]\t")

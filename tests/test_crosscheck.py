@@ -1,0 +1,66 @@
+"""Cross-check utility tests."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.crosscheck import CrossCheckFailure, cross_check, cross_check_records
+
+
+class TestCrossCheck:
+    def test_agreement(self, tweet_record):
+        result = cross_check(tweet_record, "$.place.name")
+        assert result.n_matches == 1
+        assert "jsonski" in result.agreed and "stdlib" in result.agreed
+        assert not result.skipped
+
+    def test_descendant_skips_pison(self, tweet_record):
+        result = cross_check(tweet_record, "$..id")
+        assert "pison" in result.skipped
+        assert "jsonski" in result.agreed
+
+    def test_describe(self, tweet_record):
+        text = cross_check(tweet_record, "$.user.id").describe()
+        assert "engines agree" in text and "JSONSki" in text
+
+    def test_failure_carries_facts(self):
+        class Broken:
+            def run(self, data):
+                from repro.engine.output import MatchList
+
+                return MatchList()
+
+        import repro.crosscheck as cc
+
+        original = cc.make_engine
+        cc.make_engine = lambda name, path: Broken()
+        try:
+            with pytest.raises(CrossCheckFailure) as info:
+                cross_check(b'{"a": 1}', "$.a", engines=("jsonski",))
+            assert info.value.engine == "jsonski"
+            assert info.value.expected == ["1"]
+        finally:
+            cc.make_engine = original
+
+    def test_records_mode(self):
+        payload = b'{"a": 1}\n{"a": 2}\n'
+        results = cross_check_records(payload, "$.a")
+        assert [r.n_matches for r in results] == [1, 1]
+
+    def test_cli_flag(self, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_bytes(b'{"a": [5, 6]}')
+        out = io.StringIO()
+        assert main(["$.a[*]", str(path), "--cross-check"], out=out, err=io.StringIO()) == 0
+        assert "engines agree" in out.getvalue()
+
+    def test_cli_flag_jsonl(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        path.write_bytes(b'{"a": 1}\n{"a": 2}\n')
+        out = io.StringIO()
+        assert main(["$.a", str(path), "--jsonl", "--cross-check"], out=out, err=io.StringIO()) == 0
+        assert "2 records" in out.getvalue()

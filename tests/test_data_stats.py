@@ -1,0 +1,73 @@
+"""Structural statistics tests (Table 4 columns) against a tree oracle."""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Any
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.stats import structural_stats
+from repro.data.synth import random_json
+
+
+def _oracle(value: Any) -> tuple[int, int, int, int, int]:
+    """(objects, arrays, attributes, primitives, depth) via tree walk."""
+    if isinstance(value, dict):
+        o, a, at, p, d = 1, 0, len(value), 0, 0
+        for child in value.values():
+            co, ca, cat, cp, cd = _oracle(child)
+            o, a, at, p, d = o + co, a + ca, at + cat, p + cp, max(d, cd)
+        return o, a, at, p, d + 1
+    if isinstance(value, list):
+        o, a, at, p, d = 0, 1, 0, 0, 0
+        for child in value:
+            co, ca, cat, cp, cd = _oracle(child)
+            o, a, at, p, d = o + co, a + ca, at + cat, p + cp, max(d, cd)
+        return o, a, at, p, d + 1
+    return 0, 0, 0, 1, 0
+
+
+class TestKnownInputs:
+    def test_figure1(self, tweet_record):
+        stats = structural_stats(tweet_record)
+        assert stats.n_objects == 4
+        assert stats.n_arrays == 5  # coordinates, pos, 3 pairs
+        assert stats.n_attributes == 8
+        assert stats.depth == 5
+
+    def test_empty_containers(self):
+        stats = structural_stats(b'{"a": {}, "b": []}')
+        assert stats.n_objects == 2
+        assert stats.n_arrays == 1
+        assert stats.n_primitives == 0
+
+    def test_single_element_array(self):
+        stats = structural_stats(b'["lonely"]')
+        assert stats.n_primitives == 1
+
+    def test_primitive_root(self):
+        stats = structural_stats(b"42")
+        assert stats.n_primitives == 1
+        assert stats.depth == 0
+
+    def test_as_row_keys(self):
+        row = structural_stats(b"{}").as_row()
+        assert set(row) == {"#objects", "#arrays", "#attr", "#prim", "depth", "bytes"}
+
+
+class TestAgainstOracle:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_random_documents(self, seed):
+        rng = random.Random(seed)
+        value = random_json(rng, max_depth=4)
+        data = json.dumps(value, indent=rng.choice([None, 1])).encode()
+        stats = structural_stats(data)
+        o, a, at, p, d = _oracle(value)
+        assert stats.n_objects == o
+        assert stats.n_arrays == a
+        assert stats.n_attributes == at
+        assert stats.n_primitives == p
+        assert stats.depth == d

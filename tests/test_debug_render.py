@@ -1,0 +1,71 @@
+"""Debug-rendering module coverage (the teaching layer)."""
+
+from __future__ import annotations
+
+import repro
+from repro.bits import debug
+from repro.bits.classify import CharClass
+
+
+class TestRuler:
+    def test_repeats_digits(self):
+        assert debug.ruler(b"x" * 12) == "012345678901"
+
+    def test_empty(self):
+        assert debug.ruler(b"") == ""
+
+
+class TestRenderBitmap:
+    def test_marks(self):
+        line = debug.render_bitmap(b"abcdef", [1, 4])
+        assert line == " ^  ^ "
+
+    def test_out_of_range_ignored(self):
+        assert debug.render_bitmap(b"ab", [5, -1, 0]) == "^ "
+
+
+class TestRenderClasses:
+    def test_all_structural_rows(self):
+        out = debug.render_classes(b'{"a": [1]}')
+        for cls in ("LBRACE", "RBRACE", "LBRACKET", "RBRACKET", "COLON", "COMMA"):
+            assert cls in out
+
+    def test_subset(self):
+        out = debug.render_classes(b"{}", classes=(CharClass.LBRACE,))
+        assert "LBRACE" in out and "COLON" not in out
+
+    def test_nonprintable_sanitized(self):
+        out = debug.render_classes(b'{"\x01": 1}')
+        assert "\x01" not in out
+
+
+class TestRenderInterval:
+    def test_open_interval(self):
+        out = debug.render_interval(b"abcdef", 2, None, label="open")
+        assert "open" in out
+        assert "[===" in out.replace("=]", "==")
+
+    def test_zero_length(self):
+        out = debug.render_interval(b"abc", 1, 1)
+        assert ")" in out
+
+
+class TestTraceRendering:
+    def test_groups_rendered_with_digits(self):
+        data = b'{"skip": [1,2,3,4,5], "a": 1, "t": 2}'
+        _, events = repro.JsonSki("$.a").trace_run(data)
+        out = debug.render_trace(data, events)
+        assert "G2 [" in out
+        # the G2 row fills its span with '2's
+        g2_line = next(line for line in out.splitlines() if "G2 [" in line)
+        span_part = g2_line.split("G2 [")[0]
+        assert "2" in span_part
+
+    def test_coverage_summary_format(self):
+        data = b'{"skip": [1,2,3], "a": 1}'
+        _, events = repro.JsonSki("$.a").trace_run(data)
+        text = debug.coverage_summary(data, events)
+        assert text.startswith("fast-forwarded ") and "%" in text
+
+    def test_empty_events(self):
+        assert "0/" in debug.coverage_summary(b"abc", [])

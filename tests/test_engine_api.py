@@ -1,0 +1,90 @@
+"""Engine-API conveniences: count/exists/first, files, traces, paths."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.reference import evaluate_bytes, evaluate_with_paths
+from tests.conftest import ALL_ENGINES
+
+DOC = b'{"a": [ {"b": 1}, {"b": 2} ], "c": {"b": 3}}'
+
+
+class TestDerivedOperations:
+    @pytest.mark.parametrize("engine_name", ALL_ENGINES)
+    def test_count_exists_first(self, engine_name):
+        engine = repro.ENGINES[engine_name]("$.a[*].b")
+        assert engine.count(DOC) == 2
+        assert engine.exists(DOC)
+        assert engine.first(DOC).value() == 1
+        missing = repro.ENGINES[engine_name]("$.zzz")
+        assert missing.count(DOC) == 0
+        assert not missing.exists(DOC)
+        assert missing.first(DOC) is None
+
+    def test_jsonski_first_is_early_terminating(self):
+        # A match early in a long stream: tracing shows the engine never
+        # walked the tail.
+        tail = b",".join(b'{"x": %d}' % i for i in range(2000))
+        data = b'{"hit": 1, "rest": [' + tail + b"]}"
+        engine = repro.JsonSki("$.hit")
+        match = engine.first(data)
+        assert match.value() == 1
+        assert match.end < 20  # found within the head of the stream
+
+    def test_first_with_descendant(self):
+        engine = repro.JsonSki("$..b")
+        assert engine.first(DOC).value() == 1
+
+
+class TestFiles:
+    def test_run_file(self, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_bytes(DOC)
+        for engine_name in ("jsonski", "jpstream"):
+            got = repro.ENGINES[engine_name]("$.c.b").run_file(str(path))
+            assert got.values() == [3]
+
+    def test_open_jsonl(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        path.write_bytes(b'{"a": 1}\n{"a": 2}\n')
+        stream = repro.RecordStream.open_jsonl(str(path))
+        assert repro.JsonSki("$.a").run_records(stream).values() == [1, 2]
+
+
+class TestTrace:
+    def test_events_cover_stats(self):
+        engine = repro.JsonSki("$.c.b", collect_stats=True)
+        matches, events = engine.trace_run(DOC)
+        assert matches.values() == [3]
+        by_group: dict[str, int] = {}
+        for group, start, end in events:
+            assert 0 <= start < end <= len(DOC)
+            by_group[group] = by_group.get(group, 0) + (end - start)
+        assert by_group == {g: n for g, n in engine.last_stats.chars.items() if n}
+
+    def test_events_are_disjoint_and_ordered(self):
+        tail = b", ".join(b'"k%d": [%d]' % (i, i) for i in range(50))
+        data = b'{"target": {"x": 1}, ' + tail + b"}"
+        _, events = repro.JsonSki("$.target.x").trace_run(data)
+        spans = [(s, e) for _, s, e in events]
+        assert spans == sorted(spans)
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+
+class TestRunWithPaths:
+    def test_matches_reference(self):
+        got = repro.JsonSki("$.a[*].b").run_with_paths(DOC)
+        want = evaluate_with_paths("$.a[*].b", __import__("json").loads(DOC))
+        assert [(p, m.value()) for p, m in got] == want
+
+    def test_descendant_paths(self):
+        got = repro.JsonSki("$..b").run_with_paths(DOC)
+        assert [p for p, _ in got] == [("a", 0, "b"), ("a", 1, "b"), ("c", "b")]
+
+    def test_normal_run_unaffected(self):
+        engine = repro.JsonSki("$.a[*].b")
+        engine.run_with_paths(DOC)
+        assert engine.run(DOC).values() == evaluate_bytes("$.a[*].b", DOC)

@@ -1,0 +1,99 @@
+"""Engine branch coverage: container-irrelevance, typed arrays, deep G1."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.reference import evaluate_bytes
+
+
+class TestContainerIrrelevance:
+    """`can_match_in_*` false → the whole container is one G2 skip."""
+
+    def test_object_when_query_wants_array(self):
+        # Root is an object but the query starts with an index.
+        data = b'{"huge": {"nested": [1, 2, 3]}, "more": 1}'
+        engine = repro.JsonSki("$[0].x", collect_stats=True)
+        assert engine.run(data).values() == []
+        assert engine.last_stats.chars["G2"] > len(data) * 0.8
+
+    def test_array_when_query_wants_object(self):
+        data = b'[ {"a": 1}, {"a": 2}, [3, 4] ]'
+        engine = repro.JsonSki("$.a", collect_stats=True)
+        assert engine.run(data).values() == []
+        assert engine.last_stats.chars["G2"] > len(data) * 0.8
+
+    def test_nested_irrelevant_container(self):
+        # `unknown` expected type forces recursion; the mismatch is only
+        # discovered inside.
+        data = b'{"a": {"b": [9]}}'
+        assert repro.JsonSki("$.a[0]").run(data).values() == []
+        assert repro.JsonSki("$.a.b[0]").run(data).values() == [9]
+
+
+class TestTypedArraySweeps:
+    def test_want_array_elements(self):
+        # G1 with want='array' inside an array of mixed types.
+        data = b'[1, {"x": 0}, [10, 11], "s", [20]]'
+        assert repro.JsonSki("$[*][0]").run(data).values() == [10, 20]
+
+    def test_array_of_arrays_with_range(self):
+        data = b"[[0,1,2],[3,4,5],[6,7,8]]"
+        q = "$[1:3][2]"
+        assert repro.JsonSki(q).run(data).values() == evaluate_bytes(q, data) == [5, 8]
+
+    def test_typed_skip_preserves_counter_across_mixed(self):
+        # Elements of the wrong type interleave with matching ones; the
+        # G1 comma counting must keep indices exact for the inner range.
+        data = b'[7, [0], "x", [1], null, [2], [3]]'
+        q = "$[*][0]"
+        assert repro.JsonSki(q).run(data).values() == [0, 1, 2, 3]
+        q2 = "$[3][0]"
+        assert repro.JsonSki(q2).run(data).values() == [1]
+
+
+class TestDeepG1Chains:
+    def test_alternating_object_array_levels(self):
+        data = b'''{"z1": 1, "l1": [ {"z2": [9], "l2": {"z3": "s", "l3": [ {"hit": 42} ]}} ], "z4": {}}'''
+        engine = repro.JsonSki("$.l1[*].l2.l3[*].hit", collect_stats=True)
+        assert engine.run(data).values() == [42]
+        stats = engine.last_stats
+        assert stats.chars["G1"] > 0 and stats.chars["G4"] > 0
+
+    def test_g1_lands_on_correct_name_among_decoys(self):
+        # Several object-valued attributes; only the right NAME matches.
+        data = b'{"p": 1, "wrong": {"hit": 1}, "target": {"hit": 2}, "late": {"hit": 3}}'
+        assert repro.JsonSki("$.target.hit").run(data).values() == [2]
+
+    def test_g1_then_object_end(self):
+        data = b'{"a": [1], "b": [2]}'
+        # want array, but name 'c' never matches -> scans both, ends clean.
+        assert repro.JsonSki("$.c[0]").run(data).values() == []
+
+
+class TestWildcardObjectIteration:
+    def test_wildcard_skips_nothing_but_stays_exact(self):
+        data = b'{"a": {"v": 1}, "b": 2, "c": {"v": 3}, "d": [4]}'
+        q = "$.*.v"
+        assert repro.JsonSki(q).run(data).values() == evaluate_bytes(q, data) == [1, 3]
+
+    def test_wildcard_child_then_index(self):
+        data = b'{"a": [1, 2], "b": "no", "c": [3]}'
+        q = "$.*[1]"
+        assert repro.JsonSki(q).run(data).values() == [2]
+
+
+class TestStatusTransitionsInArrays:
+    def test_accept_and_matched_inside_array(self):
+        # Descendant: the array element is both a match and a container
+        # of further matches.
+        data = b'[{"k": {"k": 1}}, 2]'
+        q = "$..k"
+        assert repro.JsonSki(q).run(data).values() == evaluate_bytes(q, data)
+
+    def test_dead_elements_skip_by_type(self):
+        data = b"[[1], [2], [3]]"
+        engine = repro.JsonSki("$[1][0]", collect_stats=True)
+        assert engine.run(data).values() == [2]
+        assert engine.last_stats.chars["G5"] > 0

@@ -1,0 +1,190 @@
+"""JSONSki engine behaviour tests (Algorithm 2)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import JsonSki
+from repro.errors import JsonSyntaxError
+from repro.reference import evaluate_bytes
+
+
+class TestBasicMatching:
+    def test_figure1_query(self, tweet_record):
+        assert JsonSki("$.place.name").run(tweet_record).values() == ["Manhattan"]
+
+    def test_match_offsets_and_text(self):
+        data = b'{"place": {"name": "Manhattan"}}'
+        match = JsonSki("$.place.name").run(data)[0]
+        assert match.text == b'"Manhattan"'
+        assert data[match.start : match.end] == match.text
+
+    def test_container_valued_match_text_is_raw(self):
+        data = b'{"a": { "b" : [ 1 , 2 ] }}'
+        match = JsonSki("$.a").run(data)[0]
+        assert match.text == b'{ "b" : [ 1 , 2 ] }'
+
+    def test_primitive_match_trims_whitespace(self):
+        data = b'{"a": 42   , "b": 1}'
+        assert JsonSki("$.a").run(data)[0].text == b"42"
+
+    def test_root_array(self):
+        data = b'[{"x": 1}, {"x": 2}]'
+        assert JsonSki("$[*].x").run(data).values() == [1, 2]
+
+    def test_no_match(self):
+        assert len(JsonSki("$.zzz").run(b'{"a": 1}')) == 0
+
+    def test_primitive_root_never_matches(self):
+        assert len(JsonSki("$.a").run(b"42")) == 0
+
+    def test_multiple_runs_reuse_engine(self):
+        engine = JsonSki("$.a")
+        assert engine.run(b'{"a": 1}').values() == [1]
+        assert engine.run(b'{"a": 2}').values() == [2]
+
+
+class TestEdgeCases:
+    def test_empty_object_and_array(self):
+        assert len(JsonSki("$.a.b").run(b'{"a": {}}')) == 0
+        assert len(JsonSki("$.a[0]").run(b'{"a": []}')) == 0
+
+    def test_heavy_whitespace(self):
+        data = b'{\n  "a" :\t{\r\n "b" : [ 1 ,\n 2 ] } }'
+        assert JsonSki("$.a.b[1]").run(data).values() == [2]
+
+    def test_escapes_in_names_and_values(self):
+        data = rb'{"we\"ird": {"k\\ey": "va\"l{ue"}}'
+        assert JsonSki(r"$['we\"ird']['k\\ey']").run(data).values() == ['va"l{ue']
+
+    def test_metachars_inside_strings(self):
+        data = b'{"a": "}{][,:", "b": 7}'
+        assert JsonSki("$.b").run(data).values() == [7]
+
+    def test_duplicate_like_prefix_names(self):
+        data = b'{"nam": 1, "namex": 2, "name": 3}'
+        assert JsonSki("$.name").run(data).values() == [3]
+
+    def test_deep_nesting(self):
+        depth = 60
+        data = (b'{"a":' * depth) + b"1" + (b"}" * depth)
+        query = "$" + ".a" * depth
+        assert JsonSki(query).run(data).values() == [1]
+
+    def test_unicode_content(self):
+        data = json.dumps({"名前": "東京", "x": ["é", "ü"]}, ensure_ascii=False).encode()
+        assert JsonSki("$['名前']").run(data).values() == ["東京"]
+        assert JsonSki("$.x[1]").run(data).values() == ["ü"]
+
+    def test_numbers_in_all_notations(self):
+        data = b'{"a": [-1, 0.5, 1e9, -2E-3, 123456789012345678]}'
+        assert JsonSki("$.a[*]").run(data).values() == [-1, 0.5, 1e9, -2e-3, 123456789012345678]
+
+    def test_record_with_trailing_newline(self):
+        assert JsonSki("$.a").run(b'{"a": 1}\n').values() == [1]
+
+
+class TestIndexConstraints:
+    def test_slice_and_tail_skip(self):
+        data = b"[0, 1, 2, 3, 4, 5]"
+        assert JsonSki("$[2:4]").run(data).values() == [2, 3]
+
+    def test_single_index(self):
+        assert JsonSki("$[3]").run(b"[0, 1, 2, 3, 4]").values() == [3]
+
+    def test_out_of_range(self):
+        assert len(JsonSki("$[9]").run(b"[0, 1]")) == 0
+
+    def test_range_with_structured_elements(self):
+        data = b'[{"i": 0}, {"i": 1}, {"i": 2}, {"i": 3}]'
+        assert JsonSki("$[1:3].i").run(data).values() == [1, 2]
+
+    def test_heterogeneous_skipping_keeps_counter(self):
+        data = b'[[9], "s", {"i": "hit"}, {"i": "also"}, 4]'
+        assert JsonSki("$[2:4].i").run(data).values() == ["hit", "also"]
+
+
+class TestModesAndChunks:
+    @pytest.mark.parametrize("mode", ["vector", "word"])
+    @pytest.mark.parametrize("chunk_size", [64, 128, 1 << 16])
+    def test_configurations_agree(self, mode, chunk_size, tweet_record):
+        engine = JsonSki("$.place.bounding_box.pos[1]", mode=mode, chunk_size=chunk_size)
+        assert engine.run(tweet_record).values() == [[-74.026675, 40.877483]]
+
+    def test_bounded_cache_on_long_input(self):
+        items = b",".join(b'{"v": %d}' % i for i in range(500))
+        data = b'{"it": [' + items + b"]}"
+        engine = JsonSki("$.it[*].v", chunk_size=64, cache_chunks=2)
+        assert engine.run(data).values() == list(range(500))
+
+
+class TestStats:
+    def test_stats_disabled_by_default(self):
+        engine = JsonSki("$.a")
+        engine.run(b'{"a": 1}')
+        assert engine.last_stats is None
+
+    def test_groups_attributed(self):
+        data = b'{"skipme": {"big": [1,2,3]}, "a": {"x": 1}, "tail1": 1, "tail2": 2}'
+        engine = JsonSki("$.a", collect_stats=True)
+        engine.run(data)
+        stats = engine.last_stats
+        assert stats.chars["G2"] > 0  # skipme's value
+        assert stats.chars["G3"] > 0  # the matched output
+        assert stats.chars["G4"] > 0  # tail after the match
+        assert stats.total_length == len(data)
+        assert 0 < stats.overall_ratio <= 1
+
+    def test_g1_and_g5(self):
+        data = b'{"p": 1, "q": 2, "obj": {"a": [0, 1, 2, 3, 4, 5]}}'
+        engine = JsonSki("$.obj.a[3:5]", collect_stats=True)
+        engine.run(data)
+        assert engine.last_stats.chars["G1"] > 0
+        assert engine.last_stats.chars["G5"] > 0
+
+    def test_ratios_sum_to_overall(self):
+        engine = JsonSki("$.obj.a[3:5]", collect_stats=True)
+        engine.run(b'{"p": 1, "obj": {"a": [0,1,2,3,4,5]}}')
+        row = engine.last_stats.as_row()
+        assert abs(sum(row[g] for g in "G1 G2 G3 G4 G5".split()) - row["Overall"]) < 1e-12
+
+
+class TestDescendantExtension:
+    def test_basic(self):
+        data = b'{"a": {"b": 1}, "b": 2, "c": [{"b": 3}]}'
+        assert JsonSki("$..b").run(data).values() == [1, 2, 3]
+
+    def test_nested_matches_pre_order(self):
+        data = b'{"b": {"b": 1}}'
+        assert JsonSki("$..b").run(data).values() == [{"b": 1}, 1]
+
+    def test_mixed_with_children(self):
+        data = b'{"r": {"x": {"t": 1}, "t": {"q": 2}}}'
+        assert JsonSki("$.r..t").run(data).values() == evaluate_bytes("$.r..t", data)
+
+
+class TestErrors:
+    def test_empty_input(self):
+        with pytest.raises(JsonSyntaxError):
+            JsonSki("$.a").run(b"")
+        with pytest.raises(JsonSyntaxError):
+            JsonSki("$.a").run(b"   \n ")
+
+    def test_unclosed_object(self):
+        with pytest.raises(JsonSyntaxError):
+            JsonSki("$.zz").run(b'{"a": {"b": 1}')
+
+    def test_garbage_delimiter_on_examined_path(self):
+        # A wildcard query disables G4 skipping, so the engine actually
+        # reaches the bogus ';' delimiter.
+        with pytest.raises(JsonSyntaxError):
+            JsonSki("$.*.b").run(b'{"a": {"b": 1}; "c": {"b": 2}}')
+
+    def test_fastforwarded_regions_not_validated(self):
+        # Paper Section 3.3: skipped segments only get pairing checks, so
+        # nonsense inside a skipped value goes unnoticed.  This documents
+        # (and pins) that behaviour.
+        data = b'{"skip": {"totally": not json !!}, "a": 1}'
+        assert JsonSki("$.a").run(data).values() == [1]

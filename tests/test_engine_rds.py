@@ -1,0 +1,35 @@
+"""Recursive-descent streaming (Algorithm 1, no fast-forward) tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import JsonSki, RecursiveDescentStreamer
+from repro.errors import JsonSyntaxError
+from repro.stream.records import RecordStream
+
+
+class TestMatching:
+    def test_figure1(self, tweet_record):
+        engine = RecursiveDescentStreamer("$.place.name")
+        assert engine.run(tweet_record).values() == ["Manhattan"]
+
+    def test_agrees_with_jsonski(self, tweet_record):
+        for query in ("$.place.name", "$.coordinates[1]", "$.place.bounding_box.pos[*]", "$..id"):
+            assert (
+                RecursiveDescentStreamer(query).run(tweet_record).values()
+                == JsonSki(query).run(tweet_record).values()
+            ), query
+
+    def test_examines_everything_strictly(self):
+        # Unlike JSONSki, Algorithm 1 parses skipped regions in detail, so
+        # malformed content anywhere is rejected.
+        with pytest.raises(JsonSyntaxError):
+            RecursiveDescentStreamer("$.a").run(b'{"skip": {"x" 1}, "a": 2}')
+
+    def test_run_records(self):
+        stream = RecordStream.from_records([b'{"a": 1}', b'{"a": 2}', b'{"b": 3}'])
+        assert RecursiveDescentStreamer("$.a").run_records(stream).values() == [1, 2]
+
+    def test_str_input(self):
+        assert RecursiveDescentStreamer("$.a").run('{"a": "é"}').values() == ["é"]

@@ -1,0 +1,110 @@
+"""SAX-style event stream tests."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.synth import random_json
+from repro.engine.events import Event, depth_histogram, discover_paths, iter_events, key_frequencies
+from repro.errors import JsonSyntaxError
+from repro.jsonpath.parser import parse_path
+from repro.reference import evaluate_bytes
+
+
+class TestEventStream:
+    def test_kinds_in_order(self):
+        kinds = [e.kind for e in iter_events(b'{"a": [1, {"b": 2}], "c": 3}')]
+        assert kinds == [
+            "start_object", "key", "start_array", "primitive",
+            "start_object", "key", "primitive", "end_object",
+            "end_array", "key", "primitive", "end_object",
+        ]
+
+    def test_offsets_slice_exactly(self):
+        data = b'{"key": "value", "n": 42}'
+        events = {(e.kind, e.value): e for e in iter_events(data)}
+        key_event = events[("key", "key")]
+        assert data[key_event.start : key_event.end] == b'"key"'
+        primitives = [e for e in iter_events(data) if e.kind == "primitive"]
+        assert data[primitives[0].start : primitives[0].end] == b'"value"'
+        assert data[primitives[1].start : primitives[1].end] == b"42"
+
+    def test_depths(self):
+        events = list(iter_events(b'{"a": {"b": [1]}}'))
+        by = {(e.kind, e.start): e.depth for e in events}
+        assert by[("start_object", 0)] == 0
+        assert by[("start_array", 12)] == 2
+        assert by[("primitive", 13)] == 3
+
+    def test_escaped_key_decoded(self):
+        events = [e for e in iter_events(rb'{"a\"b": 1}') if e.kind == "key"]
+        assert events[0].value == 'a"b'
+
+    def test_malformed_raises(self):
+        for bad in (b"", b"{", b'{"a" 1}', b'{"a": 1} x'):
+            with pytest.raises(JsonSyntaxError):
+                list(iter_events(bad))
+
+    def test_primitive_root(self):
+        events = list(iter_events(b"  42 "))
+        assert events == [Event("primitive", 2, 4, depth=0)]
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=40)
+    def test_balanced_and_reconstructible(self, seed):
+        rng = random.Random(seed)
+        data = json.dumps(random_json(rng, 4)).encode()
+        depth = 0
+        n_values = 0
+        for event in iter_events(data):
+            if event.kind in ("start_object", "start_array"):
+                assert event.depth == depth
+                depth += 1
+                n_values += 1
+            elif event.kind in ("end_object", "end_array"):
+                depth -= 1
+                assert depth >= 0
+            elif event.kind == "primitive":
+                n_values += 1
+                # every primitive slice is itself parseable
+                json.loads(data[event.start : event.end])
+        assert depth == 0
+        assert n_values >= 1
+
+
+class TestConsumers:
+    DOC = b'{"a": {"b": 1, "c": [2, 3]}, "b": 4}'
+
+    def test_depth_histogram(self):
+        assert depth_histogram(self.DOC) == {0: 1, 1: 2, 2: 2, 3: 2}
+
+    def test_key_frequencies(self):
+        assert key_frequencies(self.DOC) == {"a": 1, "b": 2, "c": 1}
+
+    def test_discover_paths(self):
+        paths = discover_paths(self.DOC)
+        assert paths == ["$.a", "$.a.b", "$.a.c", "$.a.c[*]", "$.b"]
+
+    def test_discovered_paths_are_runnable_queries(self):
+        doc = json.dumps({"x": [{"k v": 1}], "y": {"z": [True]}}).encode()
+        for path in discover_paths(doc):
+            parse_path(path)  # must be valid syntax
+            assert evaluate_bytes(path, doc), path  # and must match something
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30)
+    def test_discovery_roundtrip_property(self, seed):
+        rng = random.Random(seed)
+        doc = json.dumps(random_json(rng, 3)).encode()
+        for path in discover_paths(doc, max_paths=50):
+            parse_path(path)
+            assert evaluate_bytes(path, doc) != [], (path, doc)
+
+    def test_max_paths_cap(self):
+        doc = json.dumps({f"k{i}": i for i in range(50)}).encode()
+        assert len(discover_paths(doc, max_paths=10)) == 10

@@ -1,0 +1,39 @@
+"""Every example script must run end to end (small sizes via argv)."""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+_CASES = [
+    ("quickstart.py", []),
+    ("twitter_stream.py", ["--bytes", "60000"]),
+    ("catalog_analytics.py", ["--bytes", "60000"]),
+    ("fastforward_anatomy.py", []),
+    ("parallel_records.py", ["--bytes", "60000"]),
+    ("multi_query.py", ["--bytes", "60000"]),
+    ("jsonl_pipeline.py", ["--bytes", "60000"]),
+    ("schema_discovery.py", ["--bytes", "60000"]),
+    ("compare_engines.py", ["--bytes", "60000"]),
+]
+
+
+@pytest.mark.parametrize("script,argv", _CASES, ids=[c[0] for c in _CASES])
+def test_example_runs(script, argv, capsys, monkeypatch):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    monkeypatch.setattr(sys, "argv", [script, *argv])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_quickstart_finds_manhattan(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    assert "Manhattan" in capsys.readouterr().out

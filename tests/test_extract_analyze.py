@@ -1,0 +1,102 @@
+"""Tests for the Extractor DSL and the analysis advisor."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+import repro
+from repro.analysis import analyze
+from repro.data.datasets import large_record, record_stream
+from repro.extract import Extractor
+
+
+class TestExtractor:
+    DOC = b'{"user": {"id": 7, "name": "ann"}, "tags": ["a", "b"], "n": 1}'
+
+    def test_first_mode(self):
+        rows = Extractor({"id": "$.user.id", "tag": "$.tags[*]", "zz": "$.missing"})
+        assert rows.extract(self.DOC) == {"id": 7, "tag": "a", "zz": None}
+
+    def test_list_mode(self):
+        rows = Extractor({"tags": "$.tags[*]"}, mode="list")
+        assert rows.extract(self.DOC) == {"tags": ["a", "b"]}
+
+    def test_custom_default(self):
+        rows = Extractor({"zz": "$.missing"}, default=-1)
+        assert rows.extract(self.DOC) == {"zz": -1}
+
+    def test_column_order_preserved(self):
+        rows = Extractor({"b": "$.n", "a": "$.user.id"})
+        assert list(rows.extract(self.DOC)) == ["b", "a"]
+
+    def test_extract_records_lazy(self):
+        stream = repro.RecordStream.from_records([self.DOC, b'{"user": {"id": 9}}'])
+        it = Extractor({"id": "$.user.id"}).extract_records(stream)
+        assert next(it) == {"id": 7}
+        assert next(it) == {"id": 9}
+        with pytest.raises(StopIteration):
+            next(it)
+
+    def test_extract_many_list_input(self):
+        got = Extractor({"n": "$.n"}).extract_many([self.DOC, b'{"n": 2}'])
+        assert [row["n"] for row in got] == [1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Extractor({})
+        with pytest.raises(ValueError):
+            Extractor({"a": "$.a"}, mode="nope")
+
+    def test_matches_per_query_engines(self):
+        """One fused pass must equal independent single-query runs."""
+        stream = record_stream("TT", 40_000, seed=8)
+        fields = {"text": "$.text", "followers": "$.user.followers_count", "url": "$.en.urls[0].url"}
+        extractor = Extractor(fields)
+        singles = {name: repro.JsonSki(q) for name, q in fields.items()}
+        for record in list(stream)[:40]:
+            row = extractor.extract(record)
+            for name, engine in singles.items():
+                match = engine.first(record)
+                assert row[name] == (match.value() if match else None), name
+
+
+class TestAnalyze:
+    def test_high_skip_workload(self):
+        data = large_record("NSPL", 40_000, seed=5)
+        report = analyze(data, "$.mt.vw.co[*].nm")
+        assert report.n_matches == 44
+        assert report.overall_ratio > 0.95
+        assert report.ratios["G4"] > 0.9
+        assert "well" in report.assessment()
+
+    def test_low_skip_workload(self):
+        # A wildcard-everything query touches nearly the whole stream.
+        data = json.dumps({"a": [{"x": i} for i in range(50)]}).encode()
+        report = analyze(data, "$.a[*].x")
+        assert report.overall_ratio < 0.9
+
+    def test_describe_contains_plan_and_probe(self):
+        report = analyze(b'{"a": {"b": 1}}', "$.a.b")
+        text = report.describe()
+        assert "level 0" in text and "probe:" in text and "assessment:" in text
+
+    def test_mean_jump_consistent_with_ratio(self):
+        data = large_record("WM", 40_000, seed=5)
+        report = analyze(data, "$.it[*].bmrpr.pr")
+        assert report.n_events > 0
+        skipped = report.mean_jump * report.n_events
+        assert abs(skipped / report.sample_bytes - report.overall_ratio) < 1e-6
+
+    def test_cli_analyze(self, tmp_path):
+        import io
+
+        from repro.cli import main
+
+        path = tmp_path / "d.json"
+        path.write_bytes(b'{"a": {"b": 1}, "c": [1,2,3,4,5,6,7,8]}')
+        out = io.StringIO()
+        assert main(["$.a.b", str(path), "--analyze"], out=out, err=io.StringIO()) == 0
+        assert "assessment:" in out.getvalue()

@@ -1,0 +1,97 @@
+"""Deeper coverage of the filtered (query-splitting) engine."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro.engine.filtered import FilteredJsonSki, SlicePredicate
+from repro.jsonpath.parser import parse_path
+from repro.reference import evaluate_bytes
+
+DOC = b'{"pd": [{"p": 5, "n": "a"}, {"p": 50, "n": "b"}, {"p": 500}]}'
+
+
+class TestComposition:
+    def test_delegation_is_transparent(self):
+        engine = repro.JsonSki("$.pd[?(@.p > 10)].n")
+        assert engine._delegate is not None
+        assert engine.automaton is None
+        assert engine.run(DOC).values() == ["b"]
+
+    def test_filter_first_step(self):
+        doc = b'[{"x": 1}, {"x": 5}, 3]'
+        assert repro.JsonSki("$[?(@.x > 2)]").run(doc).values() == [{"x": 5}]
+
+    def test_filter_last_step(self):
+        got = repro.JsonSki("$.pd[?(@.n)]").run(DOC).values()
+        assert got == [{"p": 5, "n": "a"}, {"p": 50, "n": "b"}]
+
+    def test_two_filters_same_level_sequence(self):
+        # A filter directly after a filter: the second applies to the
+        # *elements of the kept elements* (which must then be arrays).
+        doc = b'[[1, 9], [2], "x"]'
+        got = repro.JsonSki("$[?(@[0])][?(@ > 1)]").run(doc).values()
+        assert got == evaluate_bytes("$[?(@[0])][?(@ > 1)]", doc) == [9, 2]
+
+    def test_collect_stats_reports_outer_pass(self):
+        engine = repro.JsonSki("$.pd[?(@.p > 10)].n", collect_stats=True)
+        engine.run(DOC)
+        assert engine.last_stats is not None
+        assert engine.last_stats.total_length == len(DOC)
+
+    def test_run_records_and_count(self):
+        stream = repro.RecordStream.from_records([DOC, b'{"pd": [{"p": 99, "n": "z"}]}'])
+        engine = repro.JsonSki("$.pd[?(@.p > 10)].n")
+        assert engine.run_records(stream).values() == ["b", "z"]
+        assert engine.count(DOC) == 1
+
+    def test_word_mode_filtered(self):
+        engine = repro.JsonSki("$.pd[?(@.p > 10)].n", mode="word", chunk_size=64)
+        assert engine.run(DOC).values() == ["b"]
+
+    def test_inner_offsets_remap_through_nesting(self):
+        doc = b'{"a": [ {"b": [ {"v": 7, "k": "hit"} ]} ]}'
+        matches = repro.JsonSki("$.a[?(@.b)].b[?(@.v)].k").run(doc)
+        assert len(matches) == 1
+        assert doc[matches[0].start : matches[0].end] == b'"hit"'
+
+
+class TestPredicateEngineReuse:
+    def test_engines_cached_per_relpath(self):
+        expr = parse_path("$[?(@.a > 1 && @.a < 9 && @.b)]").steps[0].expr
+        predicate = SlicePredicate(expr)
+        # @.a appears twice but compiles once.
+        assert len(predicate._engines) == 2
+
+    def test_malformed_slice_is_false_not_crash(self):
+        expr = parse_path("$[?(@ == 1)]").steps[0].expr
+        predicate = SlicePredicate(expr)
+        assert not predicate.matches(b"not json")
+
+
+class TestFilterEdgeValues:
+    @pytest.mark.parametrize("doc,query,expected", [
+        (b"[]", "$[?(@.x)]", []),
+        (b"[null, false, 0]", "$[?(@ == null)]", [None]),
+        (b"[null, false, 0]", "$[?(@ == false)]", [False]),
+        (b"[null, false, 0]", "$[?(@ == 0)]", [0]),
+        (b'[{"s": "b"}]', "$[?(@.s >= 'a')]", [{"s": "b"}]),
+        (b'[{"s": "b"}]', "$[?(@.s >= 'c')]", []),
+        (b'[[0], [1]]', "$[?(@[0] == 1)]", [[1]]),
+    ])
+    def test_case(self, doc, query, expected):
+        assert repro.JsonSki(query).run(doc).values() == expected
+        assert evaluate_bytes(query, doc) == expected
+
+    def test_deeply_mixed_with_other_extensions(self):
+        doc = json.dumps({
+            "groups": [
+                {"name": "g0", "members": [{"age": 10}, {"age": 40}]},
+                {"name": "g1", "members": [{"age": 50}]},
+            ]
+        }).encode()
+        q = "$.groups[0,1].members[?(@.age >= 40)].age"
+        assert repro.JsonSki(q).run(doc).values() == evaluate_bytes(q, doc) == [40, 50]

@@ -1,0 +1,193 @@
+"""Filter predicate tests: grammar, semantics, engines, properties."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.engine.filtered import FilteredJsonSki, SlicePredicate
+from repro.jsonpath.ast import Filter, Path
+from repro.jsonpath.filter import And, Comparison, Exists, Not, Or, RelPath
+from repro.jsonpath.parser import parse_path
+from repro.reference import evaluate_bytes
+
+DOC = b"""{
+  "items": [
+    {"name": "cheap",  "price": 5,  "stock": 0,  "tags": ["x"]},
+    {"name": "mid",    "price": 15, "stock": 3},
+    {"name": "dear",   "price": 25, "stock": 9,  "tags": []},
+    {"name": "odd",    "price": "n/a"},
+    42,
+    {"price": 30}
+  ]
+}"""
+
+FILTER_ENGINES = ("jsonski", "rapidjson", "simdjson", "stdlib")
+
+
+class TestGrammar:
+    @pytest.mark.parametrize("text", [
+        "$[?(@.a)]",
+        "$[?(@.a.b[0] == 'x')]",
+        "$.items[?(@.price > 10)].name",
+        "$[?(@.a && @.b || !(@.c))]",
+        "$[?(@ == 3)]",
+        "$[?(@.x != null)]",
+        "$[?(@.y <= -2.5)]",
+    ])
+    def test_roundtrip(self, text):
+        path = parse_path(text)
+        assert path.has_filter
+        assert parse_path(path.unparse()) == path
+
+    @pytest.mark.parametrize("bad", [
+        "$[?]",
+        "$[?(]",
+        "$[?()]",
+        "$[?(@.a ==)]",
+        "$[?(price > 1)]",     # missing '@'
+        "$[?(@.a &| @.b)]",
+        "$[?(@.a > 'x)]",      # unterminated string literal
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises(repro.JsonPathSyntaxError):
+            parse_path(bad)
+
+    def test_spaces_tolerated(self):
+        assert parse_path("$[?( @.a  ==  3 )]").unparse() == "$[?(@.a == 3)]"
+
+
+class TestSemantics:
+    def test_comparisons(self):
+        cases = {
+            "$.items[?(@.price > 10)].name": ["mid", "dear"],
+            "$.items[?(@.price >= 25)].name": ["dear"],
+            "$.items[?(@.price < 10)].name": ["cheap"],
+            "$.items[?(@.price == 15)].name": ["mid"],
+            "$.items[?(@.name == 'odd')].price": ["n/a"],
+            "$.items[?(@.price != 5)].name": ["mid", "dear", "odd"],
+        }
+        for query, expected in cases.items():
+            assert repro.JsonSki(query).run(DOC).values() == expected, query
+            assert evaluate_bytes(query, DOC) == expected, query
+
+    def test_ordering_requires_comparable_types(self):
+        # "n/a" > 10 is false (not an error); 42 has no .price.
+        got = repro.JsonSki("$.items[?(@.price > 0)].name").run(DOC).values()
+        assert got == ["cheap", "mid", "dear"]
+
+    def test_existence_and_not(self):
+        assert repro.JsonSki("$.items[?(@.tags)].name").run(DOC).values() == ["cheap", "dear"]
+        got = repro.JsonSki("$.items[?(!(@.name))]").run(DOC).values()
+        assert got == [42, {"price": 30}]
+
+    def test_boolean_operators(self):
+        q = "$.items[?(@.price > 10 && @.stock > 5)].name"
+        assert repro.JsonSki(q).run(DOC).values() == ["dear"]
+        q = "$.items[?(@.price < 10 || @.stock == 3)].name"
+        assert repro.JsonSki(q).run(DOC).values() == ["cheap", "mid"]
+
+    def test_bool_is_not_number(self):
+        doc = b'[{"v": true}, {"v": 1}]'
+        assert repro.JsonSki("$[?(@.v == 1)]").run(doc).values() == [{"v": 1}]
+        assert repro.JsonSki("$[?(@.v == true)]").run(doc).values() == [{"v": True}]
+
+    def test_whole_element_comparison(self):
+        doc = b"[1, 2, 3, 2]"
+        assert repro.JsonSki("$[?(@ == 2)]").run(doc).values() == [2, 2]
+
+    def test_filter_on_non_array_matches_nothing(self):
+        assert repro.JsonSki("$.items[?(@.x)]").run(b'{"items": {"x": 1}}').values() == []
+
+    def test_nested_filters(self):
+        doc = b'{"a": [{"b": [{"v": 1}, {"v": 5}]}, {"b": [{"v": 9}]}, {"c": 1}]}'
+        q = "$.a[?(@.b)].b[?(@.v > 2)].v"
+        assert repro.JsonSki(q).run(doc).values() == [5, 9]
+        assert evaluate_bytes(q, doc) == [5, 9]
+
+    def test_match_offsets_are_global(self):
+        matches = repro.JsonSki("$.items[?(@.price > 20)].name").run(DOC)
+        for match in matches:
+            assert DOC[match.start : match.end] == match.text
+
+
+class TestEngineSupport:
+    @pytest.mark.parametrize("engine_name", FILTER_ENGINES)
+    def test_supporting_engines_agree(self, engine_name):
+        query = "$.items[?(@.price > 10 && @.name)].name"
+        expected = evaluate_bytes(query, DOC)
+        assert repro.ENGINES[engine_name](query).run(DOC).values() == expected
+
+    @pytest.mark.parametrize("engine_name", ["rds", "jpstream", "pison"])
+    def test_unsupporting_engines_reject_cleanly(self, engine_name):
+        with pytest.raises(repro.UnsupportedQueryError):
+            repro.ENGINES[engine_name]("$[?(@.a)]")
+
+    def test_multiquery_rejects(self):
+        with pytest.raises(repro.UnsupportedQueryError):
+            repro.JsonSkiMulti(["$.a", "$[?(@.b)]"])
+
+    def test_first_and_exists_work(self):
+        engine = repro.JsonSki("$.items[?(@.price > 10)].name")
+        assert engine.first(DOC).value() == "mid"
+        assert engine.exists(DOC)
+        assert not repro.JsonSki("$.items[?(@.price > 999)]").exists(DOC)
+
+    def test_paths_and_trace_rejected(self):
+        engine = repro.JsonSki("$[?(@.a)]")
+        with pytest.raises(repro.UnsupportedQueryError):
+            engine.run_with_paths(b"[]")
+        with pytest.raises(repro.UnsupportedQueryError):
+            engine.trace_run(b"[]")
+
+
+class TestSlicePredicate:
+    def test_subengine_resolution(self):
+        expr = parse_path("$[?(@.a.b == 7)]").steps[0].expr
+        predicate = SlicePredicate(expr)
+        assert predicate.matches(b'{"a": {"b": 7}}')
+        assert not predicate.matches(b'{"a": {"b": 8}}')
+        assert not predicate.matches(b'{"a": 1}')
+        assert not predicate.matches(b"3")
+
+    def test_empty_relpath(self):
+        expr = parse_path("$[?(@ > 5)]").steps[0].expr
+        predicate = SlicePredicate(expr)
+        assert predicate.matches(b"6") and not predicate.matches(b"5")
+
+
+class TestDifferential:
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=40)
+    def test_streaming_equals_oracle(self, seed):
+        rng = random.Random(seed)
+        items = []
+        for i in range(rng.randrange(0, 12)):
+            kind = rng.random()
+            if kind < 0.6:
+                item = {}
+                if rng.random() < 0.8:
+                    item["p"] = rng.choice([rng.randrange(-5, 30), "str", True, None])
+                if rng.random() < 0.5:
+                    item["q"] = rng.randrange(0, 10)
+                items.append(item)
+            else:
+                items.append(rng.choice([1, "x", [1, 2], None]))
+        doc = json.dumps({"it": items}).encode()
+        query = rng.choice([
+            "$.it[?(@.p > 3)]",
+            "$.it[?(@.p == 'str')]",
+            "$.it[?(@.p != null)]",
+            "$.it[?(@.p)]",
+            "$.it[?(@.p && @.q)]",
+            "$.it[?(@.p < 10 || @.q >= 5)].q",
+            "$.it[?(!(@.q))]",
+        ])
+        expected = evaluate_bytes(query, doc)
+        for name in FILTER_ENGINES:
+            assert repro.ENGINES[name](query).run(doc).values() == expected, (name, query, doc)

@@ -1,0 +1,120 @@
+"""Harness tests: tables, memory measurement, experiment functions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.memory import measure_engine_peak, measure_peak
+from repro.harness.runner import METHOD_LABELS, make_engine, time_run
+from repro.harness.tables import format_bytes, format_ratio, render_series, render_table
+from repro.harness import experiments as exp
+
+SIZE = 40_000
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bbb"], [[1, 2.5], ["xx", 0.00001]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a ")
+        assert len(lines) == 5
+
+    def test_render_series(self):
+        out = render_series("x", [1, 2], {"m": [0.1, 0.2]})
+        assert "0.1" in out and "m" in out
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512B"
+        assert format_bytes(2048) == "2.0KiB"
+        assert format_bytes(3 * 1024 * 1024) == "3.0MiB"
+
+    def test_format_ratio_paper_convention(self):
+        assert format_ratio(0.0) == "0.00%"
+        assert format_ratio(0.00005) == "<0.01%"
+        assert format_ratio(0.9944) == "99.44%"
+
+
+class TestMemory:
+    def test_measure_peak_sees_allocation(self):
+        def alloc():
+            return bytearray(4 * 1024 * 1024)
+
+        result, peak = measure_peak(alloc)
+        assert len(result) == 4 * 1024 * 1024
+        assert peak >= 4 * 1024 * 1024
+
+    def test_engine_peak_streaming_below_preprocessing(self):
+        from repro.data.datasets import large_record
+
+        data = large_record("BB", 80_000, seed=2)
+        _, streaming = measure_engine_peak(make_engine("jpstream", "$.pd[*].cp[1:3].id"), data)
+        _, dom = measure_engine_peak(make_engine("rapidjson", "$.pd[*].cp[1:3].id"), data)
+        assert dom > 3 * streaming  # the parse tree dwarfs the dual stack
+
+
+class TestRunner:
+    def test_all_methods_constructible(self):
+        for method in METHOD_LABELS:
+            engine = make_engine(method, "$.a")
+            assert engine.run(b'{"a": 1}').values() == [1]
+
+    def test_unknown_method(self):
+        with pytest.raises(KeyError):
+            make_engine("mystery", "$.a")
+
+    def test_time_run(self):
+        seconds, matches = time_run(make_engine("jsonski", "$.a"), b'{"a": 1}', repeat=2)
+        assert seconds >= 0 and matches.values() == [1]
+
+
+class TestExperiments:
+    """Smoke-run every experiment at a tiny size; shapes asserted."""
+
+    def test_table4(self):
+        title, headers, rows = exp.exp_table4(SIZE)
+        assert len(rows) == 6
+        assert headers[0] == "Data"
+
+    def test_table5(self):
+        _, _, rows = exp.exp_table5(SIZE)
+        assert len(rows) == 12
+        by_id = {r[0]: r[2] for r in rows}
+        assert by_id["NSPL1"] == 44
+
+    def test_fig10_counts_agree(self):
+        _, headers, rows = exp.exp_fig10(SIZE, workers=4)
+        assert len(rows) == 12
+        assert len(headers) == 8  # query + 5 serial + 2 parallel
+
+    def test_fig11(self):
+        _, _, rows = exp.exp_fig11(SIZE)
+        assert len(rows) == 10  # NSPL1/WP2 excluded
+
+    def test_fig12(self):
+        _, _, rows = exp.exp_fig12(SIZE, workers=4)
+        assert len(rows) == 10
+
+    def test_fig13_memory_orders(self):
+        _, headers, rows = exp.exp_fig13(SIZE)
+        assert len(rows) == 6
+
+    def test_fig14(self):
+        _, _, rows = exp.exp_fig14(sizes=(20_000, 40_000), simdjson_cap=30_000)
+        assert rows[0][3] != "cap"  # simdjson under cap at first size
+        assert rows[1][3] == "cap"
+
+    def test_table6_ratios_high(self):
+        _, _, rows = exp.exp_table6(SIZE)
+        for row in rows:
+            overall = row[-1]
+            assert overall.endswith("%")
+            assert float(overall.rstrip("%")) > 80, row
+
+    def test_ablations(self):
+        _, _, rows = exp.exp_ablation_fastforward(SIZE)
+        assert len(rows) == 12
+        _, _, rows = exp.exp_ablation_scanner(20_000)
+        assert len(rows) == 12
+        _, _, rows = exp.exp_ablation_chunksize(SIZE, chunk_sizes=(4096, 65536))
+        assert len(rows) == 2

@@ -1,0 +1,107 @@
+"""Tests for the chunked structural index (word-bitmap flavour)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bits.classify import CharClass
+from repro.bits.index import BufferIndex, build_chunk_index
+from repro.bits.strings import INITIAL_CARRY, naive_string_mask
+
+
+class TestBuildChunkIndex:
+    def test_string_filtering(self):
+        chunk = b'{"a{": ","}'
+        ci = build_chunk_index(chunk, 0)
+        # The '{' at position 3 and ',' at 8 are inside strings.
+        assert list(ci.positions_list(CharClass.LBRACE)) == [0]
+        assert list(ci.positions_list(CharClass.COMMA)) == []
+        assert list(ci.positions_list(CharClass.COLON)) == [5]
+
+    def test_quote_positions_are_unescaped_only(self):
+        chunk = b'{"a\\"b": 1}'
+        ci = build_chunk_index(chunk, 0)
+        assert list(ci.positions_list(CharClass.QUOTE)) == [1, 6]
+
+    def test_absolute_offsets(self):
+        ci = build_chunk_index(b"{}", 1000)
+        assert list(ci.positions_list(CharClass.LBRACE)) == [1000]
+        assert list(ci.positions_list(CharClass.RBRACE)) == [1001]
+        assert ci.start == 1000 and ci.end == 1002
+
+    def test_derived_union_positions(self):
+        ci = build_chunk_index(b"[{}]", 0)
+        assert list(ci.positions_list(CharClass.OPEN)) == [0, 1]
+        assert list(ci.positions_list(CharClass.CLOSE)) == [2, 3]
+        assert list(ci.positions_list(CharClass.ANY)) == [0, 1, 2, 3]
+
+
+class TestBufferIndex:
+    def test_chunk_math(self):
+        idx = BufferIndex(b"x" * 200, chunk_size=64, cache_chunks=None)
+        assert idx.n_chunks == 4
+        assert idx.chunk_of(0) == 0
+        assert idx.chunk_of(63) == 0
+        assert idx.chunk_of(64) == 1
+        assert idx.chunk_start(3) == 192
+        assert idx.get(3).length == 200 - 192
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BufferIndex(b"x", chunk_size=100)
+        with pytest.raises(ValueError):
+            BufferIndex(b"x", chunk_size=64, cache_chunks=1)
+        with pytest.raises(IndexError):
+            BufferIndex(b"x", chunk_size=64).get(5)
+
+    def test_forward_build_chains_carries(self):
+        # A string spanning three chunks must mask metachars throughout.
+        data = b'{"k": "' + b"{" * 150 + b'"}'
+        idx = BufferIndex(data, chunk_size=64, cache_chunks=None)
+        braces = [p for cid in range(idx.n_chunks) for p in list(idx.get(cid).positions_list(CharClass.LBRACE))]
+        assert braces == [0]
+
+    def test_lru_eviction_and_rebuild(self):
+        data = (b'{"a": 1}' * 100).ljust(1024)
+        idx = BufferIndex(data, chunk_size=64, cache_chunks=2)
+        idx.get(idx.n_chunks - 1)  # builds everything forward
+        built_once = idx.chunks_built
+        assert built_once == idx.n_chunks
+        # Old chunks were evicted; asking again rebuilds from stored carries.
+        first = idx.get(0)
+        assert idx.chunks_built == built_once + 1
+        assert first.carry_in == INITIAL_CARRY
+
+    def test_unbounded_cache_never_rebuilds(self):
+        data = b'[1, 2, 3]' * 50
+        idx = BufferIndex(data, chunk_size=64, cache_chunks=None)
+        for _ in range(3):
+            for cid in range(idx.n_chunks):
+                idx.get(cid)
+        assert idx.chunks_built == idx.n_chunks
+
+    @given(st.binary(max_size=300))
+    def test_rebuilt_chunk_identical(self, data):
+        """Eviction must be invisible: rebuilt chunks equal originals."""
+        if not data:
+            return
+        full = BufferIndex(data, chunk_size=64, cache_chunks=None)
+        lru = BufferIndex(data, chunk_size=64, cache_chunks=2)
+        lru.get(lru.n_chunks - 1)
+        for cid in range(full.n_chunks):
+            a, b = full.get(cid), lru.get(cid)
+            for cls in (CharClass.ANY, CharClass.QUOTE):
+                assert list(a.positions_list(cls)) == list(b.positions_list(cls))
+
+    @given(st.binary(max_size=256))
+    def test_in_string_matches_oracle(self, data):
+        idx = BufferIndex(data, chunk_size=64, cache_chunks=None)
+        carry = INITIAL_CARRY
+        for cid in range(idx.n_chunks):
+            chunk = idx.get(cid)
+            want = naive_string_mask(data[chunk.start : chunk.end], carry)
+            mask = (1 << chunk.length) - 1
+            assert chunk.in_string & mask == want.in_string
+            carry = want.carry_out

@@ -1,0 +1,78 @@
+"""Full-matrix integration: every engine × every Table 5 query × both
+input formats, all validated against the oracle.
+
+This is the closest thing to "run the paper's whole evaluation and check
+every number is *correct*" (the benchmarks check every number is
+*fast*).  Sizes are small; coverage is exhaustive.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro.data.datasets import DATASETS, large_record, record_stream
+from repro.reference import evaluate_bytes
+
+SIZE = 25_000
+ENGINES = ("jsonski", "jsonski-word", "rds", "jpstream", "rapidjson", "simdjson", "pison", "stdlib")
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    return {
+        name: (large_record(name, SIZE, seed=31), record_stream(name, SIZE, seed=31))
+        for name in DATASETS
+    }
+
+
+def _normalize(values):
+    return [json.dumps(v, sort_keys=True) for v in values]
+
+
+@pytest.mark.parametrize("engine_name", ENGINES)
+@pytest.mark.parametrize("dataset", list(DATASETS))
+def test_large_record_matrix(engine_name, dataset, inputs):
+    data, _ = inputs[dataset]
+    for q in DATASETS[dataset].queries:
+        expected = _normalize(evaluate_bytes(q.large, data))
+        got = _normalize(repro.ENGINES[engine_name](q.large).run(data).values())
+        assert got == expected, (engine_name, q.qid)
+
+
+@pytest.mark.parametrize("engine_name", ENGINES)
+@pytest.mark.parametrize("dataset", list(DATASETS))
+def test_small_records_matrix(engine_name, dataset, inputs):
+    _, stream = inputs[dataset]
+    for q in DATASETS[dataset].queries:
+        if q.small is None:
+            continue
+        expected = [
+            v
+            for i in range(len(stream))
+            for v in _normalize(evaluate_bytes(q.small, stream.record(i)))
+        ]
+        got = _normalize(repro.ENGINES[engine_name](q.small).run_records(stream).values())
+        assert got == expected, (engine_name, q.qid)
+
+
+def test_multiquery_full_dataset_pass(inputs):
+    """Both of each dataset's queries in one fused pass."""
+    for dataset, spec in DATASETS.items():
+        data, _ = inputs[dataset]
+        queries = [q.large for q in spec.queries]
+        results = repro.JsonSkiMulti(queries).run(data)
+        for q, got in zip(queries, results):
+            assert _normalize(got.values()) == _normalize(evaluate_bytes(q, data)), (dataset, q)
+
+
+def test_stats_available_for_every_query(inputs):
+    for dataset, spec in DATASETS.items():
+        data, _ = inputs[dataset]
+        for q in spec.queries:
+            engine = repro.JsonSki(q.large, collect_stats=True)
+            engine.run(data)
+            assert engine.last_stats is not None
+            assert 0 <= engine.last_stats.overall_ratio <= 1

@@ -1,0 +1,81 @@
+"""Additional structural-interval behaviours (cursors, spills, edges)."""
+
+from __future__ import annotations
+
+from repro.bits.classify import CharClass
+from repro.bits.index import BufferIndex
+from repro.bits.intervals import IntervalBuilder, StructuralInterval
+
+
+def builder(data: bytes, chunk_size: int = 64) -> IntervalBuilder:
+    return IntervalBuilder(BufferIndex(data, chunk_size=chunk_size, cache_chunks=None))
+
+
+class TestCursorSemantics:
+    def test_next_crosses_chunk_boundaries(self):
+        data = (b"x" * 70 + b",") * 3
+        ib = builder(data)
+        ends = [ib.next(CharClass.COMMA).end for _ in range(3)]
+        assert ends == [70, 141, 212]
+
+    def test_next_exhausts_to_open_interval(self):
+        ib = builder(b"a,b")
+        assert ib.next(CharClass.COMMA).end == 1
+        tail = ib.next(CharClass.COMMA)
+        assert tail.is_open
+        # A further call keeps returning open intervals at the stream end.
+        assert ib.next(CharClass.COMMA).is_open
+
+    def test_reset_all(self):
+        ib = builder(b",,")
+        ib.next(CharClass.COMMA)
+        ib.next(CharClass.COLON)
+        ib.reset()
+        assert ib.next(CharClass.COMMA).end == 0
+
+
+class TestBuildEdges:
+    def test_build_past_end(self):
+        ib = builder(b"ab")
+        interval = ib.build(10, CharClass.COMMA)
+        assert interval.is_open and interval.start == 10
+
+    def test_zero_length_interval(self):
+        ib = builder(b",x")
+        interval = ib.build(0, CharClass.COMMA)
+        assert (interval.start, interval.end) == (0, 0)
+        assert interval.length_to(2) == 0
+
+    def test_interval_containment_edges(self):
+        interval = StructuralInterval(CharClass.COMMA, 5, 5)
+        assert 5 not in interval  # zero-length contains nothing
+
+    def test_string_filtered(self):
+        data = b'"a,b",'
+        interval = builder(data).build(0, CharClass.COMMA)
+        assert interval.end == 5
+
+
+class TestWordBitmapSpills:
+    def test_three_word_spill(self):
+        data = b"a" * 150 + b"," + b"a" * 9
+        ib = builder(data, chunk_size=256)
+        interval = ib.build(10, CharClass.COMMA)
+        pieces = list(ib.word_bitmaps(interval))
+        assert len(pieces) == 3  # words 0, 64, 128
+        assert pieces[0][0] == 0 and pieces[-1][0] == 128
+        covered = sum(bitmap.bit_count() for _, bitmap in pieces)
+        assert covered == 150 - 10
+
+    def test_open_interval_bitmaps_reach_stream_end(self):
+        data = b"a" * 100
+        ib = builder(data, chunk_size=128)
+        interval = ib.build(90, CharClass.COMMA)
+        pieces = list(ib.word_bitmaps(interval))
+        covered = sum(bitmap.bit_count() for _, bitmap in pieces)
+        assert covered == 10
+
+    def test_empty_interval_yields_nothing(self):
+        ib = builder(b",")
+        interval = ib.build(0, CharClass.COMMA)
+        assert list(ib.word_bitmaps(interval)) == []

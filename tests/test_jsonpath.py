@@ -1,0 +1,138 @@
+"""JSONPath parser tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.synth import random_path
+from repro.errors import JsonPathSyntaxError
+from repro.jsonpath import (
+    Child,
+    Descendant,
+    Index,
+    Slice,
+    WildcardChild,
+    WildcardIndex,
+    parse_path,
+)
+
+
+class TestParsing:
+    def test_paper_queries_parse(self):
+        # Every Table 5 query structure must round-trip.
+        for text in (
+            "$[*].en.urls[*].url",
+            "$[*].text",
+            "$.pd[*].cp[1:3].id",
+            "$.pd[*].vc[*].cha",
+            "$[*].rt[*].lg[*].st[*].dt.tx",
+            "$[*].atm",
+            "$.mt.vw.co[*].nm",
+            "$.dt[*][*][2:4]",
+            "$.it[*].bmrpr.pr",
+            "$.it[*].nm",
+            "$[*].cl.P150[*].ms.pty",
+            "$[10:21].cl.P150[*].ms.pty",
+        ):
+            assert parse_path(text).unparse() == text
+
+    def test_child(self):
+        path = parse_path("$.place.name")
+        assert path.steps == (Child("place"), Child("name"))
+
+    def test_bracket_name(self):
+        assert parse_path("$['place name']").steps == (Child("place name"),)
+        assert parse_path('$["a.b"]').steps == (Child("a.b"),)
+
+    def test_bracket_name_with_escapes(self):
+        assert parse_path(r"$['it\'s']").steps == (Child("it's"),)
+        assert parse_path(r"$['back\\slash']").steps == (Child("back\\slash"),)
+
+    def test_index_and_slice(self):
+        assert parse_path("$[5]").steps == (Index(5),)
+        assert parse_path("$[2:4]").steps == (Slice(2, 4),)
+        assert parse_path("$[2:]").steps == (Slice(2, None),)
+        assert parse_path("$[:3]").steps == (Slice(0, 3),)
+
+    def test_wildcards(self):
+        assert parse_path("$[*]").steps == (WildcardIndex(),)
+        assert parse_path("$.*").steps == (WildcardChild(),)
+
+    def test_descendant(self):
+        assert parse_path("$..name").steps == (Descendant("name"),)
+        path = parse_path("$.a..b[0]")
+        assert path.steps == (Child("a"), Descendant("b"), Index(0))
+
+    def test_names_with_digits_and_dashes(self):
+        assert parse_path("$.P150").steps == (Child("P150"),)
+        assert parse_path("$.a-b_c").steps == (Child("a-b_c"),)
+
+    def test_whitespace_tolerated_around(self):
+        assert parse_path("  $.a  ").unparse() == "$.a"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "place.name",  # missing $
+            "$",  # no steps
+            "$.",  # missing name
+            "$[",  # unterminated bracket
+            "$[abc]",  # unquoted name in bracket
+            "$['x]",  # unterminated string
+            "$[1:1]",  # empty range
+            "$[3:2]",  # inverted range
+            "$[-1]",  # negative index unsupported
+            "$..",  # missing descendant name
+            "$ .a",  # stray space inside
+            "$.a!b",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(JsonPathSyntaxError):
+            parse_path(bad)
+
+    def test_error_carries_position(self):
+        with pytest.raises(JsonPathSyntaxError) as info:
+            parse_path("$.a[%]")
+        assert info.value.expression == "$.a[%]"
+        assert info.value.position == 4
+
+    def test_incomplete_filter_position(self):
+        with pytest.raises(JsonPathSyntaxError) as info:
+            parse_path("$.a[?]")
+        assert info.value.position == 5  # '?' opens a filter, '(' expected
+
+
+class TestTypeInference:
+    def test_value_kinds(self):
+        path = parse_path("$.place.name")
+        assert path.value_kind(0) == "object"  # place must hold .name
+        assert path.value_kind(1) == "unknown"  # last level
+
+    def test_array_kind(self):
+        path = parse_path("$.places[2:4].name")
+        assert path.value_kind(0) == "array"
+        assert path.value_kind(1) == "object"
+
+    def test_descendant_blocks_inference(self):
+        path = parse_path("$.a..b")
+        assert path.value_kind(0) == "unknown"
+        assert path.has_descendant
+
+
+class TestRoundTrip:
+    @given(st.randoms(use_true_random=False))
+    def test_random_paths_roundtrip(self, rng):
+        text = random_path(rng)
+        path = parse_path(text)
+        assert parse_path(path.unparse()) == path
+
+    def test_non_identifier_name_unparse(self):
+        path = parse_path("$['a b']")
+        assert path.unparse() == "$['a b']"
+        assert parse_path(path.unparse()) == path

@@ -1,0 +1,47 @@
+"""Parser fuzzing: arbitrary text must parse or raise JsonPathSyntaxError."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.synth import random_path
+from repro.errors import JsonPathSyntaxError
+from repro.jsonpath.parser import parse_path
+
+
+class TestNeverCrashes:
+    @given(st.text(max_size=40))
+    @settings(max_examples=80)
+    def test_arbitrary_text(self, text):
+        try:
+            path = parse_path(text)
+        except JsonPathSyntaxError:
+            return
+        # Anything accepted must round-trip.
+        assert parse_path(path.unparse()) == path
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=60)
+    def test_mutated_valid_paths(self, seed):
+        rng = random.Random(seed)
+        text = random_path(rng)
+        if rng.random() < 0.7:
+            i = rng.randrange(len(text))
+            text = text[:i] + rng.choice("$.[]()*:,'x0 ") + text[i + 1 :]
+        try:
+            path = parse_path(text)
+        except JsonPathSyntaxError:
+            return
+        assert parse_path(path.unparse()) == path
+
+    @given(st.text(alphabet="$.[]*:,'\"0123456789ab\\", max_size=30))
+    @settings(max_examples=80)
+    def test_metachar_soup(self, text):
+        try:
+            path = parse_path(text)
+        except JsonPathSyntaxError:
+            return
+        assert path.unparse()

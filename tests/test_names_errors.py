@@ -1,0 +1,73 @@
+"""Name decoding and error-hierarchy units."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.engine.names import decode_name
+from repro.errors import (
+    JsonPathSyntaxError,
+    JsonSyntaxError,
+    RecordTooLargeError,
+    ReproError,
+    StreamExhaustedError,
+    UnsupportedQueryError,
+)
+
+
+class TestDecodeName:
+    def test_plain(self):
+        assert decode_name(b"place") == "place"
+
+    def test_utf8(self):
+        assert decode_name("名前".encode()) == "名前"
+
+    def test_escapes(self):
+        assert decode_name(rb"a\"b") == 'a"b'
+        assert decode_name(rb"tab\tnl\n") == "tab\tnl\n"
+        assert decode_name(rb"A") == "A"
+        assert decode_name(rb"back\\slash") == "back\\slash"
+
+    def test_malformed_escape_is_lenient(self):
+        # Never raises: the literal text becomes the (unmatchable) name.
+        assert decode_name(rb"\q") == "\\q"
+
+    def test_invalid_utf8_is_lenient(self):
+        name = decode_name(b"\xff\xfe")
+        assert isinstance(name, str)
+
+    def test_consistency_across_engines(self):
+        # The same weird name must match through every engine.
+        doc = '{"\\u0061b": 1}'.encode()
+        for engine_name in ("jsonski", "rds", "jpstream", "rapidjson", "simdjson", "pison"):
+            assert repro.ENGINES[engine_name]("$.ab").run(doc).values() == [1], engine_name
+
+
+class TestErrorHierarchy:
+    def test_subclassing(self):
+        assert issubclass(JsonPathSyntaxError, ReproError)
+        assert issubclass(JsonSyntaxError, ReproError)
+        assert issubclass(StreamExhaustedError, JsonSyntaxError)
+        assert issubclass(UnsupportedQueryError, ReproError)
+        assert issubclass(RecordTooLargeError, ReproError)
+
+    def test_json_error_message_carries_position(self):
+        err = JsonSyntaxError("boom", 17)
+        assert err.position == 17
+        assert "byte 17" in str(err)
+
+    def test_path_error_carries_expression(self):
+        err = JsonPathSyntaxError("bad", "$..", 3)
+        assert err.expression == "$.."
+        assert err.position == 3
+
+    def test_single_except_catches_everything(self):
+        for factory in (
+            lambda: repro.JsonSki("$["),
+            lambda: repro.JsonSki("$.a").run(b""),
+            lambda: repro.PisonLike("$..a"),
+            lambda: repro.SimdJsonLike("$.a", max_record_bytes=1).run(b"123"),
+        ):
+            with pytest.raises(ReproError):
+                factory()

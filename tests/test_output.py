@@ -1,0 +1,57 @@
+"""MatchList / Match tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.output import Match, MatchList
+
+
+class TestMatch:
+    def test_text_and_value(self):
+        m = Match(b'xx{"a": 1}yy', 2, 10)
+        assert m.text == b'{"a": 1}'
+        assert m.value() == {"a": 1}
+
+
+class TestMatchList:
+    def test_order_preserved(self):
+        ml = MatchList()
+        ml.add(b"abc", 0, 1)
+        ml.add(b"abc", 1, 2)
+        assert ml.texts() == [b"a", b"b"]
+        assert [m.start for m in ml] == [0, 1]
+        assert ml[1].text == b"b"
+
+    def test_reserve_fill_keeps_position(self):
+        ml = MatchList()
+        slot = ml.reserve()
+        ml.add(b"xy", 1, 2)
+        ml.fill(slot, b"xy", 0, 1)
+        assert ml.texts() == [b"x", b"y"]
+
+    def test_double_fill_rejected(self):
+        ml = MatchList()
+        slot = ml.reserve()
+        ml.fill(slot, b"x", 0, 1)
+        with pytest.raises(ValueError):
+            ml.fill(slot, b"x", 0, 1)
+
+    def test_unfilled_slot_detected(self):
+        ml = MatchList()
+        ml.reserve()
+        with pytest.raises(ValueError):
+            ml.texts()
+
+    def test_extend(self):
+        a, b = MatchList(), MatchList()
+        a.add(b"1", 0, 1)
+        b.add(b"2", 0, 1)
+        a.extend(b)
+        assert a.values() == [1, 2]
+        assert len(a) == 2
+
+    def test_values_decode(self):
+        ml = MatchList()
+        ml.add(b'[true, null]', 0, 12)
+        assert ml.values() == [[True, None]]

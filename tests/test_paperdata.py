@@ -1,0 +1,61 @@
+"""Sanity checks over the transcribed paper constants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import paperdata
+from repro.harness import experiments as exp
+
+
+class TestTranscription:
+    def test_twelve_queries_everywhere(self):
+        assert len(paperdata.PAPER_TABLE5_MATCHES) == 12
+        assert len(paperdata.PAPER_TABLE6) == 12
+        assert set(paperdata.PAPER_TABLE5_MATCHES) == set(paperdata.PAPER_TABLE6)
+
+    def test_table6_overall_above_95_percent(self):
+        # The paper's claim: "all above 95%".
+        for qid, row in paperdata.PAPER_TABLE6.items():
+            assert row[5] > 0.95, qid
+
+    def test_groups_do_not_exceed_overall(self):
+        for qid, row in paperdata.PAPER_TABLE6.items():
+            groups_sum = sum(v for v in row[:5] if v is not None)
+            assert groups_sum <= row[5] + 0.02, qid  # transcription tolerance
+
+    def test_nspl1_exact_44(self):
+        assert paperdata.PAPER_TABLE5_MATCHES["NSPL1"] == 44
+
+    def test_dominant_groups(self):
+        assert paperdata.dominant_groups("NSPL1") == ("G4",)
+        assert paperdata.dominant_groups("WP2") == ("G5",)
+        assert paperdata.dominant_groups("TT1") == ("G1", "G2", "G4")
+
+    def test_query_ids_match_dataset_registry(self):
+        ours = {q.qid for _, q in exp.all_queries()}
+        assert ours == set(paperdata.PAPER_TABLE6)
+
+    def test_table4_covers_all_datasets(self):
+        from repro.data.datasets import DATASETS
+
+        assert set(paperdata.PAPER_TABLE4) == set(DATASETS)
+
+
+class TestComparisons:
+    SIZE = 40_000
+
+    def test_table6_compare_rows(self):
+        _, headers, rows = exp.exp_table6_compare(self.SIZE)
+        assert len(rows) == 12
+        assert headers[-1] == "agree"
+        # At this tiny size ratios are a bit noisier, but the dominant
+        # groups should still overlap the paper's on nearly every query.
+        agreed = sum(1 for row in rows if row[-1] == "yes")
+        assert agreed >= 10
+
+    def test_fig10_compare_rows(self):
+        _, _, rows = exp.exp_fig10_compare(self.SIZE)
+        assert {row[0] for row in rows} == {"JPStream", "simdjson", "Pison"}
+        for row in rows:
+            assert row[1].endswith("x") and row[2].endswith("x")

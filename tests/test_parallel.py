@@ -1,0 +1,137 @@
+"""Parallel substrate tests: makespan math, chunking, speculation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+import repro
+from repro.baselines import JPStream, PisonLike
+from repro.data.datasets import DATASETS, large_record, record_stream
+from repro.harness.experiments import ARRAY_PATHS
+from repro.parallel import (
+    makespan,
+    parallel_records_run,
+    speculative_large_run,
+    split_top_level,
+)
+from repro.reference import evaluate_bytes
+
+
+class TestMakespan:
+    def test_single_worker_is_sum(self):
+        res = makespan([1.0, 2.0, 3.0], 1)
+        assert res.wall_seconds == pytest.approx(6.0)
+        assert res.speedup == pytest.approx(1.0)
+
+    def test_perfect_split(self):
+        res = makespan([1.0] * 8, 4)
+        assert res.wall_seconds == pytest.approx(2.0)
+        assert res.speedup == pytest.approx(4.0)
+        assert res.efficiency == pytest.approx(1.0)
+
+    def test_dynamic_scheduling_order(self):
+        # Workers grab tasks in order: [3, 1, 1, 1] on 2 workers ->
+        # w0 takes 3; w1 takes 1,1,1 -> wall 3.
+        res = makespan([3.0, 1.0, 1.0, 1.0], 2)
+        assert res.wall_seconds == pytest.approx(3.0)
+
+    def test_serial_section_charged(self):
+        res = makespan([1.0, 1.0], 2, serial_seconds=0.5)
+        assert res.wall_seconds == pytest.approx(1.5)
+        assert res.speedup == pytest.approx(2.5 / 1.5)
+
+    def test_empty_tasks(self):
+        assert makespan([], 4).wall_seconds == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            makespan([1.0], 0)
+        with pytest.raises(ValueError):
+            makespan([-1.0], 2)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=10, allow_nan=False), max_size=40),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_invariants(self, tasks, workers):
+        res = makespan(tasks, workers)
+        total = sum(tasks)
+        longest = max(tasks, default=0.0)
+        # Makespan is bounded below by both the critical task and the
+        # perfectly-balanced share, and above by the serial sum.
+        assert res.wall_seconds >= longest - 1e-9
+        assert res.wall_seconds >= total / workers - 1e-9
+        assert res.wall_seconds <= total + 1e-9
+        assert sum(res.worker_seconds) == pytest.approx(total)
+
+
+class TestSplitTopLevel:
+    def test_root_array(self):
+        data = b'[{"a": 1}, 2, [3]]'
+        split = split_top_level(data, "$")
+        assert [data[s:e] for s, e in split.element_spans] == [b'{"a": 1}', b"2", b"[3]"]
+
+    def test_nested_array_path(self):
+        data = b'{"meta": {"x": 1}, "pd": [10, 20], "tail": 3}'
+        split = split_top_level(data, "$.pd")
+        assert [data[s:e] for s, e in split.element_spans] == [b"10", b"20"]
+
+    def test_chunks_reassemble_to_valid_records(self):
+        data = large_record("BB", 20_000, seed=5)
+        split = split_top_level(data, "$.pd")
+        chunks = split.chunk_inputs(4)
+        assert sum(c.n_elements for c in chunks) == len(split.element_spans)
+        for chunk in chunks:
+            json.loads(chunk.data)
+
+    def test_first_chunk_keeps_real_prefix(self):
+        data = large_record("NSPL", 20_000, seed=5)
+        split = split_top_level(data, "$.dt")
+        chunks = split.chunk_inputs(3)
+        assert chunks[0].has_real_prefix
+        assert b'"mt"' in chunks[0].data
+        assert b'"mt"' not in chunks[1].data
+
+    def test_missing_attribute_raises(self):
+        from repro.errors import JsonSyntaxError
+
+        with pytest.raises(JsonSyntaxError):
+            split_top_level(b'{"a": [1]}', "$.nope")
+
+
+class TestRecordParallel:
+    def test_matches_and_speedup(self):
+        stream = record_stream("TT", 40_000, seed=9)
+        engine = repro.JsonSki("$.text")
+        result = parallel_records_run(engine, stream, 8)
+        assert len(result.matches) == len(stream)
+        assert 1.0 <= result.speedup <= 8.0 + 1e-9
+
+
+@pytest.mark.parametrize("dataset_name", list(DATASETS))
+class TestSpeculation:
+    def test_matches_equal_serial(self, dataset_name):
+        data = large_record(dataset_name, 30_000, seed=13)
+        for q in DATASETS[dataset_name].queries:
+            expected = [json.dumps(v, sort_keys=True) for v in evaluate_bytes(q.large, data)]
+            result = speculative_large_run(
+                lambda p: JPStream(p), data, q.large, ARRAY_PATHS[dataset_name], n_workers=4
+            )
+            got = [json.dumps(v, sort_keys=True) for v in result.matches.values()]
+            assert got == expected, q.qid
+
+
+class TestSpeculationPison:
+    def test_pison_engine_factory(self):
+        data = large_record("BB", 30_000, seed=13)
+        result = speculative_large_run(
+            lambda p: PisonLike(p), data, "$.pd[*].cp[1:3].id", "$.pd", n_workers=4
+        )
+        expected = evaluate_bytes("$.pd[*].cp[1:3].id", data)
+        assert result.matches.values() == expected
+        assert result.n_chunks >= 1
+        assert result.wall_seconds > 0

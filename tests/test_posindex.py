@@ -1,0 +1,82 @@
+"""Tests for the position-based index (vector-mode fast path).
+
+The defining property: for every chunk and every class, the position
+lists must be *identical* to those derived from the word-bitmap index —
+the two are alternative materializations of the same structural facts.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bits.classify import CharClass
+from repro.bits.index import BufferIndex
+from repro.bits.posindex import PositionBufferIndex, build_position_chunk
+from repro.bits.strings import StringCarry
+
+_JSONISH = st.binary(max_size=400)
+_DENSE = st.lists(st.sampled_from(list(b'ab"\\ {}[]:,')), max_size=400).map(bytes)
+
+_CLASSES = [cls for cls in CharClass if cls is not CharClass.BACKSLASH]
+
+
+class TestBuildPositionChunk:
+    def test_simple_record(self):
+        chunk = build_position_chunk(b'{"a": [1, 2]}', 0)
+        assert list(chunk.positions_list(CharClass.LBRACE)) == [0]
+        assert list(chunk.positions_list(CharClass.COLON)) == [4]
+        assert list(chunk.positions_list(CharClass.COMMA)) == [8]
+        assert list(chunk.positions_list(CharClass.QUOTE)) == [1, 3]
+
+    def test_string_filtering(self):
+        chunk = build_position_chunk(b'{"x": "a{b,c}"}', 0)
+        assert list(chunk.positions_list(CharClass.LBRACE)) == [0]
+        assert list(chunk.positions_list(CharClass.COMMA)) == []
+
+    def test_escaped_quote(self):
+        chunk = build_position_chunk(b'"a\\"b" {', 0)
+        assert list(chunk.positions_list(CharClass.QUOTE)) == [0, 5]
+        assert list(chunk.positions_list(CharClass.LBRACE)) == [7]
+
+    def test_carry_in_escape(self):
+        # Previous chunk ended with an odd backslash run: the first quote
+        # here is escaped and must not open a string.
+        chunk = build_position_chunk(b'"x{', 0, StringCarry(escape=1, in_string=1))
+        assert list(chunk.positions_list(CharClass.QUOTE)) == []
+        assert list(chunk.positions_list(CharClass.LBRACE)) == []  # still in string
+
+    def test_carry_in_string(self):
+        chunk = build_position_chunk(b'x" {', 0, StringCarry(escape=0, in_string=1))
+        assert list(chunk.positions_list(CharClass.LBRACE)) == [3]
+        assert chunk.carry_out.in_string == 0
+
+    def test_offsets_are_absolute(self):
+        chunk = build_position_chunk(b"{}", 500)
+        assert list(chunk.positions_list(CharClass.ANY)) == [500, 501]
+
+    def test_empty(self):
+        chunk = build_position_chunk(b"", 0, StringCarry(1, 1))
+        assert list(chunk.positions_list(CharClass.ANY)) == []
+        assert chunk.carry_out == StringCarry(1, 1)
+
+
+class TestEquivalenceWithWordIndex:
+    @given(_DENSE, st.sampled_from([64, 128, 256]))
+    def test_dense_metachar_soup(self, data, chunk_size):
+        self._check(data, chunk_size)
+
+    @given(_JSONISH)
+    def test_arbitrary_bytes(self, data):
+        self._check(data, 64)
+
+    @staticmethod
+    def _check(data: bytes, chunk_size: int) -> None:
+        wi = BufferIndex(data, chunk_size=chunk_size, cache_chunks=None)
+        pi = PositionBufferIndex(data, chunk_size=chunk_size, cache_chunks=None)
+        assert wi.n_chunks == pi.n_chunks
+        for cid in range(wi.n_chunks):
+            wc, pc = wi.get(cid), pi.get(cid)
+            assert wc.carry_out == pc.carry_out, (cid, data)
+            for cls in _CLASSES:
+                assert list(wc.positions_list(cls)) == list(pc.positions_list(cls)), (cid, cls, data)

@@ -1,0 +1,70 @@
+"""RecordStream (small-records format) tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stream.records import RecordStream
+
+
+class TestFromRecords:
+    def test_offsets_and_access(self):
+        stream = RecordStream.from_records([b'{"a":1}', b"[2]", b"3"])
+        assert len(stream) == 3
+        assert stream.record(0) == b'{"a":1}'
+        assert stream.record(2) == b"3"
+        assert list(stream) == [b'{"a":1}', b"[2]", b"3"]
+
+    def test_payload_contains_separators(self):
+        stream = RecordStream.from_records([b"1", b"2"], separator=b"\n")
+        assert stream.payload == b"1\n2\n"
+        assert stream.size == 4
+
+    def test_empty(self):
+        stream = RecordStream.from_records([])
+        assert len(stream) == 0
+
+
+class TestFromJsonl:
+    def test_basic(self):
+        stream = RecordStream.from_jsonl(b'{"a":1}\n\n{"a":2}\n')
+        assert len(stream) == 2
+        assert stream.record(1) == b'{"a":2}'
+
+    def test_no_trailing_newline(self):
+        stream = RecordStream.from_jsonl(b"[1]\n[2]")
+        assert list(stream) == [b"[1]", b"[2]"]
+
+    def test_blank_lines_skipped(self):
+        assert len(RecordStream.from_jsonl(b"\n  \n[1]\n \n")) == 1
+
+
+class TestPartitions:
+    def test_partitions_cover_all_records(self):
+        stream = RecordStream.from_records([b"%d" % i for i in range(10)])
+        parts = stream.partitions(3)
+        recovered = [rec for part in parts for rec in part]
+        assert recovered == list(stream)
+
+    def test_share_payload(self):
+        stream = RecordStream.from_records([b"1", b"2"])
+        parts = stream.partitions(2)
+        assert all(p.payload is stream.payload for p in parts)
+
+    def test_more_parts_than_records(self):
+        stream = RecordStream.from_records([b"1", b"2"])
+        parts = stream.partitions(5)
+        assert sum(len(p) for p in parts) == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            RecordStream.from_records([b"1"]).partitions(0)
+
+
+class TestOffsetsArray:
+    def test_custom_offsets(self):
+        payload = b"xx[1]yy[2]"
+        stream = RecordStream(payload, np.array([[2, 5], [7, 10]]))
+        assert stream.record(0) == b"[1]"
+        assert stream.record(1) == b"[2]"

@@ -1,0 +1,66 @@
+"""Reference evaluator semantics tests (it anchors everything else)."""
+
+from __future__ import annotations
+
+from repro.reference import evaluate, evaluate_bytes, evaluate_with_paths
+
+
+class TestChildAndWildcard:
+    def test_child(self):
+        assert evaluate("$.a.b", {"a": {"b": 7}}) == [7]
+
+    def test_missing_child(self):
+        assert evaluate("$.a.b", {"a": {}}) == []
+
+    def test_child_on_non_object(self):
+        assert evaluate("$.a.b", {"a": [1, 2]}) == []
+
+    def test_wildcard_child_order(self):
+        assert evaluate("$.*", {"b": 1, "a": 2}) == [1, 2]  # document order
+
+
+class TestIndexing:
+    def test_index(self):
+        assert evaluate("$[1]", [10, 20, 30]) == [20]
+
+    def test_index_out_of_range(self):
+        assert evaluate("$[5]", [1]) == []
+
+    def test_slice(self):
+        assert evaluate("$[1:3]", [0, 1, 2, 3]) == [1, 2]
+
+    def test_slice_clamped(self):
+        assert evaluate("$[2:99]", [0, 1, 2, 3]) == [2, 3]
+
+    def test_open_slice(self):
+        assert evaluate("$[2:]", [0, 1, 2, 3]) == [2, 3]
+
+    def test_index_on_object(self):
+        assert evaluate("$[0]", {"0": "x"}) == []
+
+
+class TestDescendant:
+    def test_all_depths(self):
+        doc = {"b": 1, "a": {"b": 2, "c": [{"b": 3}]}}
+        assert evaluate("$..b", doc) == [1, 2, 3]
+
+    def test_pre_order_nested(self):
+        doc = {"b": {"b": "inner"}}
+        assert evaluate("$..b", doc) == [{"b": "inner"}, "inner"]
+
+    def test_descendant_then_child(self):
+        doc = {"x": {"t": {"v": 1}}, "t": {"v": 2}}
+        assert evaluate("$..t.v", doc) == [1, 2]
+
+
+class TestPaths:
+    def test_normalized_paths(self):
+        doc = {"a": [{"b": 1}, {"b": 2}]}
+        got = evaluate_with_paths("$.a[*].b", doc)
+        assert got == [(("a", 0, "b"), 1), (("a", 1, "b"), 2)]
+
+
+class TestBytesEntry:
+    def test_bytes_and_str(self):
+        assert evaluate_bytes("$.a", b'{"a": 1}') == [1]
+        assert evaluate_bytes("$.a", '{"a": "é"}') == ["é"]

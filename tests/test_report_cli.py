@@ -1,0 +1,42 @@
+"""Report module entry points (text, markdown, --compare-paper)."""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.harness import report
+
+
+class TestGenerators:
+    SIZE = 25_000
+
+    def test_text_report_has_all_sections(self):
+        out = report.generate(self.SIZE, workers=4, fast=True)
+        for fragment in ("Table 4", "Table 5", "Figure 10", "Figure 11",
+                         "Figure 12", "Figure 13", "Figure 14", "Table 6",
+                         "Ablation A1", "Ablation A2", "Ablation A3"):
+            assert fragment in out, fragment
+
+    def test_compare_sections(self):
+        sections = report._compare_sections(self.SIZE)
+        titles = [title for title, _, _ in sections]
+        assert any("paper vs measured" in t for t in titles)
+        assert any("headline" in t for t in titles)
+
+
+class TestMain:
+    def test_main_compare_paper(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["report", "--compare-paper", "--size", "25000"])
+        report.main()
+        out = capsys.readouterr().out
+        assert "paper overall" in out and "measured" in out
+
+    def test_main_markdown(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            sys, "argv", ["report", "--markdown", "--fast", "--size", "25000", "--workers", "4"]
+        )
+        report.main()
+        out = capsys.readouterr().out
+        assert out.startswith("# Measured results")

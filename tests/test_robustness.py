@@ -1,0 +1,89 @@
+"""Robustness: engines must never crash with non-library exceptions.
+
+Arbitrary byte garbage, truncated JSON, deeply adversarial strings — the
+contract is: either a :class:`repro.errors.ReproError` (diagnosed
+malformation) or a successful run (the fast-forwarded-region
+non-validation documented in paper Section 3.3).  Anything else
+(IndexError, RecursionError on shallow input, numpy errors) is a bug.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.errors import ReproError
+from tests.conftest import ALL_ENGINES
+
+_QUERIES = ["$.a", "$[0]", "$.a.b[1:3]", "$[*].x", "$..k", "$['a','b']"]
+
+
+def _attempt(engine_name: str, query: str, data: bytes) -> None:
+    if engine_name == "pison" and ".." in query:
+        return
+    try:
+        repro.ENGINES[engine_name](query).run(data)
+    except ReproError:
+        pass  # diagnosed malformation is fine
+
+
+class TestGarbageBytes:
+    @pytest.mark.parametrize("engine_name", ALL_ENGINES)
+    @given(data=st.binary(min_size=1, max_size=120))
+    @settings(max_examples=30)
+    def test_arbitrary_binary(self, engine_name, data):
+        _attempt(engine_name, "$.a", data)
+
+    @pytest.mark.parametrize("engine_name", ALL_ENGINES)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30)
+    def test_metachar_soup(self, engine_name, seed):
+        rng = random.Random(seed)
+        data = bytes(rng.choice(b'{}[]:,"\\ab01 \t\n') for _ in range(rng.randrange(1, 200)))
+        _attempt(engine_name, rng.choice(_QUERIES), data)
+
+
+class TestTruncations:
+    """Every prefix of a valid record must be handled gracefully."""
+
+    @pytest.mark.parametrize("engine_name", ALL_ENGINES)
+    def test_all_prefixes(self, engine_name, tweet_record):
+        for cut in range(0, len(tweet_record), 7):
+            _attempt(engine_name, "$.place.name", tweet_record[:cut])
+
+    @pytest.mark.parametrize("engine_name", ALL_ENGINES)
+    def test_mid_string_and_mid_escape_cuts(self, engine_name):
+        base = rb'{"key\\\"x": "valu\\e", "a": [1, 2]}'
+        for cut in range(1, len(base)):
+            _attempt(engine_name, "$.a[1]", base[:cut])
+
+
+class TestAdversarialValid:
+    def test_many_empty_containers(self):
+        data = b'{"a": ' + b"[" * 200 + b"]" * 200 + b"}"
+        assert repro.JsonSki("$.a").run(data).values() == [eval("[" * 200 + "]" * 200)]
+
+    def test_object_of_only_escapes(self):
+        data = b'{"\\\\\\"": "\\\\", "x": 1}'
+        assert repro.JsonSki("$.x").run(data).values() == [1]
+
+    def test_long_string_of_backslash_runs(self):
+        payload = b"\\\\" * 500
+        data = b'{"s": "' + payload + b'", "x": 2}'
+        assert repro.JsonSki("$.x").run(data).values() == [2]
+        # across chunk boundaries too
+        assert repro.JsonSki("$.x", chunk_size=64).run(data).values() == [2]
+
+    def test_keys_shadowing_metachars(self):
+        data = b'{"{": 1, "}": 2, "[1,2]": 3, ":": 4}'
+        assert repro.JsonSki("$[':']").run(data).values() == [4]
+        assert repro.JsonSki("$['[1,2]']").run(data).values() == [3]
+
+    def test_huge_flat_array(self):
+        data = b"[" + b",".join(b"%d" % i for i in range(5000)) + b"]"
+        assert repro.JsonSki("$[4999]").run(data).values() == [4999]
+        assert repro.JsonSki("$[4999]", chunk_size=64).run(data).values() == [4999]

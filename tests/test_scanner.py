@@ -1,0 +1,134 @@
+"""Scanner primitive tests: word vs vector vs brute-force oracle."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bits.classify import CharClass
+from repro.bits.index import BufferIndex
+from repro.bits.posindex import PositionBufferIndex
+from repro.bits.scanner import NOT_FOUND, VectorScanner, WordScanner, make_scanner
+from repro.bits.strings import naive_string_mask
+
+_DENSE = st.lists(st.sampled_from(list(b'a" \\{}[]:,')), max_size=250).map(bytes)
+_CLASSES = [cls for cls in CharClass if cls is not CharClass.BACKSLASH]
+
+
+def _oracle_positions(data: bytes, cls: CharClass) -> list[int]:
+    """Brute-force string-filtered positions of a class."""
+    mask = naive_string_mask(data)
+    if cls is CharClass.QUOTE:
+        return [i for i in range(len(data)) if mask.unescaped_quotes >> i & 1]
+    return [
+        i
+        for i, c in enumerate(data)
+        if c in cls.chars and not (mask.in_string >> i & 1)
+    ]
+
+
+def _scanners(data: bytes, chunk_size: int = 64):
+    word = WordScanner(BufferIndex(data, chunk_size=chunk_size, cache_chunks=None))
+    vector = VectorScanner(PositionBufferIndex(data, chunk_size=chunk_size, cache_chunks=None))
+    return word, vector
+
+
+class TestMakeScanner:
+    def test_known_modes(self):
+        idx = BufferIndex(b"{}", chunk_size=64)
+        assert isinstance(make_scanner(idx, "word"), WordScanner)
+        assert isinstance(make_scanner(idx, "vector"), VectorScanner)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown scanner mode"):
+            make_scanner(BufferIndex(b"{}", chunk_size=64), "simd")
+
+
+class TestPrimitivesAgainstOracle:
+    @given(_DENSE, st.sampled_from(_CLASSES))
+    def test_find_next(self, data, cls):
+        word, vector = _scanners(data)
+        oracle = _oracle_positions(data, cls)
+        for pos in range(len(data) + 1):
+            want = next((p for p in oracle if p >= pos), NOT_FOUND)
+            assert word.find_next(cls, pos) == want
+            assert vector.find_next(cls, pos) == want
+
+    @given(_DENSE, st.sampled_from(_CLASSES))
+    def test_find_prev(self, data, cls):
+        word, vector = _scanners(data)
+        oracle = _oracle_positions(data, cls)
+        for pos in range(len(data) + 1):
+            want = next((p for p in reversed(oracle) if p <= pos), NOT_FOUND)
+            assert word.find_prev(cls, pos) == want
+            assert vector.find_prev(cls, pos) == want
+
+    @given(_DENSE, st.sampled_from(_CLASSES), st.data())
+    def test_count_range(self, data, cls, draw):
+        word, vector = _scanners(data)
+        oracle = _oracle_positions(data, cls)
+        n = len(data)
+        lo = draw.draw(st.integers(min_value=0, max_value=max(n, 1)))
+        hi = draw.draw(st.integers(min_value=0, max_value=max(n, 1) + 5))
+        want = sum(1 for p in oracle if lo <= p < hi)
+        assert word.count_range(cls, lo, hi) == want
+        assert vector.count_range(cls, lo, hi) == want
+
+    @given(_DENSE, st.sampled_from(_CLASSES), st.integers(min_value=1, max_value=10))
+    def test_kth_in_range(self, data, cls, k):
+        word, vector = _scanners(data)
+        oracle = _oracle_positions(data, cls)
+        for lo in range(0, len(data) + 1, 7):
+            eligible = [p for p in oracle if p >= lo]
+            want = eligible[k - 1] if len(eligible) >= k else NOT_FOUND
+            assert word.kth_in_range(cls, lo, k) == want
+            assert vector.kth_in_range(cls, lo, k) == want
+
+    def test_kth_invalid_k(self):
+        word, vector = _scanners(b"{}")
+        for scanner in (word, vector):
+            with pytest.raises(ValueError):
+                scanner.kth_in_range(CharClass.LBRACE, 0, 0)
+
+
+def _oracle_pair_close(data: bytes, open_cls, close_cls, pos: int, num_open: int) -> int:
+    """Reference matching-close via a linear depth scan."""
+    opens = set(_oracle_positions(data, open_cls))
+    closes = set(_oracle_positions(data, close_cls))
+    depth = num_open
+    for p in range(pos, len(data)):
+        if p in opens:
+            depth += 1
+        elif p in closes:
+            depth -= 1
+            if depth == 0:
+                return p
+    return NOT_FOUND
+
+
+class TestPairClose:
+    @given(_DENSE, st.integers(min_value=1, max_value=3))
+    def test_matches_depth_scan(self, data, num_open):
+        word, vector = _scanners(data)
+        for pos in range(0, len(data) + 1, 5):
+            want = _oracle_pair_close(data, CharClass.LBRACE, CharClass.RBRACE, pos, num_open)
+            assert word.pair_close(CharClass.LBRACE, CharClass.RBRACE, pos, num_open) == want
+            assert vector.pair_close(CharClass.LBRACE, CharClass.RBRACE, pos, num_open) == want
+
+    def test_nested_object_end(self):
+        data = b'{"a": {"b": {}}, "c": {}} tail'
+        _, vector = _scanners(data)
+        assert vector.pair_close(CharClass.LBRACE, CharClass.RBRACE, 1, 1) == 24
+
+    def test_crossing_chunk_boundaries(self):
+        inner = b'{"k": [' + b"1," * 100 + b"2]}"
+        data = b'{"pad": "' + b"x" * 70 + b'", "v": ' + inner + b"}"
+        word, vector = _scanners(data, chunk_size=64)
+        want = len(data) - 1
+        assert word.pair_close(CharClass.LBRACE, CharClass.RBRACE, 1, 1) == want
+        assert vector.pair_close(CharClass.LBRACE, CharClass.RBRACE, 1, 1) == want
+
+    def test_unclosed_returns_not_found(self):
+        _, vector = _scanners(b'{"a": {')
+        assert vector.pair_close(CharClass.LBRACE, CharClass.RBRACE, 1, 1) == NOT_FOUND

@@ -1,0 +1,65 @@
+"""Stateful property tests (hypothesis rule-based machines).
+
+The chunked index is the one component with interesting *state* (carry
+chains, LRU eviction, rebuilds); these machines drive it through
+arbitrary access orders and assert every answer stays equal to a
+freshly-built unbounded index.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+from hypothesis import strategies as st
+
+from repro.bits.classify import CharClass
+from repro.bits.posindex import PositionBufferIndex
+from repro.bits.scanner import VectorScanner
+
+_ALPHABET = b'ab"\\ {}[]:,'
+
+
+class LruIndexMachine(RuleBasedStateMachine):
+    """Random access against a 2-chunk LRU must equal unbounded access."""
+
+    @initialize(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def setup(self, seed):
+        rng = random.Random(seed)
+        n = rng.randrange(1, 600)
+        self.data = bytes(rng.choice(_ALPHABET) for _ in range(n))
+        self.lru = PositionBufferIndex(self.data, chunk_size=64, cache_chunks=2)
+        self.full = PositionBufferIndex(self.data, chunk_size=64, cache_chunks=None)
+        self.scanner = VectorScanner(self.lru)
+        self.reference = VectorScanner(self.full)
+
+    @rule(chunk_frac=st.floats(min_value=0, max_value=1))
+    def access_chunk(self, chunk_frac):
+        cid = min(int(chunk_frac * self.lru.n_chunks), self.lru.n_chunks - 1)
+        a = self.lru.get(cid)
+        b = self.full.get(cid)
+        assert a.carry_out == b.carry_out
+        assert list(a.positions_list(CharClass.ANY)) == list(b.positions_list(CharClass.ANY))
+
+    @rule(pos_frac=st.floats(min_value=0, max_value=1),
+          cls=st.sampled_from([CharClass.LBRACE, CharClass.COMMA, CharClass.QUOTE]))
+    def query_find_next(self, pos_frac, cls):
+        pos = int(pos_frac * max(len(self.data), 1))
+        assert self.scanner.find_next(cls, pos) == self.reference.find_next(cls, pos)
+
+    @rule(pos_frac=st.floats(min_value=0, max_value=1))
+    def query_pair_close(self, pos_frac):
+        pos = int(pos_frac * max(len(self.data), 1))
+        got = self.scanner.pair_close(CharClass.LBRACE, CharClass.RBRACE, pos, 1)
+        want = self.reference.pair_close(CharClass.LBRACE, CharClass.RBRACE, pos, 1)
+        assert got == want
+
+    @invariant()
+    def cache_bounded(self):
+        if hasattr(self, "lru"):
+            assert len(self.lru._cache) <= 2
+
+
+TestLruIndexMachine = LruIndexMachine.TestCase
+TestLruIndexMachine.settings = settings(max_examples=25, stateful_step_count=30, deadline=None)

@@ -1,0 +1,105 @@
+"""Tests for the string masks (escaped characters + in-string parity)."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bits.classify import CharClass, classify_chunk, packed_to_int
+from repro.bits.strings import (
+    INITIAL_CARRY,
+    StringCarry,
+    compute_string_mask,
+    naive_string_mask,
+)
+
+
+def _masks_for(chunk: bytes, carry: StringCarry = INITIAL_CARRY):
+    raw = classify_chunk(chunk)
+    n_bits = len(raw[CharClass.QUOTE]) * 8
+    return compute_string_mask(
+        packed_to_int(raw[CharClass.QUOTE]),
+        packed_to_int(raw[CharClass.BACKSLASH]),
+        n_bits,
+        carry,
+        length=len(chunk),
+    )
+
+
+class TestBasicMasks:
+    def test_simple_string(self):
+        #         0123456789
+        chunk = b'a "bc" d'
+        res = _masks_for(chunk)
+        # opening quote at 2 inside, body 3-4 inside, closing quote 5 outside
+        assert [i for i in range(len(chunk)) if res.in_string >> i & 1] == [2, 3, 4]
+        assert [i for i in range(len(chunk)) if res.unescaped_quotes >> i & 1] == [2, 5]
+
+    def test_escaped_quote_does_not_close(self):
+        chunk = b'"a\\"b"x'
+        res = _masks_for(chunk)
+        assert [i for i in range(len(chunk)) if res.unescaped_quotes >> i & 1] == [0, 5]
+        assert res.in_string >> 6 & 1 == 0  # x outside
+
+    def test_double_backslash_then_quote_closes(self):
+        chunk = b'"a\\\\"x'
+        res = _masks_for(chunk)
+        assert [i for i in range(len(chunk)) if res.unescaped_quotes >> i & 1] == [0, 4]
+        assert res.in_string >> 5 & 1 == 0
+
+    def test_metachars_inside_string_are_masked(self):
+        chunk = b'{"k": "{[,:]}"}'
+        res = _masks_for(chunk)
+        for i, c in enumerate(chunk):
+            if c in b"{}[]:," and 7 <= i <= 12:
+                assert res.in_string >> i & 1, f"pos {i} should be in-string"
+
+    def test_unterminated_string_carries_state(self):
+        res = _masks_for(b'{"open')
+        assert res.carry_out.in_string == 1
+
+    def test_trailing_backslash_carries_escape(self):
+        res = _masks_for(b'"abc\\')
+        assert res.carry_out.escape == 1
+
+    def test_empty_chunk(self):
+        res = _masks_for(b"")
+        assert res.in_string == 0
+        assert res.carry_out == INITIAL_CARRY
+
+    def test_empty_chunk_preserves_carry(self):
+        carry = StringCarry(1, 1)
+        res = _masks_for(b"", carry)
+        assert res.carry_out == carry
+
+
+_ALPHABET = st.sampled_from(list(b'ab"\\ {}[]:,'))
+
+
+class TestAgainstNaiveOracle:
+    @given(st.lists(_ALPHABET, max_size=200), st.booleans(), st.booleans())
+    def test_single_chunk(self, byte_list, esc, ins):
+        chunk = bytes(byte_list)
+        carry = StringCarry(int(esc), int(ins))
+        got = _masks_for(chunk, carry)
+        want = naive_string_mask(chunk, carry)
+        mask = (1 << len(chunk)) - 1
+        assert got.in_string & mask == want.in_string
+        assert got.unescaped_quotes & mask == want.unescaped_quotes
+        assert got.escaped & mask == want.escaped
+        assert got.carry_out == want.carry_out
+
+    @given(st.lists(_ALPHABET, min_size=1, max_size=300))
+    def test_chunked_equals_whole(self, byte_list):
+        """Splitting at arbitrary 64-char chunks must not change anything."""
+        data = bytes(byte_list)
+        whole = naive_string_mask(data)
+        carry = INITIAL_CARRY
+        reconstructed = 0
+        for start in range(0, len(data), 64):
+            part = data[start : start + 64]
+            res = _masks_for(part, carry)
+            reconstructed |= (res.in_string & ((1 << len(part)) - 1)) << start
+            carry = res.carry_out
+        assert reconstructed == whole.in_string
+        assert carry == whole.carry_out

@@ -1,0 +1,121 @@
+"""The paper's formal claims, tested as stated (Lemma 4.2, Theorem 4.3).
+
+Figure 9's running example is reconstructed and the counting-based
+pairing claims are checked both on it and on arbitrary generated
+records, against a depth-scan oracle.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits.classify import CharClass
+from repro.bits.posindex import PositionBufferIndex
+from repro.bits.scanner import VectorScanner
+from repro.data.synth import random_json
+
+
+def _structural(data: bytes, char: bytes) -> list[int]:
+    """String-aware positions of a metacharacter (test oracle)."""
+    out = []
+    in_string = False
+    i = 0
+    while i < len(data):
+        c = data[i : i + 1]
+        if in_string:
+            if c == b"\\":
+                i += 2
+                continue
+            if c == b'"':
+                in_string = False
+        elif c == b'"':
+            in_string = True
+        elif c == char:
+            out.append(i)
+        i += 1
+    return out
+
+
+class TestLemma42:
+    """Between two closest '{'s inside a nested object, the number of
+    '}'s is strictly less than the unpaired-'{' count (Lemma 4.2)."""
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=40)
+    def test_on_random_objects(self, seed):
+        rng = random.Random(seed)
+        value = {"k": random_json(rng, 4, object_bias=0.6)}
+        data = json.dumps(value).encode()
+        opens = _structural(data, b"{")
+        closes = set(_structural(data, b"}"))
+        # For every adjacent pair of opens strictly inside the record:
+        for a, b in zip(opens, opens[1:]):
+            n_close = sum(1 for p in closes if a < p < b)
+            # unpaired opens before and including a:
+            depth = 0
+            for p in opens:
+                if p > a:
+                    break
+                depth += 1
+            depth -= sum(1 for p in closes if p < a)
+            n_open_unpaired = depth
+            # The object enclosing position `a` has not ended before `b`
+            # iff n_close < n_open_unpaired — Lemma 4.2 asserts exactly
+            # the strict inequality whenever both opens are in one object.
+            balance = 0
+            enclosed = True
+            for i in range(a, b):
+                if i in set(opens):
+                    balance += 1
+                elif i in closes:
+                    balance -= 1
+                    if balance <= 0:
+                        enclosed = False
+            if enclosed:
+                assert n_close < n_open_unpaired
+
+
+class TestTheorem43:
+    """If the interval between two closest '{'s holds >= n_open closers,
+    the object ends there, at the n_open-th closer (Theorem 4.3)."""
+
+    def test_figure9_style_example(self):
+        # A reconstruction of Figure 9: nested object with the counts the
+        # paper walks through.
+        data = b'{"a": {"b": {"c": 1}, "d": 2}, "e": 3} {"next": 1}'
+        scanner = VectorScanner(PositionBufferIndex(data, chunk_size=64, cache_chunks=None))
+        # From inside the root (pos 1), one unpaired '{': the root ends at 37.
+        assert scanner.pair_close(CharClass.LBRACE, CharClass.RBRACE, 1, 1) == 37
+        # From inside "a"'s object (pos 7): it ends at 28.
+        assert scanner.pair_close(CharClass.LBRACE, CharClass.RBRACE, 7, 1) == 28
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=40)
+    def test_pairing_equals_depth_scan(self, seed):
+        rng = random.Random(seed)
+        data = json.dumps(random_json(rng, 4, object_bias=0.6)).encode()
+        if not data.startswith(b"{"):
+            data = b'{"w": ' + data + b"}"
+        scanner = VectorScanner(PositionBufferIndex(data, chunk_size=64, cache_chunks=None))
+        opens = _structural(data, b"{")
+        closes = _structural(data, b"}")
+        close_set = set(closes)
+        open_set = set(opens)
+        for start in opens[: 10]:
+            # Oracle: matching close of the object opening at `start`.
+            depth = 0
+            want = None
+            for i in range(start, len(data)):
+                if i in open_set:
+                    depth += 1
+                elif i in close_set:
+                    depth -= 1
+                    if depth == 0:
+                        want = i
+                        break
+            got = scanner.pair_close(CharClass.LBRACE, CharClass.RBRACE, start + 1, 1)
+            assert got == want, (start, data)

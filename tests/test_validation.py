@@ -1,0 +1,65 @@
+"""Validation-mode tests: repro.validate_json against json.loads."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.data.synth import random_json
+from repro.errors import JsonSyntaxError
+
+
+class TestAccepts:
+    @pytest.mark.parametrize("doc", [
+        b"{}", b"[]", b"0", b"-1.5e+3", b'"s"', b"true", b"false", b"null",
+        b'  {"a": [1, {"b": null}]}  \n',
+        rb'{"esc": "a\"b\\c"}',
+        '{"unicode": "é東"}'.encode("utf-8"),
+    ])
+    def test_valid(self, doc):
+        repro.validate_json(doc)
+        assert repro.is_valid_json(doc)
+
+
+class TestRejects:
+    @pytest.mark.parametrize("doc", [
+        b"", b"   ", b"{", b"}", b'{"a"}', b'{"a": }', b'{"a": 1,}',
+        b"[1, ]", b"[1 2]", b'{"a": not}', b'{"a": 01}', b'{"a": 1.}',
+        b'{"a": +1}', b'{"a": .5}', b"nul", b"TRUE",
+        b'{"a": "unterminated', b'{"a": 1} trailing', b'{"a": "\x01"}',
+        b'{"a": "\\q"}',  # invalid escape
+        b'{"a": 1}}',
+    ])
+    def test_invalid(self, doc):
+        assert not repro.is_valid_json(doc)
+        with pytest.raises(repro.ReproError):
+            repro.validate_json(doc)
+
+
+class TestAgainstStdlib:
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=60)
+    def test_mutated_documents(self, seed):
+        rng = random.Random(seed)
+        doc = json.dumps(random_json(rng, 3)).encode()
+        if rng.random() < 0.6 and len(doc) > 3:
+            i = rng.randrange(len(doc))
+            doc = doc[:i] + bytes([rng.randrange(32, 126)]) + doc[i + 1 :]
+        try:
+            json.loads(doc)
+            std_valid = True
+        except Exception:
+            std_valid = False
+        assert repro.is_valid_json(doc) == std_valid, doc
+
+    def test_fastforward_blindspot_is_caught_here(self):
+        """The exact input JSONSki fast-forwards past without complaint
+        (engine test pins that behaviour) must fail full validation."""
+        doc = b'{"skip": {"totally": not json !!}, "a": 1}'
+        assert repro.JsonSki("$.a").run(doc).values() == [1]
+        assert not repro.is_valid_json(doc)

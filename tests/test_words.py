@@ -1,0 +1,214 @@
+"""Unit and property tests for the 64-bit word primitives (Algorithm 3)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bits import words
+
+
+class TestLowestBit:
+    def test_isolates_lowest(self):
+        assert words.lowest_bit(0b1011000) == 0b0001000
+
+    def test_zero_word(self):
+        assert words.lowest_bit(0) == 0
+
+    def test_single_bit(self):
+        assert words.lowest_bit(1 << 63) == 1 << 63
+
+    @given(st.integers(min_value=1, max_value=words.WORD_MASK))
+    def test_is_power_of_two_dividing_word(self, w):
+        b = words.lowest_bit(w)
+        assert b & (b - 1) == 0
+        assert w & b == b
+        assert (w & (b - 1)) == 0  # nothing below it
+
+
+class TestClearLowestBit:
+    def test_clears_one(self):
+        assert words.clear_lowest_bit(0b1011000) == 0b1010000
+
+    def test_empties_single_bit(self):
+        assert words.clear_lowest_bit(0b100) == 0
+
+    @given(st.integers(min_value=1, max_value=words.WORD_MASK))
+    def test_popcount_decreases_by_one(self, w):
+        assert words.popcount(words.clear_lowest_bit(w)) == words.popcount(w) - 1
+
+
+class TestBitPositions:
+    def test_lowest_bit_position(self):
+        assert words.lowest_bit_position(0b1000) == 3
+
+    def test_lowest_bit_position_zero_raises(self):
+        with pytest.raises(ValueError):
+            words.lowest_bit_position(0)
+
+    def test_highest_bit_position(self):
+        assert words.highest_bit_position(0b1011) == 3
+
+    def test_highest_bit_position_zero_raises(self):
+        with pytest.raises(ValueError):
+            words.highest_bit_position(0)
+
+    @given(st.integers(min_value=0, max_value=63))
+    def test_roundtrip_single_bit(self, pos):
+        assert words.lowest_bit_position(1 << pos) == pos
+        assert words.highest_bit_position(1 << pos) == pos
+
+
+class TestMasks:
+    @given(st.integers(min_value=0, max_value=63))
+    def test_mask_up_to_inclusive(self, pos):
+        m = words.mask_up_to(pos)
+        assert m == (1 << (pos + 1)) - 1
+
+    @given(st.integers(min_value=0, max_value=63))
+    def test_mask_from(self, pos):
+        m = words.mask_from(pos)
+        assert m & ((1 << pos) - 1) == 0
+        assert m | ((1 << pos) - 1) == words.WORD_MASK
+
+
+class TestIntervalBetween:
+    def test_simple_interval(self):
+        # bits 2..4 inclusive of start, exclusive of end bit 5
+        assert words.interval_between(1 << 2, 1 << 5) == 0b11100
+
+    def test_open_interval(self):
+        iv = words.interval_between(1 << 60, 0)
+        assert iv == words.WORD_MASK & ~((1 << 60) - 1)
+
+    def test_interval_end(self):
+        iv = words.interval_between(1 << 2, 1 << 5)
+        assert words.interval_end(iv) == 4
+
+    @given(st.integers(min_value=0, max_value=62), st.data())
+    def test_covers_exact_range(self, start, data):
+        end = data.draw(st.integers(min_value=start + 1, max_value=63))
+        iv = words.interval_between(1 << start, 1 << end)
+        for i in range(64):
+            assert bool(iv >> i & 1) == (start <= i < end)
+
+
+class TestSelectKth:
+    def test_selects(self):
+        w = 0b10110010
+        assert words.select_kth_bit(w, 1) == 1
+        assert words.select_kth_bit(w, 2) == 4
+        assert words.select_kth_bit(w, 3) == 5
+        assert words.select_kth_bit(w, 4) == 7
+
+    def test_too_few_bits_raises(self):
+        with pytest.raises(ValueError):
+            words.select_kth_bit(0b101, 3)
+
+    def test_k_zero_raises(self):
+        with pytest.raises(ValueError):
+            words.select_kth_bit(0b1, 0)
+
+    @given(st.integers(min_value=1, max_value=words.WORD_MASK))
+    def test_agrees_with_enumeration(self, w):
+        positions = [i for i in range(64) if w >> i & 1]
+        for k, pos in enumerate(positions, start=1):
+            assert words.select_kth_bit(w, k) == pos
+
+
+class TestPrefixXor:
+    def test_single_bit_smears_upward(self):
+        assert words.prefix_xor(0b100, bits=8) == 0b11111100
+
+    def test_two_bits_bound_a_range(self):
+        # quotes at 2 and 5: positions 2,3,4 are "inside"
+        assert words.prefix_xor(0b100100, bits=8) == 0b011100
+
+    @given(st.integers(min_value=0, max_value=words.WORD_MASK))
+    def test_matches_running_parity(self, w):
+        out = words.prefix_xor(w)
+        parity = 0
+        for i in range(64):
+            parity ^= (w >> i) & 1
+            assert (out >> i) & 1 == parity
+
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_wide_words(self, w):
+        out = words.prefix_xor(w, bits=128)
+        parity = 0
+        for i in range(128):
+            parity ^= (w >> i) & 1
+            assert (out >> i) & 1 == parity
+
+
+def _naive_escaped(backslashes: int, carry: int, bits: int) -> tuple[int, int]:
+    """Character-at-a-time oracle for the odd-run escape rule.
+
+    A non-backslash character is escaped iff the backslash run
+    immediately before it has odd length (the carry contributes parity 1);
+    backslashes inside runs are never marked — they are consumed by the
+    run itself, matching simdjson's ``odd_ends`` output.
+    """
+    escaped = 0
+    run = 1 if carry else 0
+    for i in range(bits):
+        if (backslashes >> i) & 1:
+            run += 1
+        else:
+            if run % 2 == 1:
+                escaped |= 1 << i
+            run = 0
+    return escaped, run % 2
+
+
+class TestEscapedPositions:
+    def test_simple_escape(self):
+        # \" -> the quote (bit 1) is escaped
+        escaped, carry = words.escaped_positions(0b01, 0)
+        assert escaped == 0b10
+        assert carry == 0
+
+    def test_double_backslash_escapes_nothing(self):
+        escaped, carry = words.escaped_positions(0b11, 0)
+        assert escaped == 0b100 & 0  # nothing beyond the pair
+        assert carry == 0
+
+    def test_odd_run_at_word_end_carries(self):
+        escaped, carry = words.escaped_positions(1 << 63, 0)
+        assert carry == 1
+        assert escaped == 0
+
+    def test_carry_escapes_first_char(self):
+        escaped, carry = words.escaped_positions(0, 1)
+        assert escaped & 1
+        assert carry == 0
+
+    def test_odd_width_rejected(self):
+        with pytest.raises(ValueError):
+            words.escaped_positions(0, 0, bits=63)
+
+    @given(st.integers(min_value=0, max_value=words.WORD_MASK), st.booleans())
+    def test_matches_naive_oracle(self, bs, carry_in):
+        got = words.escaped_positions(bs, int(carry_in))
+        assert got == _naive_escaped(bs, int(carry_in), 64)
+
+    @given(st.lists(st.integers(min_value=0, max_value=words.WORD_MASK), min_size=1, max_size=6))
+    def test_carry_chains_across_words(self, word_list):
+        carry = 0
+        naive_carry = 0
+        for bs in word_list:
+            escaped, carry = words.escaped_positions(bs, carry)
+            n_escaped, naive_carry = _naive_escaped(bs, naive_carry, 64)
+            assert escaped == n_escaped
+            assert carry == naive_carry
+
+    def test_random_wide_widths(self):
+        rng = random.Random(3)
+        for _ in range(50):
+            bits = rng.choice([2, 8, 64, 128, 256])
+            bs = rng.getrandbits(bits)
+            carry = rng.randrange(2)
+            assert words.escaped_positions(bs, carry, bits) == _naive_escaped(bs, carry, bits)

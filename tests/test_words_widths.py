@@ -1,0 +1,89 @@
+"""Width-parameterized word-primitive tests (chunk-wide integers).
+
+The word helpers run at 64 bits in the paper-faithful scanner and at
+chunk width (thousands of bits) inside the string-mask pipeline; these
+tests pin both regimes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import words
+
+WIDTHS = (2, 8, 64, 128, 256, 1024)
+
+
+class TestPrefixXorWidths:
+    @pytest.mark.parametrize("bits", WIDTHS)
+    def test_parity_at_every_position(self, bits):
+        rng = random.Random(bits)
+        for _ in range(10):
+            value = rng.getrandbits(bits)
+            out = words.prefix_xor(value, bits=bits)
+            parity = 0
+            for i in range(bits):
+                parity ^= (value >> i) & 1
+                assert (out >> i) & 1 == parity
+
+    def test_all_ones_alternates(self):
+        out = words.prefix_xor((1 << 64) - 1)
+        assert out == words.EVEN_BITS ^ 0  # 0101... pattern from LSB
+        assert out & 1 == 1
+
+    def test_result_masked_to_width(self):
+        assert words.prefix_xor(0b11, bits=2) < 4
+
+
+class TestEscapedPositionsWidths:
+    @pytest.mark.parametrize("bits", WIDTHS)
+    def test_run_parity_rule(self, bits):
+        rng = random.Random(bits * 7)
+        for _ in range(10):
+            bs = rng.getrandbits(bits)
+            carry = rng.randrange(2)
+            escaped, carry_out = words.escaped_positions(bs, carry, bits)
+            # Oracle: linear run scan.
+            run = 1 if carry else 0
+            expect = 0
+            for i in range(bits):
+                if (bs >> i) & 1:
+                    run += 1
+                else:
+                    if run % 2:
+                        expect |= 1 << i
+                    run = 0
+            assert escaped == expect
+            assert carry_out == run % 2
+
+    def test_full_width_run(self):
+        for bits in (8, 64, 128):
+            escaped, carry = words.escaped_positions((1 << bits) - 1, 0, bits)
+            assert escaped == 0
+            assert carry == bits % 2
+
+    def test_carry_plus_full_run_flips(self):
+        escaped, carry = words.escaped_positions((1 << 64) - 1, 1)
+        assert carry == 1  # 64 + 1 prior = odd
+
+
+class TestSelectAndMasks:
+    @given(st.integers(min_value=1, max_value=(1 << 128) - 1))
+    @settings(max_examples=40)
+    def test_select_kth_wide(self, value):
+        positions = [i for i in range(128) if value >> i & 1]
+        k = len(positions)
+        assert words.select_kth_bit(value, k) == positions[-1]
+        assert words.select_kth_bit(value, 1) == positions[0]
+
+    def test_interval_end_equals_highest(self):
+        for value in (1, 0b1010, 1 << 63, (1 << 64) - 1):
+            assert words.interval_end(value) == value.bit_length() - 1
+
+    def test_mask_complementarity(self):
+        for pos in (0, 1, 31, 63):
+            assert words.mask_up_to(pos) ^ words.mask_from(pos + 1) == words.WORD_MASK if pos < 63 else True
