@@ -1,0 +1,68 @@
+"""Non-blocking observability-overhead smoke script.
+
+Measures the Figure-10-style large-record scan (BB1) with observability
+fully off (the default no-op tracer, no registry) against the same
+engine with ``collect_stats=True`` and with a live registry + tracer,
+then reports the ratios.  The design target: the metrics-off path
+matches the pre-observability hot path (<5% — it is structurally the
+same code), and a live registry stays cheap because counters are bumped
+per fast-forward decision, not per byte.
+
+Run directly (exit status is always 0 — this is a report, not a gate)::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py [--size BYTES]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.data.datasets import large_record
+from repro.engine import JsonSki
+from repro.observe import MetricsRegistry, Tracer
+
+QUERY = "$.pd[*].cp[1:3].id"
+
+
+def best_seconds(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=400_000, help="input bytes (default 400k)")
+    parser.add_argument("--rounds", type=int, default=5, help="best-of rounds per variant")
+    args = parser.parse_args()
+
+    data = large_record("BB", args.size, seed=7)
+    variants = {
+        "off (defaults)": JsonSki(QUERY),
+        "collect_stats": JsonSki(QUERY, collect_stats=True),
+        "metrics registry": JsonSki(QUERY, metrics=MetricsRegistry()),
+        "metrics + tracer": JsonSki(QUERY, metrics=MetricsRegistry(), tracer=Tracer(keep=False)),
+    }
+    for engine in variants.values():
+        engine.run(data)  # warm classification caches
+
+    baseline = None
+    print(f"BB1 over {len(data)} bytes, best of {args.rounds}:")
+    for label, engine in variants.items():
+        seconds = best_seconds(lambda e=engine: e.run(data), args.rounds)
+        if baseline is None:
+            baseline = seconds
+        ratio = seconds / baseline
+        flag = "" if ratio <= 1.05 or label != "off (defaults)" else "  <-- REGRESSION"
+        print(f"  {label:18s} {seconds * 1e3:8.2f} ms   {ratio:5.2f}x{flag}")
+    print("target: metrics-off within 5% of the pre-observability path "
+          "(see tests/test_perf_smoke.py for the asserting version)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

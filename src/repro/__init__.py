@@ -15,6 +15,8 @@ Quickstart
 
 The uniform engine registry lets the same code drive any method:
 
+>>> repro.compile("$.place.name", engine="jpstream").run(b'{"place": {"name": "x"}}').values()
+['x']
 >>> repro.ENGINES["jpstream"]("$.place.name").run(b'{"place": {"name": "x"}}').values()
 ['x']
 """
@@ -30,34 +32,49 @@ from repro.errors import (
     UnsupportedQueryError,
 )
 from repro.jsonpath import Path, parse_path
+from repro.observe import (
+    Counter,
+    Histogram,
+    JsonlSink,
+    MemorySink,
+    MetricsRegistry,
+    NOOP_TRACER,
+    NoopTracer,
+    PrometheusTextSink,
+    Span,
+    Tracer,
+    metrics_document,
+    render_prometheus,
+)
 from repro.query import MatchStatus, QueryAutomaton, compile_query, explain
 from repro.reference import evaluate, evaluate_bytes
+from repro.registry import ENGINES, EngineInfo, EngineRegistry, compile
 from repro.analysis import AnalysisReport, analyze
 from repro.crosscheck import CrossCheckFailure, cross_check
 from repro.extract import Extractor
 from repro.stream import MappedFile, RecordStream, StreamBuffer
 from repro.validation import is_valid_json, validate_json
 
-#: Uniform constructor registry: name -> Engine factory taking a query.
-ENGINES = {
-    "jsonski": JsonSki,
-    "jsonski-word": lambda query: JsonSki(query, mode="word"),
-    "rds": RecursiveDescentStreamer,
-    "jpstream": JPStream,
-    "rapidjson": RapidJsonLike,
-    "simdjson": SimdJsonLike,
-    "pison": PisonLike,
-    "stdlib": StdlibJson,
-}
-
 __version__ = "1.0.0"
 
 __all__ = [
     "AnalysisReport",
+    "Counter",
     "ENGINES",
+    "EngineInfo",
+    "EngineRegistry",
     "Extractor",
     "FastForwardStats",
+    "Histogram",
     "JPStream",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NOOP_TRACER",
+    "NoopTracer",
+    "PrometheusTextSink",
+    "Span",
+    "Tracer",
     "JsonPathSyntaxError",
     "JsonSki",
     "JsonSkiMulti",
@@ -80,12 +97,15 @@ __all__ = [
     "StreamExhaustedError",
     "UnsupportedQueryError",
     "analyze",
+    "compile",
     "cross_check",
     "CrossCheckFailure",
     "compile_query",
     "explain",
     "is_valid_json",
     "iter_events",
+    "metrics_document",
+    "render_prometheus",
     "validate_json",
     "evaluate",
     "evaluate_bytes",

@@ -50,8 +50,16 @@ class _Frame:
 class JPStream(EngineBase):
     """Streaming dual-stack pushdown automaton engine."""
 
-    def __init__(self, query: str | Path) -> None:
-        self.automaton: QueryAutomaton = compile_query(query)
+    def __init__(self, query: str | Path, collect_stats: bool = False) -> None:
+        from repro.engine.base import ensure_query_supported
+        from repro.jsonpath.parser import parse_path
+
+        path = parse_path(query) if isinstance(query, str) else query
+        ensure_query_supported(path, engine="jpstream", filters=False)
+        self.automaton: QueryAutomaton = compile_query(path)
+        # Uniform constructor surface: accepted everywhere, a no-op here
+        # (this engine never fast-forwards, so ``last_stats`` stays None).
+        self.collect_stats = collect_stats
 
     def run(self, data: bytes | str) -> MatchList:
         if isinstance(data, str):

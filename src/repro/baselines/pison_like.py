@@ -106,15 +106,16 @@ class LeveledIndex:
 class PisonLike(EngineBase):
     """Preprocessing engine over leveled colon/comma bitmaps."""
 
-    def __init__(self, query: str | Path) -> None:
+    def __init__(self, query: str | Path, collect_stats: bool = False) -> None:
+        from repro.engine.base import ensure_query_supported
+
         self.path = parse_path(query) if isinstance(query, str) else query
-        if self.path.has_descendant:
-            raise UnsupportedQueryError(
-                "the Pison-like index is built to the query's static depth; "
-                "descendant ('..') queries have no static depth"
-            )
-        if self.path.has_filter:
-            raise UnsupportedQueryError("the Pison-like evaluator does not support filter predicates")
+        # The leveled index is built to the query's static depth, so
+        # descendant ('..') queries are structurally impossible; filters
+        # are simply not implemented.  Both rejections use the uniform
+        # UnsupportedQueryError shape shared by all engines.
+        ensure_query_supported(self.path, engine="pison", descendant=False, filters=False)
+        self.collect_stats = collect_stats
 
     def run(self, data: bytes | str) -> MatchList:
         if isinstance(data, str):

@@ -77,8 +77,9 @@ def _parse_array(tok: Tokenizer) -> ArrayNode:
 class RapidJsonLike(EngineBase):
     """Preprocessing-scheme engine: full DOM parse, then tree traversal."""
 
-    def __init__(self, query: str | Path) -> None:
+    def __init__(self, query: str | Path, collect_stats: bool = False) -> None:
         self.path = parse_path(query) if isinstance(query, str) else query
+        self.collect_stats = collect_stats
 
     def run(self, data: bytes | str) -> MatchList:
         if isinstance(data, str):

@@ -160,10 +160,12 @@ class SimdJsonLike(EngineBase):
         query: str | Path,
         chunk_size: int = 1 << 20,
         max_record_bytes: int = DEFAULT_MAX_RECORD_BYTES,
+        collect_stats: bool = False,
     ) -> None:
         self.path = parse_path(query) if isinstance(query, str) else query
         self.chunk_size = chunk_size
         self.max_record_bytes = max_record_bytes
+        self.collect_stats = collect_stats
 
     def run(self, data: bytes | str) -> MatchList:
         if isinstance(data, str):

@@ -27,8 +27,9 @@ from repro.reference.evaluator import evaluate
 class StdlibJson(EngineBase):
     """``json.loads`` + tree traversal (the everyday-Python yardstick)."""
 
-    def __init__(self, query: str | Path) -> None:
+    def __init__(self, query: str | Path, collect_stats: bool = False) -> None:
         self.path = parse_path(query) if isinstance(query, str) else query
+        self.collect_stats = collect_stats
 
     def run(self, data: bytes | str) -> MatchList:
         if isinstance(data, bytes):

@@ -188,7 +188,15 @@ class BufferIndex:
         # carry_out per built chunk id; tiny, retained forever so an evicted
         # chunk can be rebuilt without rescanning from the stream start.
         self._carries: list[StringCarry] = []
+        # Observability counters (always on: one integer add per chunk
+        # build/eviction, i.e. once per MiB of input).  An attached
+        # engine copies the deltas into its MetricsRegistry per run.
         self.chunks_built = 0
+        self.chunks_evicted = 0
+        self.words_built = 0
+        #: Optional repro.observe tracer; when enabled, every chunk
+        #: build is wrapped in an ``index_build`` span.
+        self.tracer = None
 
     def __len__(self) -> int:
         return len(self.data)
@@ -225,13 +233,21 @@ class BufferIndex:
     def _build(self, chunk_id: int):
         start = self.chunk_start(chunk_id)
         carry = INITIAL_CARRY if chunk_id == 0 else self._carries[chunk_id - 1]
-        chunk = self._build_chunk(self.data[start : start + self.chunk_size], start, carry)
+        raw = self.data[start : start + self.chunk_size]
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            with tracer.span("index_build", chunk=chunk_id, bytes=len(raw)):
+                chunk = self._build_chunk(raw, start, carry)
+        else:
+            chunk = self._build_chunk(raw, start, carry)
         if chunk_id == len(self._carries):
             self._carries.append(chunk.carry_out)
         self.chunks_built += 1
+        self.words_built += (chunk.length + _WORD_BITS - 1) // _WORD_BITS
         self._cache[chunk_id] = chunk
         self._cache.move_to_end(chunk_id)
         if self.cache_chunks is not None:
             while len(self._cache) > self.cache_chunks:
+                self.chunks_evicted += 1
                 self._cache.popitem(last=False)
         return chunk

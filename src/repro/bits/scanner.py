@@ -40,10 +40,38 @@ class Scanner(ABC):
 
     def __init__(self, index: BufferIndex) -> None:
         self.index = index
+        self._metrics_registry = None
 
     @property
     def size(self) -> int:
         return len(self.index)
+
+    def attach_metrics(self, registry) -> None:
+        """Count scanner primitive calls into ``registry``.
+
+        Wraps the five public query methods with per-op counters
+        (``scanner.calls{op=...}``) as *instance* attributes, so the
+        metrics-off path — and every consumer that cached a bound method
+        before attachment — pays nothing.  Idempotent per registry; a
+        second attachment with a different registry rebinds the wrappers.
+        Must be called before fast-forwarders bind the methods (the
+        engine attaches in ``_buffer()``, ahead of run construction).
+        """
+        if registry is None or registry is self._metrics_registry:
+            return
+        self._metrics_registry = registry
+        for op in ("find_next", "find_prev", "count_range", "kth_in_range", "pair_close"):
+            # Unwrap first so re-attachment wraps the class implementation,
+            # not a previous registry's wrapper.
+            self.__dict__.pop(op, None)
+            inner = getattr(self, op)
+            counter = registry.counter("scanner.calls", op=op)
+
+            def wrapper(*args, _inner=inner, _counter=counter):
+                _counter.value += 1
+                return _inner(*args)
+
+            setattr(self, op, wrapper)
 
     @abstractmethod
     def _chunk_find(self, chunk: ChunkIndex, cls: CharClass, pos: int) -> int:

@@ -19,7 +19,7 @@ import sys
 
 from repro.engine import JsonSki
 from repro.engine.stats import GROUPS
-from repro.errors import ReproError
+from repro.errors import JsonPathSyntaxError, ReproError
 from repro.harness.runner import METHOD_LABELS, make_engine
 from repro.stream.records import RecordStream
 
@@ -43,6 +43,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="prefix each match with its normalized path (jsonski only)")
     parser.add_argument("--stats", action="store_true",
                         help="report fast-forward ratios to stderr (jsonski only)")
+    parser.add_argument("--metrics", nargs="?", const="-", default=None, metavar="FILE",
+                        help="emit an engine metrics document after the run: JSON to stderr "
+                             "(no argument) or to FILE; a FILE ending in .prom gets the "
+                             "Prometheus text exposition instead")
+    parser.add_argument("--trace", nargs="?", const="-", default=None, metavar="FILE",
+                        help="emit engine spans (compile/index_build/scan/fastforward/"
+                             "match_emit) as JSON lines to stderr (no argument) or FILE")
     parser.add_argument("--explain", action="store_true",
                         help="print the query's static fast-forward plan and exit")
     parser.add_argument("--analyze", action="store_true",
@@ -65,6 +72,46 @@ def _print_stats(engine: JsonSki, err) -> None:
         return
     parts = ", ".join(f"{g}={stats.ratio(g):.1%}" for g in GROUPS if stats.ratio(g) > 0)
     print(f"fast-forwarded {stats.overall_ratio:.1%} of {stats.total_length} bytes ({parts})", file=err)
+
+
+def _finish_observability(args, info, registry, trace_sink, data: bytes, n_matches: int, err) -> int:
+    """Flush --metrics / --trace output once the run is over.
+
+    Returns 0, or 2 when the metrics file cannot be written.
+    """
+    if trace_sink is not None:
+        trace_sink.close()
+    if registry is None:
+        return 0
+    if not info.instrumented:
+        # Baselines carry no internal counters; the CLI records the
+        # run-level facts so the document is never empty.  bytes_total is
+        # set with zero skips — these engines examine the whole input.
+        registry.counter("engine.runs").add(1)
+        registry.counter("engine.matches").add(n_matches)
+        registry.counter("engine.bytes_consumed").add(len(data))
+        registry.counter("ff.total_bytes").add(len(data))
+    from repro.observe import metrics_document, render_prometheus
+
+    try:
+        if args.metrics != "-" and args.metrics.endswith(".prom"):
+            with open(args.metrics, "w", encoding="utf-8") as handle:
+                handle.write(render_prometheus(registry))
+            return 0
+        import json as _json
+
+        document = metrics_document(registry, engine=args.engine, query=args.query)
+        if args.metrics == "-":
+            _json.dump(document, err, indent=2, sort_keys=True)
+            print(file=err)
+        else:
+            with open(args.metrics, "w", encoding="utf-8") as handle:
+                _json.dump(document, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+    except OSError as exc:
+        print(f"error: cannot write metrics to {args.metrics}: {exc}", file=err)
+        return 2
+    return 0
 
 
 def main(argv: list[str] | None = None, out=None, err=None) -> int:
@@ -119,17 +166,44 @@ def main(argv: list[str] | None = None, out=None, err=None) -> int:
         print(f"cannot read {args.file}: {exc}", file=err)
         return 2
 
+    # Observability wiring: a registry for --metrics, a JSONL-sinked
+    # tracer for --trace.  Instrumented engines take both natively; for
+    # the baselines the CLI records run-level counters itself below.
+    registry = tracer = trace_sink = None
+    from repro.harness.runner import ENGINES as _ENGINES
+
+    info = _ENGINES[args.engine]
+    if args.metrics is not None:
+        from repro.observe import MetricsRegistry
+
+        registry = MetricsRegistry()
+    if args.trace is not None:
+        from repro.observe import JsonlSink, Tracer
+
+        try:
+            trace_sink = JsonlSink(err if args.trace == "-" else args.trace)
+        except OSError as exc:
+            print(f"error: cannot write trace to {args.trace}: {exc}", file=err)
+            return 2
+        tracer = Tracer(sink=trace_sink, keep=False)
+
+    observe_kwargs = {}
+    if info.instrumented:
+        if registry is not None:
+            observe_kwargs["metrics"] = registry
+        if tracer is not None:
+            observe_kwargs["tracer"] = tracer
+
     try:
-        if args.engine == "jsonski":
-            engine = JsonSki(args.query, collect_stats=args.stats)
-        else:
-            engine = make_engine(args.engine, args.query)
+        engine = make_engine(args.engine, args.query, collect_stats=args.stats, **observe_kwargs)
 
         if args.first and isinstance(engine, JsonSki) and not args.jsonl and not args.paths:
             match = engine.first(data)
             if match is not None:
                 print(match.text.decode("utf-8", "replace") if args.raw else match.value(), file=out)
-            return 0 if match is not None else 1
+            code = _finish_observability(args, info, registry, trace_sink, data,
+                                         1 if match is not None else 0, err)
+            return code or (0 if match is not None else 1)
 
         if args.jsonl:
             stream = RecordStream.from_jsonl(data)
@@ -143,15 +217,24 @@ def main(argv: list[str] | None = None, out=None, err=None) -> int:
             matches = engine.run(data)
     except ReproError as exc:
         print(f"error: {exc}", file=err)
-        position = getattr(exc, "position", None)
+        # JsonPathSyntaxError.position is an offset into the query, not
+        # the input — a data caret would point at the wrong text.
+        position = None if isinstance(exc, JsonPathSyntaxError) else getattr(exc, "position", None)
         if position is not None and data:
             from repro.errors import format_error_context
 
             print(format_error_context(data, position), file=err)
+        if trace_sink is not None:
+            trace_sink.close()
         return 2
 
     if args.stats and isinstance(engine, JsonSki):
         _print_stats(engine, err)
+
+    code = _finish_observability(args, info, registry, trace_sink, data,
+                                 len(pairs) if args.paths else len(matches), err)
+    if code:
+        return code
 
     if args.paths:
         n = len(pairs)

@@ -18,11 +18,45 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
     from repro.engine.output import Match, MatchList
+    from repro.jsonpath.ast import Path
     from repro.stream.records import RecordStream
 
 
+def ensure_query_supported(
+    path: "Path",
+    *,
+    engine: str,
+    descendant: bool = True,
+    filters: bool = True,
+) -> None:
+    """Uniform unsupported-feature check shared by engines and the
+    registry: every engine that cannot run a query feature raises the
+    same :class:`~repro.errors.UnsupportedQueryError` shape."""
+    from repro.errors import UnsupportedQueryError
+
+    if path.has_descendant and not descendant:
+        raise UnsupportedQueryError(
+            f"engine {engine!r} does not support descendant '..' steps"
+        )
+    if path.has_filter and not filters:
+        raise UnsupportedQueryError(
+            f"engine {engine!r} does not support filter predicates"
+        )
+
+
 class EngineBase:
-    """Mixin providing derived query operations over ``run``."""
+    """Mixin providing derived query operations over ``run``.
+
+    Uniform constructor surface: every engine accepts ``collect_stats=``
+    and exposes ``last_stats`` — a populated
+    :class:`~repro.engine.stats.FastForwardStats` registry view for the
+    instrumented streaming engines, ``None`` for the baselines (which
+    never fast-forward, so there is nothing to report).
+    """
+
+    #: Uniform ``last_stats`` contract: baselines leave this ``None``.
+    last_stats = None
+    collect_stats = False
 
     def run(self, data: bytes | str) -> "MatchList":  # pragma: no cover - abstract
         raise NotImplementedError

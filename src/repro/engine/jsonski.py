@@ -38,6 +38,7 @@ from repro.engine.fastforward import FastForwarder
 from repro.engine.output import MatchList
 from repro.engine.stats import FastForwardStats
 from repro.errors import JsonSyntaxError
+from repro.observe import NOOP_TRACER, MetricsRegistry
 from repro.jsonpath.ast import Path
 from repro.query.automaton import ACCEPT, ALIVE, QueryAutomaton, compile_query
 from repro.stream.buffer import StreamBuffer
@@ -69,6 +70,15 @@ class JsonSki(EngineBase):
     collect_stats:
         When true, :attr:`last_stats` carries the per-group fast-forward
         ratios of the most recent run (Table 6).
+    tracer:
+        A :class:`repro.observe.Tracer` receiving ``compile``/``scan``
+        spans and ``fastforward``/``match_emit`` events.  Defaults to the
+        shared no-op tracer, which costs nothing on the hot path.
+    metrics:
+        A :class:`repro.observe.MetricsRegistry` accumulating this
+        engine's counters across runs (fast-forward bytes per group,
+        index chunk builds/evictions, scanner primitive calls, matches
+        emitted).  ``None`` (default) disables metrics collection.
 
     Example
     -------
@@ -84,26 +94,34 @@ class JsonSki(EngineBase):
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         cache_chunks: int | None = 4,
         collect_stats: bool = False,
+        tracer=None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
-        path = query if isinstance(query, Path) else None
-        if path is None:
-            from repro.jsonpath.parser import parse_path
+        self._tracer = tracer if tracer is not None else NOOP_TRACER
+        self._metrics = metrics
+        #: Observed mode: any per-run bookkeeping beyond ``collect_stats``.
+        self._observed = self._tracer.enabled or metrics is not None
+        with self._tracer.span("compile", engine="jsonski"):
+            path = query if isinstance(query, Path) else None
+            if path is None:
+                from repro.jsonpath.parser import parse_path
 
-            path = parse_path(query)
-        self._delegate = None
-        if path.has_filter:
-            # Filter predicates are evaluated by query splitting (see
-            # repro.engine.filtered); this instance proxies to the
-            # composed engine.
-            from repro.engine.filtered import FilteredJsonSki
+                path = parse_path(query)
+            self._delegate = None
+            if path.has_filter:
+                # Filter predicates are evaluated by query splitting (see
+                # repro.engine.filtered); this instance proxies to the
+                # composed engine.
+                from repro.engine.filtered import FilteredJsonSki
 
-            self._delegate = FilteredJsonSki(
-                path, mode=mode, chunk_size=chunk_size,
-                cache_chunks=cache_chunks, collect_stats=collect_stats,
-            )
-            self.automaton = None
-        else:
-            self.automaton = compile_query(path)
+                self._delegate = FilteredJsonSki(
+                    path, mode=mode, chunk_size=chunk_size,
+                    cache_chunks=cache_chunks, collect_stats=collect_stats,
+                    tracer=tracer, metrics=metrics,
+                )
+                self.automaton = None
+            else:
+                self.automaton = compile_query(path)
         self.path = path
         self.mode = mode
         self.chunk_size = chunk_size
@@ -118,8 +136,42 @@ class JsonSki(EngineBase):
 
     def _buffer(self, data: bytes | str | StreamBuffer) -> StreamBuffer:
         if isinstance(data, StreamBuffer):
-            return data
-        return StreamBuffer(data, mode=self.mode, chunk_size=self.chunk_size, cache_chunks=self.cache_chunks)
+            buffer = data
+        else:
+            buffer = StreamBuffer(data, mode=self.mode, chunk_size=self.chunk_size, cache_chunks=self.cache_chunks)
+        if self._observed:
+            if self._tracer.enabled:
+                buffer.index.tracer = self._tracer
+            if self._metrics is not None:
+                buffer.scanner.attach_metrics(self._metrics)
+        return buffer
+
+    def _finish_observed(self, run: "_Run", buffer: StreamBuffer, index_before: tuple[int, int, int]) -> None:
+        """Flush one observed run into the tracer and registry."""
+        tracer = self._tracer
+        if tracer.enabled:
+            if run.trace:
+                for group, start, end in run.trace:
+                    tracer.event("fastforward", group=group, start=start, end=end, bytes=end - start)
+            for match in run.matches:
+                tracer.event("match_emit", start=match.start, end=match.end)
+        registry = self._metrics
+        if registry is not None:
+            if run.stats is not None:
+                registry.merge(run.stats.registry)
+            registry.counter("engine.runs").add(1)
+            registry.counter("engine.matches").add(len(run.matches))
+            registry.counter("engine.bytes_consumed").add(run.pos)
+            index = buffer.index
+            built0, evicted0, words0 = index_before
+            registry.counter("index.chunks_built").add(index.chunks_built - built0)
+            registry.counter("index.chunks_evicted").add(index.chunks_evicted - evicted0)
+            registry.counter("index.words_classified").add(index.words_built - words0)
+
+    @staticmethod
+    def _index_snapshot(buffer: StreamBuffer) -> tuple[int, int, int]:
+        index = buffer.index
+        return index.chunks_built, index.chunks_evicted, index.words_built
 
     def run(self, data: bytes | str | StreamBuffer) -> MatchList:
         """Stream one JSON record and return its matches.
@@ -129,6 +181,17 @@ class JsonSki(EngineBase):
         if self._delegate is not None:
             matches = self._delegate.run(data)
             self.last_stats = self._delegate.last_stats
+            return matches
+        if self._observed:
+            buffer = self._buffer(data)
+            tracer = self._tracer
+            index_before = self._index_snapshot(buffer)
+            with tracer.span("scan", engine="jsonski", bytes=len(buffer.data)) as span:
+                run = _Run(self.automaton, buffer, True, self._name_cache, trace=tracer.enabled)
+                matches = run.execute()
+                span.set(matches=len(matches))
+            self._finish_observed(run, buffer, index_before)
+            self.last_stats = run.stats
             return matches
         run = _Run(self.automaton, self._buffer(data), self.collect_stats, self._name_cache)
         matches = run.execute()
@@ -174,8 +237,16 @@ class JsonSki(EngineBase):
         if self._delegate is not None:
             matches = self._delegate.run(data)
             return matches[0] if len(matches) else None
-        run = _Run(self.automaton, self._buffer(data), collect_stats=False, name_cache=self._name_cache, limit=1)
+        buffer = self._buffer(data)
+        index_before = self._index_snapshot(buffer) if self._observed else (0, 0, 0)
+        run = _Run(self.automaton, buffer, collect_stats=self._observed, name_cache=self._name_cache, limit=1)
         matches = run.execute()
+        if self._observed:
+            self._finish_observed(run, buffer, index_before)
+            if self._metrics is not None and len(matches):
+                # The early-termination proof: streaming stopped at the
+                # first hit, leaving the tail of the record unconsumed.
+                self._metrics.counter("engine.early_stops").add(1)
         return matches[0] if len(matches) else None
 
     def exists(self, data: bytes | str | StreamBuffer) -> bool:
@@ -185,12 +256,19 @@ class JsonSki(EngineBase):
     def run_records(self, stream: RecordStream) -> MatchList:
         """Stream a small-record sequence; matches accumulate in order."""
         all_matches = MatchList()
-        total_stats = FastForwardStats() if self.collect_stats else None
+        tracer = self._tracer
+        total_stats = FastForwardStats() if (self.collect_stats or self._observed) else None
         for i in range(len(stream)):
-            matches = self.run(stream.record(i))
+            if tracer.enabled:
+                with tracer.span("record", index=i):
+                    matches = self.run(stream.record(i))
+            else:
+                matches = self.run(stream.record(i))
             all_matches.extend(matches)
             if total_stats is not None and self.last_stats is not None:
                 total_stats.merge(self.last_stats)
+        if self._metrics is not None:
+            self._metrics.counter("engine.records").add(len(stream))
         self.last_stats = total_stats
         return all_matches
 

@@ -17,6 +17,7 @@ from repro.engine.jsonski import _Run
 from repro.engine.output import MatchList
 from repro.engine.stats import FastForwardStats
 from repro.jsonpath.ast import Path
+from repro.observe import NOOP_TRACER
 from repro.query.multi import MultiQueryAutomaton
 from repro.stream.buffer import StreamBuffer
 from repro.stream.records import RecordStream
@@ -59,8 +60,14 @@ class JsonSkiMulti:
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         cache_chunks: int | None = 4,
         collect_stats: bool = False,
+        tracer=None,
+        metrics=None,
     ) -> None:
-        self.automaton = MultiQueryAutomaton(list(queries))
+        self._tracer = tracer if tracer is not None else NOOP_TRACER
+        self._metrics = metrics
+        self._observed = self._tracer.enabled or metrics is not None
+        with self._tracer.span("compile", engine="jsonski-multi", queries=len(list(queries))):
+            self.automaton = MultiQueryAutomaton(list(queries))
         self.mode = mode
         self.chunk_size = chunk_size
         self.cache_chunks = cache_chunks
@@ -79,8 +86,26 @@ class JsonSkiMulti:
             if isinstance(data, StreamBuffer)
             else StreamBuffer(data, mode=self.mode, chunk_size=self.chunk_size, cache_chunks=self.cache_chunks)
         )
-        run = _MultiRun(self.automaton, buffer, self.collect_stats, self._name_cache)
-        run.execute()
+        if not self._observed:
+            run = _MultiRun(self.automaton, buffer, self.collect_stats, self._name_cache)
+            run.execute()
+            self.last_stats = run.stats
+            return run.per_query
+        tracer = self._tracer
+        if tracer.enabled:
+            buffer.index.tracer = tracer
+        if self._metrics is not None:
+            buffer.scanner.attach_metrics(self._metrics)
+        with tracer.span("scan", engine="jsonski-multi", bytes=len(buffer.data)) as span:
+            run = _MultiRun(self.automaton, buffer, True, self._name_cache)
+            run.execute()
+            span.set(matches=sum(len(m) for m in run.per_query))
+        if self._metrics is not None:
+            if run.stats is not None:
+                self._metrics.merge(run.stats.registry)
+            self._metrics.counter("engine.runs").add(1)
+            self._metrics.counter("engine.matches").add(sum(len(m) for m in run.per_query))
+            self._metrics.counter("engine.bytes_consumed").add(run.pos)
         self.last_stats = run.stats
         return run.per_query
 

@@ -15,10 +15,12 @@ from __future__ import annotations
 
 from repro.baselines.tokenizer import Tokenizer
 from repro.engine.base import EngineBase
+from repro.engine.stats import FastForwardStats
 from repro.engine.names import decode_name as _decode_name
 from repro.engine.output import MatchList
 from repro.errors import JsonSyntaxError
 from repro.jsonpath.ast import Path
+from repro.observe import NOOP_TRACER
 from repro.query.automaton import QueryAutomaton, compile_query
 from repro.stream.records import RecordStream
 
@@ -27,17 +29,58 @@ _LBRACKET, _RBRACKET = 0x5B, 0x5D
 
 
 class RecursiveDescentStreamer(EngineBase):
-    """Algorithm 1: recursive-descent streaming query evaluation."""
+    """Algorithm 1: recursive-descent streaming query evaluation.
 
-    def __init__(self, query: str | Path) -> None:
-        self.automaton: QueryAutomaton = compile_query(query)
+    Instrumented like :class:`~repro.engine.jsonski.JsonSki`, which makes
+    the ablation honest: with ``collect_stats=True`` its ``last_stats``
+    reports the stream length with *zero* skipped bytes (this engine
+    examines every character — the point of the A1 comparison), and with
+    ``metrics=``/``tracer=`` it emits the same ``scan`` spans and
+    ``engine.*`` counters as the fast-forwarding engines.
+    """
+
+    def __init__(
+        self,
+        query: str | Path,
+        collect_stats: bool = False,
+        tracer=None,
+        metrics=None,
+    ) -> None:
+        from repro.engine.base import ensure_query_supported
+        from repro.jsonpath.parser import parse_path
+
+        self._tracer = tracer if tracer is not None else NOOP_TRACER
+        self._metrics = metrics
+        self.collect_stats = collect_stats
+        self._observed = collect_stats or self._tracer.enabled or metrics is not None
+        path = parse_path(query) if isinstance(query, str) else query
+        ensure_query_supported(path, engine="rds", filters=False)
+        with self._tracer.span("compile", engine="rds"):
+            self.automaton: QueryAutomaton = compile_query(path)
+        self.last_stats: FastForwardStats | None = None
 
     def run(self, data: bytes | str) -> MatchList:
         """Stream one record, examining every token."""
         if isinstance(data, str):
             data = data.encode("utf-8")
-        run = _Run(self.automaton, data)
-        return run.execute()
+        if not self._observed:
+            return _Run(self.automaton, data).execute()
+        tracer = self._tracer
+        with tracer.span("scan", engine="rds", bytes=len(data)) as span:
+            matches = _Run(self.automaton, data).execute()
+            span.set(matches=len(matches))
+        stats = FastForwardStats()
+        stats.total_length = len(data)  # no skips: every byte examined
+        self.last_stats = stats
+        if self._metrics is not None:
+            self._metrics.merge(stats.registry)
+            self._metrics.counter("engine.runs").add(1)
+            self._metrics.counter("engine.matches").add(len(matches))
+            self._metrics.counter("engine.bytes_consumed").add(len(data))
+        if tracer.enabled:
+            for match in matches:
+                tracer.event("match_emit", engine="rds", start=match.start, end=match.end)
+        return matches
 
 
 

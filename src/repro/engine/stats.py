@@ -5,45 +5,115 @@ fast-forwarded and the total data stream length".  Each top-level
 fast-forward invocation in the engine is attributed to one of the five
 groups of Table 1; characters a G1 sweep skips via nested ``goOverObj``
 calls count toward G1, matching the paper's per-group breakdown.
+
+Since the observability layer landed, :class:`FastForwardStats` is a
+*view* over a :class:`repro.observe.MetricsRegistry`: the per-group
+skip totals live in ``ff.skipped_bytes{group=...}`` counters and the
+stream length in ``ff.total_bytes``, so the same numbers surface
+identically through ``engine.last_stats`` (this class), the
+``--metrics`` JSON document, and the Prometheus exposition.  The
+original mapping interface (``stats.chars[group]``, ``total_length``)
+is preserved on top of the counters.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.observe.metrics import Counter, MetricsRegistry
 
 GROUPS = ("G1", "G2", "G3", "G4", "G5")
 
 
-@dataclass
-class FastForwardStats:
-    """Characters fast-forwarded per function group."""
+class _GroupChars(Mapping):
+    """Dict-shaped mutable view over the per-group skip counters.
 
-    chars: dict[str, int] = field(default_factory=lambda: {g: 0 for g in GROUPS})
-    total_length: int = 0
+    Supports exactly the operations the engines and tests use:
+    ``chars[g]``, ``chars[g] += n``, ``.items()``, iteration, ``len``.
+    """
+
+    __slots__ = ("_counters",)
+
+    def __init__(self, counters: dict[str, Counter]) -> None:
+        self._counters = counters
+
+    def __getitem__(self, group: str) -> int:
+        return self._counters[group].value
+
+    def __setitem__(self, group: str, value: int) -> None:
+        self._counters[group].value = value
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counters)
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def items(self):
+        return [(g, c.value) for g, c in self._counters.items()]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return repr(dict(self.items()))
+
+
+class FastForwardStats:
+    """Characters fast-forwarded per function group, as a registry view.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`MetricsRegistry` backing the counters.  Omitted, a
+        private registry is created — the pre-observability behaviour.
+    """
+
+    __slots__ = ("registry", "chars", "_group_counters", "_total")
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._group_counters = {
+            g: self.registry.counter("ff.skipped_bytes", group=g) for g in GROUPS
+        }
+        self._total = self.registry.counter("ff.total_bytes")
+        self.chars = _GroupChars(self._group_counters)
+
+    @property
+    def total_length(self) -> int:
+        return self._total.value
+
+    @total_length.setter
+    def total_length(self, value: int) -> None:
+        self._total.value = value
 
     def record(self, group: str, n_chars: int) -> None:
         """Attribute ``n_chars`` skipped characters to ``group``."""
         if n_chars > 0:
-            self.chars[group] += n_chars
+            self._group_counters[group].value += n_chars
 
     def merge(self, other: "FastForwardStats") -> None:
         """Accumulate another run's counters (small-record scenario)."""
         for group, n in other.chars.items():
-            self.chars[group] += n
-        self.total_length += other.total_length
+            self._group_counters[group].value += n
+        self._total.value += other.total_length
 
     def ratio(self, group: str) -> float:
         """Fast-forward ratio of one group (0.0 when no input seen)."""
-        if not self.total_length:
+        total = self._total.value
+        if not total:
             return 0.0
-        return self.chars[group] / self.total_length
+        return self._group_counters[group].value / total
 
     @property
     def overall_ratio(self) -> float:
         """Total fast-forward ratio across all groups."""
-        if not self.total_length:
+        total = self._total.value
+        if not total:
             return 0.0
-        return sum(self.chars.values()) / self.total_length
+        return sum(c.value for c in self._group_counters.values()) / total
+
+    @property
+    def skipped(self) -> int:
+        """Total characters fast-forwarded across all groups."""
+        return sum(c.value for c in self._group_counters.values())
 
     def as_row(self) -> dict[str, float]:
         """Table 6-shaped row: per-group and overall ratios."""

@@ -335,3 +335,44 @@ def exp_ablation_chunksize(size: int = DEFAULT_SIZE, chunk_sizes: tuple[int, ...
         seconds, _ = time_run(engine, data, repeat=repeat)
         rows.append([chunk, seconds])
     return title, headers, rows
+
+
+# ---------------------------------------------------------------------------
+# Observability: registry counters per query
+
+
+def exp_metrics(size: int = DEFAULT_SIZE):
+    """Engine counters per Table 5 query, through the metrics registry.
+
+    The same facts Table 6 reports as ratios, plus the internals the
+    observability layer exposes: structural-index work (chunks built and
+    evicted, 64-bit words classified), scanner primitive calls, and
+    matches emitted — one registry per query, fully from counters.
+    """
+    from repro.observe import MetricsRegistry
+
+    title = f"Observability: engine counters per query ({format_bytes(size)})"
+    headers = ["Query", "bytes", "skipped", "ff%", "chunks", "evicted", "words", "scans", "matches"]
+    rows = []
+    for name, q in all_queries():
+        registry = MetricsRegistry()
+        engine = JsonSki(q.large, metrics=registry)
+        engine.run(get_large(name, size))
+        total = registry.value("ff.total_bytes")
+        skipped = sum(registry.value("ff.skipped_bytes", group=g) for g in GROUPS)
+        scans = sum(
+            registry.value("scanner.calls", op=op)
+            for op in ("find_next", "find_prev", "count_range", "kth_in_range", "pair_close")
+        )
+        rows.append([
+            q.qid,
+            total,
+            skipped,
+            format_ratio(skipped / total if total else 0.0),
+            registry.value("index.chunks_built"),
+            registry.value("index.chunks_evicted"),
+            registry.value("index.words_classified"),
+            scans,
+            registry.value("engine.matches"),
+        ])
+    return title, headers, rows

@@ -26,6 +26,7 @@ def _sections(size: int, workers: int, fast: bool) -> list:
         exp.exp_ablation_fastforward(size),
         exp.exp_ablation_scanner(min(size, 1 << 18) if fast else size),
         exp.exp_ablation_chunksize(size),
+        exp.exp_metrics(size),
     ]
 
 

@@ -4,49 +4,28 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any
 
-from repro.baselines import JPStream, PisonLike, RapidJsonLike, SimdJsonLike
-from repro.baselines.stdlib_json import StdlibJson
-from repro.engine import JsonSki, RecursiveDescentStreamer
 from repro.engine.output import MatchList
 from repro.jsonpath.ast import Path
+from repro.registry import ENGINES
 
 #: The five methods of the paper's Table 2, in its order, plus this
-#: reproduction's extra ablation engines.
-METHOD_LABELS: dict[str, str] = {
-    "jpstream": "JPStream",
-    "rapidjson": "RapidJSON",
-    "simdjson": "simdjson",
-    "pison": "Pison",
-    "jsonski": "JSONSki",
-    "jsonski-word": "JSONSki(word)",
-    "rds": "RDS(no-FF)",
-    "stdlib": "json.loads+walk",
-}
+#: reproduction's extra ablation engines — derived from the unified
+#: engine registry (:data:`repro.ENGINES`).
+METHOD_LABELS: dict[str, str] = ENGINES.labels()
 
 #: Methods following the streaming scheme (memory ≈ input-only).
-STREAMING_METHODS = ("jpstream", "jsonski", "jsonski-word", "rds")
-
-_FACTORIES: dict[str, Callable[[Any], object]] = {
-    "jpstream": JPStream,
-    "rapidjson": RapidJsonLike,
-    "simdjson": SimdJsonLike,
-    "pison": PisonLike,
-    "jsonski": JsonSki,
-    "jsonski-word": lambda q: JsonSki(q, mode="word"),
-    "rds": RecursiveDescentStreamer,
-    "stdlib": StdlibJson,
-}
+STREAMING_METHODS = ENGINES.names(streaming=True)
 
 
-def make_engine(method: str, query: str | Path) -> object:
+def make_engine(method: str, query: str | Path, **opts: Any) -> object:
     """Instantiate a registered method for one query."""
     try:
-        factory = _FACTORIES[method]
+        info = ENGINES[method]
     except KeyError:
-        raise KeyError(f"unknown method {method!r}; expected one of {sorted(_FACTORIES)}") from None
-    return factory(query)
+        raise KeyError(f"unknown method {method!r}; expected one of {sorted(ENGINES)}") from None
+    return info(query, **opts)
 
 
 @dataclass

@@ -1,0 +1,51 @@
+"""``repro.observe``: zero-dependency engine observability.
+
+The paper's headline claims live in counters — fast-forward ratio
+(Section 5.3, Table 6), bitmap-build vs. scan time (Section 4.1),
+skipped-bytes accounting — and a production deployment needs the same
+numbers continuously.  This subsystem provides:
+
+- :class:`MetricsRegistry` — counters and histograms, mergeable across
+  runs, workers, and processes (:mod:`repro.observe.metrics`);
+- :class:`Tracer` / :data:`NOOP_TRACER` — span emission for the engine
+  stages (``compile``, ``index_build``, ``scan``, ``record``) and
+  byte-ranged events (``fastforward``, ``match_emit``), with a
+  structurally no-op default so uninstrumented runs pay nothing
+  (:mod:`repro.observe.trace`);
+- sinks — in-memory, JSON-lines, and Prometheus text exposition
+  (:mod:`repro.observe.sinks`).
+
+Wire-up happens through the unified engine API::
+
+    registry = MetricsRegistry()
+    engine = repro.compile("$.pd[*].id", engine="jsonski", metrics=registry)
+    engine.run(data)
+    print(render_prometheus(registry))
+
+or from the command line with ``--metrics[=FILE]`` / ``--trace[=FILE]``.
+"""
+
+from repro.observe.metrics import Counter, Histogram, MetricsRegistry
+from repro.observe.sinks import (
+    JsonlSink,
+    MemorySink,
+    PrometheusTextSink,
+    metrics_document,
+    render_prometheus,
+)
+from repro.observe.trace import NOOP_TRACER, NoopTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NOOP_TRACER",
+    "NoopTracer",
+    "PrometheusTextSink",
+    "Span",
+    "Tracer",
+    "metrics_document",
+    "render_prometheus",
+]

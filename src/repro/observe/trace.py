@@ -1,0 +1,160 @@
+"""Spans and tracers: the time-shaped half of the observability layer.
+
+A :class:`Tracer` records *spans* — named, attributed intervals — for
+the stages the simdjson/JSONSki literature attributes wins to:
+``compile`` (query → automaton), ``index_build`` (per-chunk bitmap
+construction), ``scan`` (one record's streaming pass), ``record``
+(per-record envelope in small-record runs), plus instantaneous
+``fastforward`` and ``match_emit`` events carrying byte ranges.
+
+The off-switch is structural, not a flag check in the hot loop:
+:data:`NOOP_TRACER` is a distinct class whose ``span`` hands back one
+shared, do-nothing context manager, and instrumented code keeps a single
+``tracer.enabled`` test outside its inner loops, so the tracing-off
+path stays within measurement noise (see ``pytest -m perf_smoke``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass
+class Span:
+    """One completed interval (or instantaneous event, start == end).
+
+    ``start``/``end`` are :func:`time.perf_counter` seconds for timed
+    spans; byte-positioned events (``fastforward``, ``match_emit``)
+    carry their offsets in ``attrs`` instead.
+    """
+
+    name: str
+    start: float
+    end: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "start": self.start, "end": self.end,
+                "duration": self.duration, **self.attrs}
+
+
+class _ActiveSpan:
+    """Context manager for one in-flight span."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes discovered while the span is open."""
+        self._attrs.update(attrs)
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._start = self._tracer._clock()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        tracer = self._tracer
+        tracer._finish(Span(self._name, self._start, tracer._clock(), self._attrs))
+
+
+class _NoopSpan:
+    """The shared do-nothing span handle of :data:`NOOP_TRACER`."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Collects spans in memory and optionally forwards them to a sink.
+
+    Parameters
+    ----------
+    sink:
+        Anything with an ``emit(record: dict)`` method (see
+        :mod:`repro.observe.sinks`); each finished span is forwarded as
+        its :meth:`Span.as_dict` form.
+    keep:
+        Retain finished spans on :attr:`spans` (default).  Long-running
+        services emitting to a file sink can turn retention off to keep
+        memory flat.
+    """
+
+    enabled = True
+
+    def __init__(self, sink: object | None = None, keep: bool = True,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        self.spans: list[Span] = []
+        self.sink = sink
+        self.keep = keep
+        self._clock = clock
+
+    def span(self, name: str, **attrs: Any) -> _ActiveSpan:
+        """Open a timed span: ``with tracer.span("scan", bytes=n): ...``"""
+        return _ActiveSpan(self, name, attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record an instantaneous, attribute-carrying span."""
+        now = self._clock()
+        self._finish(Span(name, now, now, attrs))
+
+    def _finish(self, span: Span) -> None:
+        if self.keep:
+            self.spans.append(span)
+        if self.sink is not None:
+            self.sink.emit(span.as_dict())
+
+    def clear(self) -> None:
+        self.spans.clear()
+
+    def named(self, name: str) -> list[Span]:
+        """All retained spans called ``name``, in completion order."""
+        return [s for s in self.spans if s.name == name]
+
+
+class NoopTracer:
+    """The always-off tracer: every operation is a constant no-op.
+
+    Engines default to the shared :data:`NOOP_TRACER` instance, and
+    guard any per-event work with ``tracer.enabled`` so the metrics-off
+    hot path never constructs span objects.
+    """
+
+    enabled = False
+    spans: tuple = ()
+
+    def span(self, name: str, **attrs: Any) -> _NoopSpan:
+        return _NOOP_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def clear(self) -> None:
+        pass
+
+    def named(self, name: str) -> list:
+        return []
+
+
+#: Shared process-wide no-op tracer (the default for every engine).
+NOOP_TRACER = NoopTracer()

@@ -36,24 +36,66 @@ def _run_batch(query: str, records: list[bytes]) -> list[list[Any]]:
     return [_WORKER_ENGINE.run(record).values() for record in records]
 
 
+def _run_batch_metered(query: str, records: list[bytes]) -> tuple[list[list[Any]], dict]:
+    """Like :func:`_run_batch`, plus this batch's metrics snapshot.
+
+    Each batch gets a *fresh* worker-local registry (a worker processes
+    many batches; per-batch registries keep the snapshots disjoint so the
+    parent-side merge is a plain sum).  Only the plain-dict snapshot
+    crosses the process boundary.
+    """
+    from repro.engine.jsonski import JsonSki
+    from repro.observe import MetricsRegistry
+
+    registry = MetricsRegistry()
+    # A fresh engine per batch: the registry is baked into the engine (and
+    # any filter delegate) at construction, so swapping registries on a
+    # cached engine would mis-route counters.  Compilation is microseconds
+    # against a batch of record scans.
+    engine = JsonSki(query, metrics=registry)
+    values = [engine.run(record).values() for record in records]
+    registry.counter("parallel.batch_records").add(len(records))
+    return values, registry.as_dict()
+
+
 def run_records_pool(
     query: str,
     stream: RecordStream,
     n_workers: int,
     batch_size: int = 64,
+    metrics=None,
 ) -> list[list[Any]]:
     """Evaluate ``query`` over every record using ``n_workers`` processes.
 
     Returns one list of match values per record, in record order.  With
     ``n_workers=1`` everything runs in-process (no pool overhead), which
     is also the deterministic reference the tests compare against.
+
+    ``metrics``, when given a :class:`repro.observe.MetricsRegistry`,
+    receives every worker's counters: each worker accumulates into a
+    local registry, ships a plain-dict snapshot back with its batch, and
+    the parent merges the snapshots with
+    :meth:`~repro.observe.MetricsRegistry.merge_dict` — one registry at
+    the end, as if the run had been serial.
     """
     records = [stream.record(i) for i in range(len(stream))]
+    if metrics is None:
+        if n_workers <= 1:
+            return _run_batch(query, records)
+        batches = [records[i : i + batch_size] for i in range(0, len(records), batch_size)]
+        results: list[list[Any]] = []
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            for batch_result in pool.map(_run_batch, [query] * len(batches), batches):
+                results.extend(batch_result)
+        return results
     if n_workers <= 1:
-        return _run_batch(query, records)
+        values, snapshot = _run_batch_metered(query, records)
+        metrics.merge_dict(snapshot)
+        return values
     batches = [records[i : i + batch_size] for i in range(0, len(records), batch_size)]
-    results: list[list[Any]] = []
+    results = []
     with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        for batch_result in pool.map(_run_batch, [query] * len(batches), batches):
-            results.extend(batch_result)
+        for values, snapshot in pool.map(_run_batch_metered, [query] * len(batches), batches):
+            results.extend(values)
+            metrics.merge_dict(snapshot)
     return results

@@ -39,12 +39,17 @@ def parallel_records_run(
     stream: RecordStream,
     n_workers: int,
     timer: Callable[[], float] = time.perf_counter,
+    metrics=None,
 ) -> ParallelRunResult:
     """Process every record of ``stream`` with ``engine``; report the
     ``n_workers`` makespan.
 
     ``engine`` is any object with a ``run(record) -> MatchList`` method
-    (all engines in this package qualify).
+    (all engines in this package qualify).  ``metrics``, when given a
+    :class:`repro.observe.MetricsRegistry`, accumulates a
+    ``parallel.records`` counter, a ``parallel.task_seconds`` histogram
+    of per-record work, and the engine's own per-run fast-forward
+    counters (merged from ``engine.last_stats`` after each record).
     """
     matches = MatchList()
     task_seconds: list[float] = []
@@ -53,4 +58,14 @@ def parallel_records_run(
         t0 = timer()
         matches.extend(engine.run(record))
         task_seconds.append(timer() - t0)
+        if metrics is not None:
+            last = getattr(engine, "last_stats", None)
+            if last is not None:
+                metrics.merge(last.registry)
+    if metrics is not None:
+        metrics.counter("parallel.records").add(len(stream))
+        metrics.counter("parallel.workers").set(n_workers)
+        hist = metrics.histogram("parallel.task_seconds")
+        for seconds in task_seconds:
+            hist.observe(seconds)
     return ParallelRunResult(matches=matches, result=makespan(task_seconds, n_workers))

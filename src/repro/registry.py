@@ -1,0 +1,171 @@
+"""Unified engine registry and factory (the ``repro.compile`` API).
+
+Every query processor in the package is described by one
+:class:`EngineInfo` carrying its constructor and capability flags, so
+callers (CLI, harness, cross-check, user code) select engines by data
+instead of special-casing names::
+
+    engine = repro.compile("$.pd[*].id", engine="jsonski",
+                           collect_stats=True)
+    info = repro.ENGINES["pison"]
+    if info.supports_descendant: ...
+
+Compatibility: ``repro.ENGINES`` has always mapped short names to
+constructors (``repro.ENGINES["jpstream"]("$.a")``); an
+:class:`EngineInfo` is itself callable with the same signature, so that
+lookup style keeps working unchanged — the info object *is* the
+deprecation shim for the old string→constructor dictionary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+from repro.baselines import JPStream, PisonLike, RapidJsonLike, SimdJsonLike, StdlibJson
+from repro.engine import JsonSki, RecursiveDescentStreamer
+from repro.engine.base import ensure_query_supported
+from repro.jsonpath.ast import Path
+from repro.jsonpath.parser import parse_path
+
+
+@dataclass(frozen=True)
+class EngineInfo:
+    """One registered engine: constructor plus capability flags.
+
+    Attributes
+    ----------
+    name / label:
+        Short registry key (``"jsonski"``) and display label
+        (``"JSONSki"``, the paper's Table 2 names).
+    factory:
+        ``factory(query, **opts) -> engine``; every factory accepts
+        ``collect_stats=`` (the uniform constructor surface), and
+        instrumented factories additionally accept ``metrics=`` and
+        ``tracer=``.
+    streaming / preprocessing:
+        Execution scheme: single forward pass with bounded auxiliary
+        memory, vs. upfront index/DOM construction.
+    supports_descendant / supports_filters:
+        Query features the engine can run; :meth:`check_query` turns a
+        violation into a uniform
+        :class:`~repro.errors.UnsupportedQueryError`.
+    early_terminating:
+        Whether ``first``/``exists`` stop at the first match instead of
+        scanning the whole record.
+    instrumented:
+        Whether the engine populates the observability layer
+        (``last_stats``, spans, registry counters).
+    """
+
+    name: str
+    label: str
+    factory: Callable[..., Any] = field(repr=False)
+    streaming: bool = False
+    preprocessing: bool = False
+    supports_descendant: bool = True
+    supports_filters: bool = True
+    early_terminating: bool = False
+    instrumented: bool = False
+
+    def check_query(self, path: Path) -> None:
+        """Raise :class:`UnsupportedQueryError` if ``path`` needs a
+        feature this engine lacks (uniform message across engines)."""
+        ensure_query_supported(
+            path,
+            engine=self.name,
+            descendant=self.supports_descendant,
+            filters=self.supports_filters,
+        )
+
+    def __call__(self, query: str | Path, **opts: Any) -> Any:
+        """Construct the engine — the legacy ``ENGINES[name](query)``
+        constructor-lookup surface."""
+        return self.factory(query, **opts)
+
+
+class EngineRegistry(dict):
+    """Name → :class:`EngineInfo` mapping with registration helpers."""
+
+    def register(self, info: EngineInfo) -> EngineInfo:
+        self[info.name] = info
+        return info
+
+    def info(self, name: str) -> EngineInfo:
+        try:
+            return self[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown engine {name!r}; expected one of {sorted(self)}"
+            ) from None
+
+    def labels(self) -> dict[str, str]:
+        """Short name → display label (the Table 2 method labels)."""
+        return {name: info.label for name, info in self.items()}
+
+    def names(self, **flags: bool) -> tuple[str, ...]:
+        """Engine names whose capability flags match ``flags``."""
+        return tuple(
+            name for name, info in self.items()
+            if all(getattr(info, flag) == want for flag, want in flags.items())
+        )
+
+
+#: The engine registry, in the paper's Table 2 order plus this
+#: reproduction's extra ablation engines.
+ENGINES = EngineRegistry()
+
+ENGINES.register(EngineInfo(
+    name="jpstream", label="JPStream", factory=JPStream,
+    streaming=True, supports_filters=False,
+))
+ENGINES.register(EngineInfo(
+    name="rapidjson", label="RapidJSON", factory=RapidJsonLike,
+    preprocessing=True,
+))
+ENGINES.register(EngineInfo(
+    name="simdjson", label="simdjson", factory=SimdJsonLike,
+    preprocessing=True,
+))
+ENGINES.register(EngineInfo(
+    name="pison", label="Pison", factory=PisonLike,
+    preprocessing=True, supports_descendant=False, supports_filters=False,
+))
+ENGINES.register(EngineInfo(
+    name="jsonski", label="JSONSki", factory=JsonSki,
+    streaming=True, early_terminating=True, instrumented=True,
+))
+ENGINES.register(EngineInfo(
+    name="jsonski-word", label="JSONSki(word)",
+    factory=lambda query, **opts: JsonSki(query, mode="word", **opts),
+    streaming=True, early_terminating=True, instrumented=True,
+))
+ENGINES.register(EngineInfo(
+    name="rds", label="RDS(no-FF)", factory=RecursiveDescentStreamer,
+    streaming=True, supports_filters=False, instrumented=True,
+))
+ENGINES.register(EngineInfo(
+    name="stdlib", label="json.loads+walk", factory=StdlibJson,
+    preprocessing=True,
+))
+
+
+def compile(query: str | Path, engine: str = "jsonski", **opts: Any):
+    """Compile ``query`` for a registered engine — the unified factory.
+
+    Parses the query once, verifies the engine supports its features
+    (raising a uniform :class:`~repro.errors.UnsupportedQueryError`
+    otherwise), and forwards ``opts`` to the constructor.  Unsupported
+    keyword options raise the constructor's ordinary :class:`TypeError`.
+
+    >>> import repro
+    >>> repro.compile("$.a", engine="jpstream").run(b'{"a": 7}').values()
+    [7]
+    """
+    info = ENGINES.info(engine)
+    path = parse_path(query) if isinstance(query, str) else query
+    info.check_query(path)
+    return info(path, **opts)
+
+
+__all__ = ["ENGINES", "EngineInfo", "EngineRegistry", "compile"]

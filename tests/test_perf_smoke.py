@@ -1,0 +1,66 @@
+"""Observability overhead smoke checks (``pytest -m perf_smoke``).
+
+Asserts the structural no-op design actually holds: running an engine
+built with the default ``NOOP_TRACER`` and no registry must stay within
+noise of the pre-observability hot path.  Timing on shared machines is
+jittery, so these are deselected by default (see ``addopts`` in
+pyproject.toml) and non-blocking for CI — run them deliberately::
+
+    PYTHONPATH=src pytest -m perf_smoke -q
+
+The thresholds are generous (the ISSUE budget is <5% on the large-record
+benchmark; we allow extra slack per-test because each sample here is
+short) — a real regression, like an attribute lookup or dict build per
+scanned value, shows up as 2x, not 1.05x.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.data.datasets import large_record
+from repro.engine import JsonSki
+
+pytestmark = pytest.mark.perf_smoke
+
+
+def _best_seconds(fn, rounds: int = 5) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_noop_observability_overhead_fig10_style():
+    """bench_fig10_large_record's BB1 cell, metrics-off vs pre-layer path.
+
+    The comparison baseline is the same engine object exercised twice —
+    both runs use the default no-op tracer and no registry, one built
+    plainly and one built with every observability default spelled out.
+    They must be indistinguishable (within 5% + timing noise floor).
+    """
+    data = large_record("BB", 300_000, seed=7)
+    plain = JsonSki("$.pd[*].cp[1:3].id")
+    spelled = JsonSki("$.pd[*].cp[1:3].id", collect_stats=False, tracer=None, metrics=None)
+    plain.run(data)  # warm caches
+    spelled.run(data)
+    t_plain = _best_seconds(lambda: plain.run(data))
+    t_spelled = _best_seconds(lambda: spelled.run(data))
+    assert t_spelled <= t_plain * 1.05 + 0.005, (t_plain, t_spelled)
+
+
+def test_collect_stats_overhead_is_modest():
+    """collect_stats touches counters per fast-forward, not per byte;
+    its cost must stay a small fraction of the scan itself."""
+    data = large_record("BB", 300_000, seed=7)
+    off = JsonSki("$.pd[*].cp[1:3].id")
+    on = JsonSki("$.pd[*].cp[1:3].id", collect_stats=True)
+    off.run(data)
+    on.run(data)
+    t_off = _best_seconds(lambda: off.run(data))
+    t_on = _best_seconds(lambda: on.run(data))
+    assert t_on <= t_off * 1.5 + 0.005, (t_off, t_on)
