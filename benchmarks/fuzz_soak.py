@@ -1,0 +1,78 @@
+"""Long-running differential fuzz soak (the un-budgeted fuzz_smoke).
+
+Sweeps seeded mutation corpora over every registered engine until the
+requested case count (or wall-clock budget) is spent, asserting the
+resilience contract continuously: every case must end in agreement, a
+diagnosed :class:`~repro.errors.ReproError`, or the documented
+skip-region blind spot — never a divergence, a crash, or a hang.
+
+Exit status 0 when the contract held, 1 otherwise (CI-friendly)::
+
+    PYTHONPATH=src python benchmarks/fuzz_soak.py --mutations 5000
+    PYTHONPATH=src python benchmarks/fuzz_soak.py --minutes 10 --seed 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro.resilience import differential_fuzz
+
+#: Base records spanning the shapes the six paper datasets exercise:
+#: nested objects, object arrays, long flat arrays, deep mixed nesting.
+BASE_RECORDS = [
+    json.dumps({"a": {"b": 1, "k": [1, 2, 3]}, "x": "s", "n": None}).encode(),
+    json.dumps([{"x": i, "k": str(i)} for i in range(20)]).encode(),
+    json.dumps({"a": list(range(100)), "k": {"k": {"k": True}}}).encode(),
+    json.dumps({"pd": [{"cp": [{"id": i}, {"id": i + 1}]} for i in range(10)]}).encode(),
+]
+
+BATCH = 500  # mutations per reported round
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mutations", type=int, default=2000,
+                        help="total mutations to sweep (default 2000)")
+    parser.add_argument("--minutes", type=float, default=None,
+                        help="instead: keep sweeping for this many minutes")
+    parser.add_argument("--seed", type=int, default=0, help="corpus seed (default 0)")
+    parser.add_argument("--engines", nargs="*", default=None,
+                        help="engine names (default: every registered engine)")
+    args = parser.parse_args()
+
+    engines = tuple(args.engines) if args.engines else None
+    started = time.monotonic()
+    total_cases = 0
+    round_seed = args.seed
+    swept = 0
+    ok = True
+    while True:
+        report = differential_fuzz(
+            BASE_RECORDS, BATCH, seed=round_seed,
+            engines=engines, deadline_per_case=30.0,
+        )
+        total_cases += report.cases
+        swept += BATCH
+        minutes = (time.monotonic() - started) / 60.0
+        print(f"[{minutes:6.2f} min] seed={round_seed} {report.describe().splitlines()[0]}")
+        if not report.ok:
+            print(report.describe())
+            ok = False
+            break
+        round_seed += 1
+        if args.minutes is not None:
+            if minutes >= args.minutes:
+                break
+        elif swept >= args.mutations:
+            break
+    verdict = "contract held" if ok else "CONTRACT VIOLATED"
+    print(f"{verdict}: {total_cases} cases over {swept} mutations "
+          f"in {(time.monotonic() - started):.1f}s")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

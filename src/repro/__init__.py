@@ -24,13 +24,26 @@ The uniform engine registry lets the same code drive any method:
 from repro.baselines import JPStream, PisonLike, RapidJsonLike, SimdJsonLike, StdlibJson
 from repro.engine import FastForwardStats, JsonSki, JsonSkiMulti, Match, MatchList, RecursiveDescentStreamer, iter_events
 from repro.errors import (
+    DeadlineExceededError,
+    DepthLimitError,
     JsonPathSyntaxError,
     JsonSyntaxError,
     RecordTooLargeError,
     ReproError,
+    ResourceLimitError,
     StreamExhaustedError,
     UnsupportedQueryError,
 )
+from repro.resilience import (
+    Deadline,
+    FuzzReport,
+    Limits,
+    RecordFailure,
+    RecoveryResult,
+    differential_fuzz,
+    run_with_recovery,
+)
+from repro.parallel import PoolResult, run_records_pool_resilient
 from repro.jsonpath import Path, parse_path
 from repro.observe import (
     Counter,
@@ -60,6 +73,18 @@ __version__ = "1.0.0"
 __all__ = [
     "AnalysisReport",
     "Counter",
+    "Deadline",
+    "DeadlineExceededError",
+    "DepthLimitError",
+    "FuzzReport",
+    "Limits",
+    "PoolResult",
+    "RecordFailure",
+    "RecoveryResult",
+    "ResourceLimitError",
+    "differential_fuzz",
+    "run_records_pool_resilient",
+    "run_with_recovery",
     "ENGINES",
     "EngineInfo",
     "EngineRegistry",

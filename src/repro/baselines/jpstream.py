@@ -50,9 +50,10 @@ class _Frame:
 class JPStream(EngineBase):
     """Streaming dual-stack pushdown automaton engine."""
 
-    def __init__(self, query: str | Path, collect_stats: bool = False) -> None:
+    def __init__(self, query: str | Path, collect_stats: bool = False, limits=None) -> None:
         from repro.engine.base import ensure_query_supported
         from repro.jsonpath.parser import parse_path
+        from repro.resilience.guards import effective_limits
 
         path = parse_path(query) if isinstance(query, str) else query
         ensure_query_supported(path, engine="jpstream", filters=False)
@@ -60,20 +61,26 @@ class JPStream(EngineBase):
         # Uniform constructor surface: accepted everywhere, a no-op here
         # (this engine never fast-forwards, so ``last_stats`` stays None).
         self.collect_stats = collect_stats
+        self.limits = effective_limits(limits)
 
     def run(self, data: bytes | str) -> MatchList:
         if isinstance(data, str):
             data = data.encode("utf-8")
-        return _run(self.automaton, data)
+        self.limits.check_record_size(len(data))
+        return _run(self.automaton, data, self.limits)
 
 
-
-
-def _run(qa: QueryAutomaton, data: bytes) -> MatchList:
+def _run(qa: QueryAutomaton, data: bytes, limits=None) -> MatchList:
     tok = Tokenizer(data)
     matches = MatchList()
     stack: list[_Frame] = []  # the syntax stack + query stack, fused
     tok.skip_ws()
+    # This engine never recurses (the dual stack is explicit), so the
+    # depth guard bounds stack *memory* and the deadline is checked per
+    # consumed value — both iterative, neither on a recursion path.
+    max_depth = limits.max_depth if limits is not None else None
+    deadline = limits.deadline if limits is not None else None
+    values = 0
 
     # ``pending`` is the automaton state assigned to the upcoming value
     # (rule [Key] for attribute values, [Ary-S]/[Com] for elements).
@@ -81,6 +88,10 @@ def _run(qa: QueryAutomaton, data: bytes) -> MatchList:
 
     while True:
         # ---- consume one value whose state is ``pending`` -------------
+        if deadline is not None:
+            values += 1
+            if (values & 255) == 0:
+                deadline.check(tok.pos)
         kind = tok.value_kind()
         accept = qa.status(pending).is_accept
         start = tok.pos
@@ -101,6 +112,14 @@ def _run(qa: QueryAutomaton, data: bytes) -> MatchList:
                     matches.add(data, start, tok.pos)
                 closed_value = True
             else:
+                if max_depth is not None and len(stack) >= max_depth:
+                    from repro.errors import DepthLimitError
+
+                    raise DepthLimitError(
+                        f"jpstream: nesting depth exceeds max_depth={max_depth}",
+                        position=start,
+                        depth=len(stack) + 1,
+                    )
                 slot = matches.reserve() if accept else -1
                 stack.append(_Frame(is_object, pending, 0, start, slot))
                 if is_object:

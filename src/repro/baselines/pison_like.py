@@ -57,21 +57,36 @@ class LeveledIndex:
     own colons/commas are level 0, as in Figure 3-(b)).
     """
 
-    def __init__(self, data: bytes, max_levels: int) -> None:
+    def __init__(self, data: bytes, max_levels: int, limits=None) -> None:
         self.data = data
         self.max_levels = max_levels
         structs = structural_positions(data)
         colons: list[list[int]] = [[] for _ in range(max_levels)]
         commas: list[list[int]] = [[] for _ in range(max_levels)]
         depth = 0
+        max_depth = limits.max_depth if limits is not None else None
+        deadline = limits.deadline if limits is not None else None
+        seen = 0
         root_span: tuple[int, int] | None = None
         root_start = -1
         byte_vals = np.frombuffer(data, dtype=np.uint8)[structs] if len(structs) else np.empty(0, np.uint8)
         for pos, byte in zip(structs.tolist(), byte_vals.tolist()):
+            if deadline is not None:
+                seen += 1
+                if (seen & 1023) == 0:
+                    deadline.check(pos)
             if byte == _LBRACE or byte == _LBRACKET:
                 if depth == 0:
                     root_start = pos
                 depth += 1
+                if max_depth is not None and depth > max_depth:
+                    from repro.errors import DepthLimitError
+
+                    raise DepthLimitError(
+                        f"pison: nesting depth exceeds max_depth={max_depth}",
+                        position=pos,
+                        depth=depth,
+                    )
             elif byte == _RBRACE or byte == _RBRACKET:
                 depth -= 1
                 if depth == 0 and root_span is None:
@@ -106,8 +121,9 @@ class LeveledIndex:
 class PisonLike(EngineBase):
     """Preprocessing engine over leveled colon/comma bitmaps."""
 
-    def __init__(self, query: str | Path, collect_stats: bool = False) -> None:
+    def __init__(self, query: str | Path, collect_stats: bool = False, limits=None) -> None:
         from repro.engine.base import ensure_query_supported
+        from repro.resilience.guards import effective_limits
 
         self.path = parse_path(query) if isinstance(query, str) else query
         # The leveled index is built to the query's static depth, so
@@ -116,11 +132,13 @@ class PisonLike(EngineBase):
         # UnsupportedQueryError shape shared by all engines.
         ensure_query_supported(self.path, engine="pison", descendant=False, filters=False)
         self.collect_stats = collect_stats
+        self.limits = effective_limits(limits)
 
     def run(self, data: bytes | str) -> MatchList:
         if isinstance(data, str):
             data = data.encode("utf-8")
-        index = LeveledIndex(data, max_levels=len(self.path))  # upfront build
+        self.limits.check_record_size(len(data))
+        index = LeveledIndex(data, max_levels=len(self.path), limits=self.limits)  # upfront build
         matches = MatchList()
         if index.root_span is not None:
             _Evaluator(index, data, matches).eval_steps(index.root_span, 0, self.path.steps)

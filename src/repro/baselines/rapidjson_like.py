@@ -24,26 +24,33 @@ _LBRACKET, _RBRACKET = 0x5B, 0x5D
 _COLON = 0x3A
 
 
-def parse_dom(data: bytes) -> AnyNode:
+def parse_dom(data: bytes, limits=None) -> AnyNode:
     """Parse a record into a span-carrying DOM, character by character."""
+    from repro.resilience.guards import depth_error_from_recursion
+
     tok = Tokenizer(data)
     tok.skip_ws()
-    return _parse_value(tok)
+    try:
+        return _parse_value(tok, limits, 1)
+    except RecursionError as exc:
+        raise depth_error_from_recursion(exc, "rapidjson") from None
 
 
-def _parse_value(tok: Tokenizer) -> AnyNode:
+def _parse_value(tok: Tokenizer, limits=None, depth: int = 1) -> AnyNode:
     kind = tok.value_kind()
     if kind == "object":
-        return _parse_object(tok)
+        return _parse_object(tok, limits, depth)
     if kind == "array":
-        return _parse_array(tok)
+        return _parse_array(tok, limits, depth)
     start = tok.pos
     tok.read_primitive()
     return PrimitiveNode(start, tok.pos)
 
 
-def _parse_object(tok: Tokenizer) -> ObjectNode:
+def _parse_object(tok: Tokenizer, limits=None, depth: int = 1) -> ObjectNode:
     start = tok.pos
+    if limits is not None:
+        limits.enter(depth, start)
     tok.expect(_LBRACE, "'{'")
     tok.skip_ws()
     members: list[tuple[str, AnyNode]] = []
@@ -55,13 +62,15 @@ def _parse_object(tok: Tokenizer) -> ObjectNode:
         tok.skip_ws()
         tok.expect(_COLON, "':'")
         tok.skip_ws()
-        members.append((name, _parse_value(tok)))
+        members.append((name, _parse_value(tok, limits, depth + 1)))
         if not tok.consume_comma_or(_RBRACE):
             return ObjectNode(start, tok.pos, tuple(members))
 
 
-def _parse_array(tok: Tokenizer) -> ArrayNode:
+def _parse_array(tok: Tokenizer, limits=None, depth: int = 1) -> ArrayNode:
     start = tok.pos
+    if limits is not None:
+        limits.enter(depth, start)
     tok.expect(_LBRACKET, "'['")
     tok.skip_ws()
     elements: list[AnyNode] = []
@@ -69,7 +78,7 @@ def _parse_array(tok: Tokenizer) -> ArrayNode:
         tok.pos += 1
         return ArrayNode(start, tok.pos, ())
     while True:
-        elements.append(_parse_value(tok))
+        elements.append(_parse_value(tok, limits, depth + 1))
         if not tok.consume_comma_or(_RBRACKET):
             return ArrayNode(start, tok.pos, tuple(elements))
 
@@ -77,16 +86,18 @@ def _parse_array(tok: Tokenizer) -> ArrayNode:
 class RapidJsonLike(EngineBase):
     """Preprocessing-scheme engine: full DOM parse, then tree traversal."""
 
-    def __init__(self, query: str | Path, collect_stats: bool = False) -> None:
+    def __init__(self, query: str | Path, collect_stats: bool = False, limits=None) -> None:
+        from repro.resilience.guards import effective_limits
+
         self.path = parse_path(query) if isinstance(query, str) else query
         self.collect_stats = collect_stats
+        self.limits = effective_limits(limits)
 
     def run(self, data: bytes | str) -> MatchList:
         if isinstance(data, str):
             data = data.encode("utf-8")
-        root = parse_dom(data)  # upfront parse (the preprocessing delay)
+        self.limits.check_record_size(len(data))
+        root = parse_dom(data, self.limits)  # upfront parse (the preprocessing delay)
         matches = MatchList()
         query_tree(root, self.path, data, matches)
         return matches
-
-

@@ -52,10 +52,11 @@ def structural_positions(data: bytes, chunk_size: int = 1 << 20) -> np.ndarray:
 class _TapeBuilder:
     """Stage 2: build the DOM by walking the structural-position tape."""
 
-    def __init__(self, data: bytes, structs: np.ndarray) -> None:
+    def __init__(self, data: bytes, structs: np.ndarray, limits=None) -> None:
         self.data = data
         self.structs = structs
         self.i = 0  # next unconsumed structural position
+        self.limits = limits
 
     # -- helpers -----------------------------------------------------------
 
@@ -79,20 +80,22 @@ class _TapeBuilder:
 
     # -- recursive tape walk -------------------------------------------------
 
-    def parse_value(self, start: int) -> AnyNode:
+    def parse_value(self, start: int, depth: int = 1) -> AnyNode:
         if start >= len(self.data):
             raise StreamExhaustedError("record ended where a value was expected", start)
         byte = self.data[start]
         if byte == _LBRACE:
-            return self.parse_object(start)
+            return self.parse_object(start, depth)
         if byte == _LBRACKET:
-            return self.parse_array(start)
+            return self.parse_array(start, depth)
         # Primitive: extends to the next structural character (strings
         # cannot contain unmasked metacharacters).
         end = int(self.structs[self.i]) if self.i < len(self.structs) else len(self.data)
         return PrimitiveNode(start, self._rstrip(start, end))
 
-    def parse_object(self, lb: int) -> ObjectNode:
+    def parse_object(self, lb: int, depth: int = 1) -> ObjectNode:
+        if self.limits is not None:
+            self.limits.enter(depth, lb)
         self.i += 1  # consume '{'
         nxt = self._next_struct()
         if self.data[nxt] == _RBRACE and self._skip_ws(lb + 1) == nxt:
@@ -112,7 +115,7 @@ class _TapeBuilder:
                 raise JsonSyntaxError("attribute name is not a string", name_start)
             name = _decode_name(self.data[name_start + 1 : name_end - 1])
             self.i += 1  # consume ':'
-            members.append((name, self.parse_value(self._skip_ws(colon + 1))))
+            members.append((name, self.parse_value(self._skip_ws(colon + 1), depth + 1)))
             delim = self._next_struct()
             self.i += 1
             if self.data[delim] == _RBRACE:
@@ -121,7 +124,9 @@ class _TapeBuilder:
                 raise JsonSyntaxError("expected ',' or '}' in object", delim)
             prev = delim
 
-    def parse_array(self, lb: int) -> ArrayNode:
+    def parse_array(self, lb: int, depth: int = 1) -> ArrayNode:
+        if self.limits is not None:
+            self.limits.enter(depth, lb)
         self.i += 1  # consume '['
         nxt = self._next_struct()
         # The next structural char being ']' does not imply emptiness: a
@@ -132,7 +137,7 @@ class _TapeBuilder:
         elements: list[AnyNode] = []
         prev = lb
         while True:
-            elements.append(self.parse_value(self._skip_ws(prev + 1)))
+            elements.append(self.parse_value(self._skip_ws(prev + 1), depth + 1))
             delim = self._next_struct()
             self.i += 1
             if self.data[delim] == _RBRACKET:
@@ -142,14 +147,19 @@ class _TapeBuilder:
             prev = delim
 
 
-def parse_dom(data: bytes, chunk_size: int = 1 << 20) -> AnyNode:
+def parse_dom(data: bytes, chunk_size: int = 1 << 20, limits=None) -> AnyNode:
     """Two-stage parse: structural index, then tape-driven DOM build."""
+    from repro.resilience.guards import depth_error_from_recursion
+
     structs = structural_positions(data, chunk_size=chunk_size)
-    builder = _TapeBuilder(data, structs)
+    builder = _TapeBuilder(data, structs, limits=limits)
     start = builder._skip_ws(0)
     if start >= len(data):
         raise JsonSyntaxError("empty input", 0)
-    return builder.parse_value(start)
+    try:
+        return builder.parse_value(start)
+    except RecursionError as exc:
+        raise depth_error_from_recursion(exc, "simdjson") from None
 
 
 class SimdJsonLike(EngineBase):
@@ -161,11 +171,15 @@ class SimdJsonLike(EngineBase):
         chunk_size: int = 1 << 20,
         max_record_bytes: int = DEFAULT_MAX_RECORD_BYTES,
         collect_stats: bool = False,
+        limits=None,
     ) -> None:
+        from repro.resilience.guards import effective_limits
+
         self.path = parse_path(query) if isinstance(query, str) else query
         self.chunk_size = chunk_size
         self.max_record_bytes = max_record_bytes
         self.collect_stats = collect_stats
+        self.limits = effective_limits(limits)
 
     def run(self, data: bytes | str) -> MatchList:
         if isinstance(data, str):
@@ -175,7 +189,8 @@ class SimdJsonLike(EngineBase):
                 f"record of {len(data)} bytes exceeds the "
                 f"{self.max_record_bytes}-byte single-record limit"
             )
-        root = parse_dom(data, chunk_size=self.chunk_size)
+        self.limits.check_record_size(len(data))
+        root = parse_dom(data, chunk_size=self.chunk_size, limits=self.limits)
         matches = MatchList()
         query_tree(root, self.path, data, matches)
         return matches

@@ -8,8 +8,19 @@ matches, one per line — a grep for JSONPath.  Examples::
     python -m repro '$.text' tweets.jsonl --jsonl --engine jpstream
     python -m repro '$.pd[*].cp[1:3].id' catalog.json --stats
 
-Exit status is 0 when at least one match was found, 1 when none (like
-``grep``), 2 on usage or input errors.
+Exit status (grep-inspired, with distinct failure classes):
+
+====  =========================================================
+code  meaning
+====  =========================================================
+0     at least one match
+1     no match
+2     JSONPath syntax error, usage error, or unreadable input
+3     the query needs a feature the chosen engine does not support
+4     malformed JSON input
+5     a resource guard tripped (``--max-depth`` / ``--timeout`` /
+      record size)
+====  =========================================================
 """
 
 from __future__ import annotations
@@ -19,9 +30,26 @@ import sys
 
 from repro.engine import JsonSki
 from repro.engine.stats import GROUPS
-from repro.errors import JsonPathSyntaxError, ReproError
+from repro.errors import (
+    JsonPathSyntaxError,
+    JsonSyntaxError,
+    ReproError,
+    ResourceLimitError,
+    UnsupportedQueryError,
+)
 from repro.harness.runner import METHOD_LABELS, make_engine
 from repro.stream.records import RecordStream
+
+
+def _exit_code_for(exc: ReproError) -> int:
+    """Map an error to the documented exit-code taxonomy."""
+    if isinstance(exc, ResourceLimitError):
+        return 5
+    if isinstance(exc, JsonSyntaxError):
+        return 4
+    if isinstance(exc, UnsupportedQueryError):
+        return 3
+    return 2  # JsonPathSyntaxError and anything else query/usage-shaped
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,7 +84,40 @@ def build_parser() -> argparse.ArgumentParser:
                         help="probe the input and report measured fast-forward behaviour")
     parser.add_argument("--cross-check", action="store_true",
                         help="run every engine and the oracle; fail on any disagreement")
+    robust = parser.add_argument_group("robustness")
+    robust.add_argument("--strict", dest="lenient", action="store_false", default=False,
+                        help="fail on the first malformed record (the default)")
+    robust.add_argument("--lenient", dest="lenient", action="store_true",
+                        help="with --jsonl: skip malformed records, resume at the next "
+                             "record boundary, and report what was skipped to stderr")
+    robust.add_argument("--max-depth", type=int, default=None, metavar="N",
+                        help="refuse records nested deeper than N containers "
+                             "(default: 256; 0 disables the guard)")
+    robust.add_argument("--max-record-bytes", type=int, default=None, metavar="N",
+                        help="refuse single records larger than N bytes")
+    robust.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                        help="abandon the run after SECONDS via the cooperative deadline")
     return parser
+
+
+def _build_limits(args):
+    """Translate the robustness flags into a ``Limits``; ``None`` keeps
+    each engine's defaults."""
+    from repro.resilience.guards import DEFAULT_LIMITS, Deadline, Limits
+
+    if args.max_depth is None and args.max_record_bytes is None and args.timeout is None:
+        return None
+    if args.max_depth is None:
+        max_depth = DEFAULT_LIMITS.max_depth
+    elif args.max_depth <= 0:
+        max_depth = None
+    else:
+        max_depth = args.max_depth
+    return Limits(
+        max_depth=max_depth,
+        max_record_bytes=args.max_record_bytes,
+        deadline=Deadline.after(args.timeout) if args.timeout else None,
+    )
 
 
 def _read_input(path: str) -> bytes:
@@ -114,6 +175,28 @@ def _finish_observability(args, info, registry, trace_sink, data: bytes, n_match
     return 0
 
 
+def _run_lenient(args, engine, data: bytes, info, registry, trace_sink, out, err) -> int:
+    """``--lenient --jsonl``: skip malformed records, report, keep going."""
+    import json as _json
+
+    from repro.resilience.recovery import run_with_recovery
+
+    stream = RecordStream.from_jsonl(data)
+    recovery = run_with_recovery(engine, stream, metrics=registry)
+    if not recovery.ok:
+        print(recovery.describe(), file=err)
+    values = recovery.all_values()
+    code = _finish_observability(args, info, registry, trace_sink, data, len(values), err)
+    if code:
+        return code
+    if args.count:
+        print(len(values), file=out)
+        return 0 if values else 1
+    for value in values[: 1 if args.first else len(values)]:
+        print(_json.dumps(value, ensure_ascii=False), file=out)
+    return 0 if values else 1
+
+
 def main(argv: list[str] | None = None, out=None, err=None) -> int:
     out = out if out is not None else sys.stdout
     err = err if err is not None else sys.stderr
@@ -135,9 +218,12 @@ def main(argv: list[str] | None = None, out=None, err=None) -> int:
         try:
             data = _read_input(args.file)
             print(analyze(data, args.query).describe(), file=out)
-        except (OSError, ReproError) as exc:
+        except OSError as exc:
             print(f"error: {exc}", file=err)
             return 2
+        except ReproError as exc:
+            print(f"error: {exc}", file=err)
+            return _exit_code_for(exc)
         return 0
 
     if args.cross_check:
@@ -150,9 +236,12 @@ def main(argv: list[str] | None = None, out=None, err=None) -> int:
                 print(f"{len(results)} records cross-checked, all engines agree", file=out)
             else:
                 print(cross_check(data, args.query).describe(), file=out)
-        except (OSError, ReproError) as exc:
+        except OSError as exc:
             print(f"error: {exc}", file=err)
             return 2
+        except ReproError as exc:
+            print(f"error: {exc}", file=err)
+            return _exit_code_for(exc)
         return 0
 
     jsonski_only = args.paths or args.stats
@@ -194,8 +283,15 @@ def main(argv: list[str] | None = None, out=None, err=None) -> int:
         if tracer is not None:
             observe_kwargs["tracer"] = tracer
 
+    limits = _build_limits(args)
+    if limits is not None:
+        observe_kwargs["limits"] = limits
+
     try:
         engine = make_engine(args.engine, args.query, collect_stats=args.stats, **observe_kwargs)
+
+        if args.lenient and args.jsonl and not args.paths:
+            return _run_lenient(args, engine, data, info, registry, trace_sink, out, err)
 
         if args.first and isinstance(engine, JsonSki) and not args.jsonl and not args.paths:
             match = engine.first(data)
@@ -220,13 +316,16 @@ def main(argv: list[str] | None = None, out=None, err=None) -> int:
         # JsonPathSyntaxError.position is an offset into the query, not
         # the input — a data caret would point at the wrong text.
         position = None if isinstance(exc, JsonPathSyntaxError) else getattr(exc, "position", None)
-        if position is not None and data:
+        if position is not None and position >= 0 and data:
             from repro.errors import format_error_context
 
             print(format_error_context(data, position), file=err)
-        if trace_sink is not None:
-            trace_sink.close()
-        return 2
+        if registry is not None:
+            registry.counter("cli.errors", error=type(exc).__name__).add(1)
+        # Flush --metrics/--trace even on failure: the error counters are
+        # the part an operator most wants to scrape.
+        _finish_observability(args, info, registry, trace_sink, data, 0, err)
+        return _exit_code_for(exc)
 
     if args.stats and isinstance(engine, JsonSki):
         _print_stats(engine, err)

@@ -40,6 +40,7 @@ from repro.engine.stats import FastForwardStats
 from repro.errors import JsonSyntaxError
 from repro.observe import NOOP_TRACER, MetricsRegistry
 from repro.jsonpath.ast import Path
+from repro.resilience.guards import Limits, depth_error_from_recursion, effective_limits
 from repro.query.automaton import ACCEPT, ALIVE, QueryAutomaton, compile_query
 from repro.stream.buffer import StreamBuffer
 from repro.stream.records import RecordStream
@@ -79,6 +80,13 @@ class JsonSki(EngineBase):
         engine's counters across runs (fast-forward bytes per group,
         index chunk builds/evictions, scanner primitive calls, matches
         emitted).  ``None`` (default) disables metrics collection.
+    limits:
+        Resource guards (:class:`repro.resilience.Limits`): ``max_depth``
+        (on by default — a nesting bomb raises
+        :class:`~repro.errors.DepthLimitError` instead of blowing the
+        interpreter stack), ``max_record_bytes``, and a cooperative
+        ``deadline`` checked at container boundaries.  ``None`` means the
+        safety defaults; pass ``Limits.unlimited()`` for trusted input.
 
     Example
     -------
@@ -96,9 +104,11 @@ class JsonSki(EngineBase):
         collect_stats: bool = False,
         tracer=None,
         metrics: MetricsRegistry | None = None,
+        limits: Limits | None = None,
     ) -> None:
         self._tracer = tracer if tracer is not None else NOOP_TRACER
         self._metrics = metrics
+        self.limits = effective_limits(limits)
         #: Observed mode: any per-run bookkeeping beyond ``collect_stats``.
         self._observed = self._tracer.enabled or metrics is not None
         with self._tracer.span("compile", engine="jsonski"):
@@ -117,7 +127,7 @@ class JsonSki(EngineBase):
                 self._delegate = FilteredJsonSki(
                     path, mode=mode, chunk_size=chunk_size,
                     cache_chunks=cache_chunks, collect_stats=collect_stats,
-                    tracer=tracer, metrics=metrics,
+                    tracer=tracer, metrics=metrics, limits=limits,
                 )
                 self.automaton = None
             else:
@@ -139,6 +149,7 @@ class JsonSki(EngineBase):
             buffer = data
         else:
             buffer = StreamBuffer(data, mode=self.mode, chunk_size=self.chunk_size, cache_chunks=self.cache_chunks)
+        self.limits.check_record_size(len(buffer.data))
         if self._observed:
             if self._tracer.enabled:
                 buffer.index.tracer = self._tracer
@@ -187,13 +198,13 @@ class JsonSki(EngineBase):
             tracer = self._tracer
             index_before = self._index_snapshot(buffer)
             with tracer.span("scan", engine="jsonski", bytes=len(buffer.data)) as span:
-                run = _Run(self.automaton, buffer, True, self._name_cache, trace=tracer.enabled)
+                run = _Run(self.automaton, buffer, True, self._name_cache, trace=tracer.enabled, limits=self.limits)
                 matches = run.execute()
                 span.set(matches=len(matches))
             self._finish_observed(run, buffer, index_before)
             self.last_stats = run.stats
             return matches
-        run = _Run(self.automaton, self._buffer(data), self.collect_stats, self._name_cache)
+        run = _Run(self.automaton, self._buffer(data), self.collect_stats, self._name_cache, limits=self.limits)
         matches = run.execute()
         self.last_stats = run.stats
         return matches
@@ -209,7 +220,7 @@ class JsonSki(EngineBase):
             from repro.errors import UnsupportedQueryError
 
             raise UnsupportedQueryError("run_with_paths is not available for filter queries")
-        run = _Run(self.automaton, self._buffer(data), self.collect_stats, self._name_cache, track_paths=True)
+        run = _Run(self.automaton, self._buffer(data), self.collect_stats, self._name_cache, track_paths=True, limits=self.limits)
         matches = run.execute()
         self.last_stats = run.stats
         assert run.match_paths is not None
@@ -225,7 +236,7 @@ class JsonSki(EngineBase):
             from repro.errors import UnsupportedQueryError
 
             raise UnsupportedQueryError("trace_run is not available for filter queries")
-        run = _Run(self.automaton, self._buffer(data), self.collect_stats, self._name_cache, trace=True)
+        run = _Run(self.automaton, self._buffer(data), self.collect_stats, self._name_cache, trace=True, limits=self.limits)
         matches = run.execute()
         self.last_stats = run.stats
         return matches, run.trace
@@ -239,7 +250,7 @@ class JsonSki(EngineBase):
             return matches[0] if len(matches) else None
         buffer = self._buffer(data)
         index_before = self._index_snapshot(buffer) if self._observed else (0, 0, 0)
-        run = _Run(self.automaton, buffer, collect_stats=self._observed, name_cache=self._name_cache, limit=1)
+        run = _Run(self.automaton, buffer, collect_stats=self._observed, name_cache=self._name_cache, limit=1, limits=self.limits)
         matches = run.execute()
         if self._observed:
             self._finish_observed(run, buffer, index_before)
@@ -285,9 +296,14 @@ class _Run:
         track_paths: bool = False,
         limit: int | None = None,
         trace: bool = False,
+        limits: Limits | None = None,
     ) -> None:
         self.qa = automaton
         self.buffer = buffer
+        #: Resource guards; ``deadline`` is hoisted so the member loops
+        #: pay one ``is not None`` test when no deadline is set.
+        self.limits = limits
+        self.deadline = limits.deadline if limits is not None else None
         self.data = buffer.data
         self.size = len(buffer.data)
         self.ff = FastForwarder(buffer)
@@ -340,12 +356,16 @@ class _Run:
         state = self.qa.start_state
         try:
             if byte == _LBRACE:
-                self._object(state)
+                self._object(state, 1)
             elif byte == _LBRACKET:
-                self._array(state)
+                self._array(state, 1)
             # A primitive root cannot match any path with at least one step.
         except _LimitReached:
             pass
+        except RecursionError as exc:
+            # Backstop for Limits.unlimited(): the depth counter normally
+            # fires long before the interpreter stack does.
+            raise depth_error_from_recursion(exc, "jsonski") from None
         if self.stats is not None:
             self.stats.total_length = self.size
         return self.matches
@@ -390,28 +410,28 @@ class _Run:
         self._record(group, vstart, vend)
         return vend
 
-    def _consume_value(self, state: int, vstart: int, vbyte: int, in_object: bool) -> int:
+    def _consume_value(self, state: int, vstart: int, vbyte: int, in_object: bool, depth: int) -> int:
         """MATCHED: recurse into a container; a primitive is a dead end
         (the automaton still expects deeper structure) and is gone over."""
         if vbyte == _LBRACE:
             self.pos = vstart
-            self._object(state)
+            self._object(state, depth)
             return self.pos
         if vbyte == _LBRACKET:
             self.pos = vstart
-            self._array(state)
+            self._array(state, depth)
             return self.pos
         vend = self.ff.go_over_pri(vstart, in_object=in_object)
         self._record("G2", vstart, vend)
         return vend
 
-    def _descend(self, state: int, vstart: int, vbyte: int, in_object: bool, key) -> int:
+    def _descend(self, state: int, vstart: int, vbyte: int, in_object: bool, key, depth: int) -> int:
         """Recurse into a matched value, maintaining the path stack."""
         if self.match_paths is None:
-            return self._consume_value(state, vstart, vbyte, in_object)
+            return self._consume_value(state, vstart, vbyte, in_object, depth)
         self.path_stack.append(key)
         try:
-            return self._consume_value(state, vstart, vbyte, in_object)
+            return self._consume_value(state, vstart, vbyte, in_object, depth)
         finally:
             self.path_stack.pop()
 
@@ -423,10 +443,14 @@ class _Run:
 
     # -- object (Algorithm 2) --------------------------------------------
 
-    def _object(self, state: int) -> None:
+    def _object(self, state: int, depth: int = 1) -> None:
         qa, ff, data = self.qa, self.ff, self.data
         find_next = self.buffer.scanner.find_next
         on_key, status_flags = qa.on_key, qa.status_flags
+        if self.limits is not None:
+            self.limits.enter(depth, self.pos)
+        deadline = self.deadline
+        members = 0
         if data[self.pos] != _LBRACE:
             raise JsonSyntaxError("expected '{'", self.pos)
         pos = self._skip_ws(self.pos + 1)
@@ -447,6 +471,12 @@ class _Run:
         skippable = qa.object_skippable(state)
         while True:
             # ``pos`` is at the start of an attribute name.
+            if pos >= self.size:
+                raise JsonSyntaxError("stream ended inside an object", pos)
+            if deadline is not None:
+                members += 1
+                if (members & 255) == 0:
+                    deadline.check(pos)
             if typed:
                 ended, p1, name_raw, vstart = ff.go_to_obj_attr(pos, expected)  # G1
                 self._record("G1", pos, p1)
@@ -485,7 +515,7 @@ class _Run:
                 vend = self._skip_value(vstart, vbyte, "G3", True)
                 self._emit(vstart, self._emit_end(vstart, vbyte, vend), name, state2)
             elif flags == ALIVE:  # MATCHED
-                vend = self._descend(state2, vstart, vbyte, True, name)
+                vend = self._descend(state2, vstart, vbyte, True, name, depth + 1)
             elif self.limit is not None:
                 # ACCEPT|ALIVE under early termination (limit=1): the outer
                 # value is itself the next match in document order, so the
@@ -494,7 +524,7 @@ class _Run:
                 self._emit(vstart, self._emit_end(vstart, vbyte, vend), name, state2)
             else:  # ACCEPT | ALIVE: pre-order — reserve before recursing
                 token = self._reserve(name, state2)
-                vend = self._descend(state2, vstart, vbyte, True, name)
+                vend = self._descend(state2, vstart, vbyte, True, name, depth + 1)
                 self._fill(token, vstart, self._emit_end(vstart, vbyte, vend))
             pos = vend
             if flags and skippable:
@@ -514,9 +544,12 @@ class _Run:
 
     # -- array (Algorithm 2, array side) -----------------------------------
 
-    def _array(self, state: int) -> None:
+    def _array(self, state: int, depth: int = 1) -> None:
         qa, ff, data = self.qa, self.ff, self.data
         on_element, status_flags = qa.on_element, qa.status_flags
+        if self.limits is not None:
+            self.limits.enter(depth, self.pos)
+        deadline = self.deadline
         if data[self.pos] != _LBRACKET:
             raise JsonSyntaxError("expected '['", self.pos)
         pos = self._skip_ws(self.pos + 1)
@@ -539,6 +572,8 @@ class _Run:
         idx = 0
         while True:
             # ``pos`` is at the start of element ``idx``.
+            if deadline is not None and (idx & 255) == 255:
+                deadline.check(pos)
             if rng is not None:
                 if stop is not None and idx >= stop:
                     end = ff.go_to_ary_end(pos)  # G5 (past the range)
@@ -554,6 +589,8 @@ class _Run:
                     idx += skipped
                     pos = p1
                     continue
+            if pos >= self.size:
+                raise JsonSyntaxError("stream ended inside an array", pos)
             vbyte = data[pos]
             if want_byte >= 0 and vbyte != want_byte:
                 ended, p1, commas = ff.go_to_ary_elem(pos, expected)  # G1
@@ -573,13 +610,13 @@ class _Run:
                 vend = self._skip_value(vstart, vbyte, "G3", False)
                 self._emit(vstart, self._emit_end(vstart, vbyte, vend), idx, state2)
             elif flags == ALIVE:  # MATCHED
-                vend = self._descend(state2, vstart, vbyte, False, idx)
+                vend = self._descend(state2, vstart, vbyte, False, idx, depth + 1)
             elif self.limit is not None:
                 vend = self._skip_value(vstart, vbyte, "G3", False)
                 self._emit(vstart, self._emit_end(vstart, vbyte, vend), idx, state2)
             else:  # ACCEPT | ALIVE
                 token = self._reserve(idx, state2)
-                vend = self._descend(state2, vstart, vbyte, False, idx)
+                vend = self._descend(state2, vstart, vbyte, False, idx, depth + 1)
                 self._fill(token, vstart, self._emit_end(vstart, vbyte, vend))
             pos = self._skip_ws(vend)
             byte = data[pos] if pos < self.size else -1

@@ -26,8 +26,8 @@ from repro.stream.records import RecordStream
 class _MultiRun(_Run):
     """One pass collecting matches per query id."""
 
-    def __init__(self, automaton: MultiQueryAutomaton, buffer: StreamBuffer, collect_stats: bool, name_cache: dict) -> None:
-        super().__init__(automaton, buffer, collect_stats, name_cache)
+    def __init__(self, automaton: MultiQueryAutomaton, buffer: StreamBuffer, collect_stats: bool, name_cache: dict, limits=None) -> None:
+        super().__init__(automaton, buffer, collect_stats, name_cache, limits=limits)
         self.per_query = [MatchList() for _ in automaton.paths]
 
     def _emit(self, vstart: int, vend: int, key, state: int) -> None:
@@ -62,9 +62,13 @@ class JsonSkiMulti:
         collect_stats: bool = False,
         tracer=None,
         metrics=None,
+        limits=None,
     ) -> None:
+        from repro.resilience.guards import effective_limits
+
         self._tracer = tracer if tracer is not None else NOOP_TRACER
         self._metrics = metrics
+        self.limits = effective_limits(limits)
         self._observed = self._tracer.enabled or metrics is not None
         with self._tracer.span("compile", engine="jsonski-multi", queries=len(list(queries))):
             self.automaton = MultiQueryAutomaton(list(queries))
@@ -86,8 +90,9 @@ class JsonSkiMulti:
             if isinstance(data, StreamBuffer)
             else StreamBuffer(data, mode=self.mode, chunk_size=self.chunk_size, cache_chunks=self.cache_chunks)
         )
+        self.limits.check_record_size(len(buffer.data))
         if not self._observed:
-            run = _MultiRun(self.automaton, buffer, self.collect_stats, self._name_cache)
+            run = _MultiRun(self.automaton, buffer, self.collect_stats, self._name_cache, limits=self.limits)
             run.execute()
             self.last_stats = run.stats
             return run.per_query
@@ -97,7 +102,7 @@ class JsonSkiMulti:
         if self._metrics is not None:
             buffer.scanner.attach_metrics(self._metrics)
         with tracer.span("scan", engine="jsonski-multi", bytes=len(buffer.data)) as span:
-            run = _MultiRun(self.automaton, buffer, True, self._name_cache)
+            run = _MultiRun(self.automaton, buffer, True, self._name_cache, limits=self.limits)
             run.execute()
             span.set(matches=sum(len(m) for m in run.per_query))
         if self._metrics is not None:

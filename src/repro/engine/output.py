@@ -17,6 +17,15 @@ from dataclasses import dataclass
 from typing import Any, Iterator
 
 
+def _decode(text: bytes) -> Any:
+    try:
+        return json.loads(text)
+    except RecursionError as exc:
+        from repro.resilience.guards import depth_error_from_recursion
+
+        raise depth_error_from_recursion(exc, "match-decode") from None
+
+
 @dataclass(frozen=True)
 class Match:
     """One matched value: ``source[start:end]``."""
@@ -31,8 +40,14 @@ class Match:
         return self.source[self.start : self.end]
 
     def value(self) -> Any:
-        """Decode the matched text into a Python value."""
-        return json.loads(self.text)
+        """Decode the matched text into a Python value.
+
+        A matched slice nested past the C decoder's recursion limit (a
+        skipped-region nesting bomb the engine emitted verbatim) raises
+        :class:`~repro.errors.DepthLimitError`, not a bare
+        :class:`RecursionError`.
+        """
+        return _decode(self.text)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         preview = self.text[:40]
@@ -90,7 +105,7 @@ class MatchList:
 
     def values(self) -> list[Any]:
         """Decoded value of every match, in document order."""
-        return [json.loads(text) for text in self.texts()]
+        return [_decode(text) for text in self.texts()]
 
     def extend(self, other: "MatchList") -> None:
         self._matches.extend(other._matches)

@@ -45,13 +45,16 @@ class RecursiveDescentStreamer(EngineBase):
         collect_stats: bool = False,
         tracer=None,
         metrics=None,
+        limits=None,
     ) -> None:
         from repro.engine.base import ensure_query_supported
         from repro.jsonpath.parser import parse_path
+        from repro.resilience.guards import effective_limits
 
         self._tracer = tracer if tracer is not None else NOOP_TRACER
         self._metrics = metrics
         self.collect_stats = collect_stats
+        self.limits = effective_limits(limits)
         self._observed = collect_stats or self._tracer.enabled or metrics is not None
         path = parse_path(query) if isinstance(query, str) else query
         ensure_query_supported(path, engine="rds", filters=False)
@@ -63,11 +66,12 @@ class RecursiveDescentStreamer(EngineBase):
         """Stream one record, examining every token."""
         if isinstance(data, str):
             data = data.encode("utf-8")
+        self.limits.check_record_size(len(data))
         if not self._observed:
-            return _Run(self.automaton, data).execute()
+            return _Run(self.automaton, data, self.limits).execute()
         tracer = self._tracer
         with tracer.span("scan", engine="rds", bytes=len(data)) as span:
-            matches = _Run(self.automaton, data).execute()
+            matches = _Run(self.automaton, data, self.limits).execute()
             span.set(matches=len(matches))
         stats = FastForwardStats()
         stats.total_length = len(data)  # no skips: every byte examined
@@ -86,28 +90,35 @@ class RecursiveDescentStreamer(EngineBase):
 
 
 class _Run:
-    def __init__(self, automaton: QueryAutomaton, data: bytes) -> None:
+    def __init__(self, automaton: QueryAutomaton, data: bytes, limits=None) -> None:
         self.qa = automaton
         self.tok = Tokenizer(data)
         self.data = data
         self.matches = MatchList()
+        self.limits = limits
+        self.deadline = limits.deadline if limits is not None else None
 
     def execute(self) -> MatchList:
+        from repro.resilience.guards import depth_error_from_recursion
+
         tok = self.tok
         tok.skip_ws()
         kind = tok.value_kind()
         state = self.qa.start_state
-        if kind == "object":
-            self._object(state)
-        elif kind == "array":
-            self._array(state)
-        else:
-            tok.read_primitive()  # a primitive root cannot match
+        try:
+            if kind == "object":
+                self._object(state, 1)
+            elif kind == "array":
+                self._array(state, 1)
+            else:
+                tok.read_primitive()  # a primitive root cannot match
+        except RecursionError as exc:
+            raise depth_error_from_recursion(exc, "rds") from None
         return self.matches
 
     # ------------------------------------------------------------------
 
-    def _value(self, state: int) -> None:
+    def _value(self, state: int, depth: int) -> None:
         """Consume one value, collecting matches for accepting states."""
         tok = self.tok
         status = self.qa.status(state)
@@ -115,33 +126,44 @@ class _Run:
         slot = self.matches.reserve() if status.is_accept else -1
         kind = tok.value_kind()
         if kind == "object":
-            self._object(state)
+            self._object(state, depth)
         elif kind == "array":
-            self._array(state)
+            self._array(state, depth)
         else:
             tok.read_primitive()
         if status.is_accept:
             self.matches.fill(slot, self.data, start, tok.pos)
 
-    def _object(self, state: int) -> None:
+    def _object(self, state: int, depth: int = 1) -> None:
         tok, qa = self.tok, self.qa
+        if self.limits is not None:
+            self.limits.enter(depth, tok.pos)
+        deadline = self.deadline
+        members = 0
         tok.expect(_LBRACE, "'{'")
         tok.skip_ws()
         if tok.at_object_end():
             tok.pos += 1
             return
         while True:
+            if deadline is not None:
+                members += 1
+                if (members & 255) == 0:
+                    deadline.check(tok.pos)
             name = tok.read_string()  # [Key]
             tok.skip_ws()
             tok.expect(0x3A, "':'")
             tok.skip_ws()
             state2 = qa.on_key(state, _decode_name(name))
-            self._value(state2)  # [Val] happens on return (state restored)
+            self._value(state2, depth + 1)  # [Val] happens on return (state restored)
             if not tok.consume_comma_or(_RBRACE):
                 return
 
-    def _array(self, state: int) -> None:
+    def _array(self, state: int, depth: int = 1) -> None:
         tok, qa = self.tok, self.qa
+        if self.limits is not None:
+            self.limits.enter(depth, tok.pos)
+        deadline = self.deadline
         tok.expect(_LBRACKET, "'['")  # [Ary-S]
         tok.skip_ws()
         if tok.at_array_end():
@@ -149,8 +171,10 @@ class _Run:
             return
         index = 0
         while True:
+            if deadline is not None and (index & 255) == 255:
+                deadline.check(tok.pos)
             state2 = qa.on_element(state, index)
-            self._value(state2)
+            self._value(state2, depth + 1)
             if not tok.consume_comma_or(_RBRACKET):
                 return  # [Ary-E]
             index += 1  # [Com]

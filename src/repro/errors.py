@@ -49,13 +49,80 @@ class StreamExhaustedError(JsonSyntaxError):
         super().__init__(message, position)
 
 
-class RecordTooLargeError(ReproError):
+class ResourceLimitError(ReproError):
+    """A configured resource guard stopped the run.
+
+    Base class for the :class:`repro.resilience.Limits` guard family:
+    the input itself may or may not be well-formed, but processing it
+    would exceed a limit the caller configured (or a safety default).
+    """
+
+
+class RecordTooLargeError(ResourceLimitError):
     """A single record exceeds an engine's supported size.
 
     Mirrors simdjson's documented 4 GB single-record limit (paper
-    Section 5.4); the limit is configurable in
-    :class:`repro.baselines.simdjson_like.SimdJsonLike`.
+    Section 5.4); the limit is configurable per engine through
+    :class:`repro.resilience.Limits` (``max_record_bytes``).
     """
+
+
+class DepthLimitError(ResourceLimitError):
+    """Nesting exceeded the configured ``max_depth`` guard.
+
+    Raised *before* the interpreter's own recursion limit so a nesting
+    bomb surfaces as a diagnosable library error instead of a bare
+    :class:`RecursionError`.  ``position`` is the byte offset of the
+    container that crossed the limit (``-1`` when unknown, e.g. when a
+    C-level parser hit the interpreter limit first).
+    """
+
+    def __init__(self, message: str, position: int = -1, depth: int | None = None) -> None:
+        where = f" (at byte {position})" if position >= 0 else ""
+        super().__init__(f"{message}{where}")
+        self.position = position
+        self.depth = depth
+
+
+class DeadlineExceededError(ResourceLimitError):
+    """A cooperative deadline expired while streaming.
+
+    Engines check the deadline at container boundaries (and periodically
+    inside long flat containers), so a run is abandoned within a bounded
+    amount of extra work after the deadline passes — never mid-byte, and
+    never by killing the process.
+    """
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        where = f" (at byte {position})" if position >= 0 else ""
+        super().__init__(f"{message}{where}")
+        self.position = position
+
+
+def _iter_chars(data: bytes, lo: int, hi: int):
+    """Yield ``(byte_start, char)`` over ``data[lo:hi]``, decoding UTF-8
+    one character at a time so byte offsets map exactly onto rendered
+    characters (undecodable bytes render as one char each)."""
+    pos = lo
+    while pos < hi:
+        byte = data[pos]
+        if byte < 0x80:
+            length = 1
+        elif byte >= 0xF0:
+            length = 4
+        elif byte >= 0xE0:
+            length = 3
+        elif byte >= 0xC0:
+            length = 2
+        else:  # bare continuation byte
+            length = 1
+        length = min(length, hi - pos)
+        try:
+            char = data[pos : pos + length].decode("utf-8")
+        except UnicodeDecodeError:
+            char, length = "�", 1
+        yield pos, char
+        pos += length
 
 
 def format_error_context(data: bytes, position: int, width: int = 30) -> str:
@@ -64,15 +131,21 @@ def format_error_context(data: bytes, position: int, width: int = 30) -> str:
     Returns two lines: the (printable-sanitized) text surrounding
     ``position`` and a caret pointing at the offending byte.  Used by the
     CLI so a :class:`JsonSyntaxError` is actionable without a hex editor.
+
+    The snippet is decoded character by character with an explicit
+    byte-to-character map, so the caret stays aligned on multi-byte UTF-8
+    input (a prefix re-decode would collapse byte counts through
+    replacement characters and drift).
     """
     position = max(0, min(position, max(len(data) - 1, 0)))
     lo = max(0, position - width)
     hi = min(len(data), position + width)
-    snippet = data[lo:hi].decode("utf-8", "replace")
-    printable = "".join(ch if ch.isprintable() else "." for ch in snippet)
     prefix = "..." if lo > 0 else ""
     suffix = "..." if hi < len(data) else ""
-    caret_at = len(prefix) + len("".join(
-        ch if ch.isprintable() else "." for ch in data[lo:position].decode("utf-8", "replace")
-    ))
-    return f"{prefix}{printable}{suffix}\n" + " " * caret_at + "^"
+    rendered: list[str] = []
+    caret_at = 0
+    for byte_start, char in _iter_chars(data, lo, hi):
+        if byte_start <= position:
+            caret_at = len(prefix) + len(rendered)
+        rendered.append(char if char.isprintable() else ".")
+    return f"{prefix}{''.join(rendered)}{suffix}\n" + " " * caret_at + "^"

@@ -15,7 +15,11 @@ in-process engines when byte offsets are needed.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.stream.records import RecordStream
@@ -99,3 +103,240 @@ def run_records_pool(
             results.extend(values)
             metrics.merge_dict(snapshot)
     return results
+
+
+# ---------------------------------------------------------------------------
+# Fault-tolerant pool
+# ---------------------------------------------------------------------------
+
+
+def _run_batch_resilient(
+    query: str, records: list[bytes], inject_faults: bool = False
+) -> list[tuple]:
+    """Worker: evaluate each record, capturing per-record failures.
+
+    Returns one tuple per record: ``("ok", values)`` or
+    ``("err", error_class_name, message, position)``.  A record that
+    merely raises stays a data point instead of a process casualty — only
+    genuine interpreter/OS death (or the injected fault sentinels used by
+    the tests) takes the worker down.
+    """
+    global _WORKER_ENGINE, _WORKER_QUERY
+    if inject_faults:
+        import os
+
+        from repro.resilience.faults import CRASH_SENTINEL, HANG_SENTINEL, HANG_SECONDS
+
+        for record in records:
+            if record == CRASH_SENTINEL:
+                os._exit(1)  # simulated hard crash: no exception, no cleanup
+            if record == HANG_SENTINEL:
+                time.sleep(HANG_SECONDS)
+    from repro.errors import ReproError
+
+    if _WORKER_QUERY != query:
+        from repro.engine.jsonski import JsonSki
+
+        _WORKER_ENGINE = JsonSki(query)
+        _WORKER_QUERY = query
+    out: list[tuple] = []
+    for record in records:
+        try:
+            out.append(("ok", _WORKER_ENGINE.run(record).values()))
+        except ReproError as exc:
+            out.append(("err", type(exc).__name__, str(exc), getattr(exc, "position", None)))
+        except ValueError as exc:
+            out.append(("err", "UndecodableMatch", str(exc), None))
+    return out
+
+
+@dataclass
+class _Batch:
+    start: int  # index of the first record in the stream
+    records: list[bytes]
+    attempts: int = 0
+
+
+@dataclass
+class PoolResult:
+    """Outcome of one fault-tolerant pool run.
+
+    ``values[i]`` is the list of match values for record ``i`` or
+    ``None`` when the record was quarantined (see ``failures``).
+    """
+
+    values: list[list[Any] | None]
+    failures: list = field(default_factory=list)
+    worker_crashes: int = 0
+    batch_retries: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def records_ok(self) -> int:
+        return sum(1 for v in self.values if v is not None)
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.records_ok}/{len(self.values)} records ok, "
+            f"{len(self.failures)} quarantined, "
+            f"{self.worker_crashes} worker crashes, "
+            f"{self.batch_retries} batch retries"
+        ]
+        for failure in self.failures[:20]:
+            lines.append(
+                f"  record {failure.index}: [{failure.kind}] {failure.error}: {failure.message}"
+            )
+        if len(self.failures) > 20:
+            lines.append(f"  ... and {len(self.failures) - 20} more")
+        return "\n".join(lines)
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down even if a worker is wedged."""
+    processes = list(getattr(pool, "_processes", {}).values())
+    for proc in processes:
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def run_records_pool_resilient(
+    query: str,
+    stream: RecordStream,
+    n_workers: int = 2,
+    batch_size: int = 64,
+    max_retries: int = 2,
+    timeout: float | None = None,
+    backoff: float = 0.05,
+    metrics=None,
+    inject_faults: bool = False,
+) -> PoolResult:
+    """Pool execution that survives crashing workers and poison records.
+
+    The contract of :func:`run_records_pool` hardened for hostile input:
+
+    - a record that raises a :class:`~repro.errors.ReproError` is
+      captured *inside* the worker and quarantined (``kind="error"``) —
+      it never takes a batch down;
+    - a worker that dies (``BrokenProcessPool``) or exceeds ``timeout``
+      is replaced by a fresh pool; the affected batches are retried with
+      exponential ``backoff``.  A batch that keeps killing workers is
+      bisected until the culprit record is isolated and quarantined
+      (``kind="crash"`` / ``"timeout"``), so innocent records in the
+      same batch still produce results;
+    - the run always returns a :class:`PoolResult` with partial values
+      plus a structured failure report — no raw tracebacks, no lost
+      batches.
+
+    ``inject_faults=True`` arms the test-only fault sentinels
+    (:data:`repro.resilience.faults.CRASH_SENTINEL` /
+    :data:`~repro.resilience.faults.HANG_SENTINEL`).  ``metrics``
+    receives ``pool.worker_crashes``, ``pool.batch_retries``,
+    ``pool.poison_records``, ``pool.records_ok`` and
+    ``pool.records_failed`` counters.
+    """
+    from repro.resilience.recovery import RecordFailure
+
+    records = [stream.record(i) for i in range(len(stream))]
+    n = len(records)
+    result = PoolResult(values=[None] * n)
+
+    def harvest(start: int, out: list[tuple]) -> None:
+        for offset, item in enumerate(out):
+            idx = start + offset
+            if item[0] == "ok":
+                result.values[idx] = item[1]
+            else:
+                result.failures.append(
+                    RecordFailure(idx, "error", item[1], item[2], item[3])
+                )
+
+    use_pool = inject_faults or n_workers > 1
+    if not use_pool:
+        harvest(0, _run_batch_resilient(query, records))
+    else:
+        pending: deque[_Batch] = deque(
+            _Batch(i, records[i : i + batch_size])
+            for i in range(0, n, batch_size)
+        )
+        pool: ProcessPoolExecutor | None = None
+        try:
+            while pending:
+                if pool is None:
+                    pool = ProcessPoolExecutor(max_workers=max(1, n_workers))
+                # Submit every pending batch so healthy workers stay busy;
+                # collect in order so a broken pool is noticed deterministically.
+                inflight = [
+                    (batch, pool.submit(_run_batch_resilient, query, batch.records, inject_faults))
+                    for batch in pending
+                ]
+                pending.clear()
+                for pos, (batch, future) in enumerate(inflight):
+                    try:
+                        harvest(batch.start, future.result(timeout=timeout))
+                    except (BrokenProcessPool, FutureTimeoutError, OSError) as exc:
+                        kind = "timeout" if isinstance(exc, FutureTimeoutError) else "crash"
+                        result.worker_crashes += 1
+                        if pool is not None:
+                            _kill_pool(pool)
+                            pool = None
+                        if backoff:
+                            time.sleep(min(backoff * (2 ** batch.attempts), 1.0))
+                        if len(batch.records) > 1:
+                            # Bisect: isolate the culprit, free the innocents.
+                            mid = len(batch.records) // 2
+                            pending.append(
+                                _Batch(batch.start, batch.records[:mid], batch.attempts + 1)
+                            )
+                            pending.append(
+                                _Batch(batch.start + mid, batch.records[mid:], batch.attempts + 1)
+                            )
+                            result.batch_retries += 1
+                        elif batch.attempts < max_retries:
+                            pending.append(
+                                _Batch(batch.start, batch.records, batch.attempts + 1)
+                            )
+                            result.batch_retries += 1
+                        else:
+                            result.failures.append(
+                                RecordFailure(
+                                    batch.start,
+                                    kind,
+                                    type(exc).__name__,
+                                    f"record repeatedly killed its worker ({kind})",
+                                )
+                            )
+                        # Remaining in-flight futures share the dead pool:
+                        # requeue them for the fresh one without burning an
+                        # attempt (they are casualties, not suspects).
+                        for other, other_future in inflight[pos + 1 :]:
+                            if not _harvest_if_done(other, other_future, harvest):
+                                pending.append(other)
+                        break
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+    if metrics is not None:
+        crashes = sum(1 for f in result.failures if f.kind in ("crash", "timeout"))
+        poison = sum(1 for f in result.failures if f.kind == "error")
+        metrics.counter("pool.worker_crashes").add(result.worker_crashes)
+        metrics.counter("pool.batch_retries").add(result.batch_retries)
+        metrics.counter("pool.poison_records").add(poison)
+        metrics.counter("pool.crashed_records").add(crashes)
+        metrics.counter("pool.records_ok").add(result.records_ok)
+        metrics.counter("pool.records_failed").add(len(result.failures))
+    return result
+
+
+def _harvest_if_done(batch: _Batch, future, harvest) -> bool:
+    """Salvage a sibling future's result if it finished before the pool died."""
+    if future.done() and not future.cancelled() and future.exception() is None:
+        harvest(batch.start, future.result())
+        return True
+    return False

@@ -1,0 +1,173 @@
+"""Seeded fault injection: corpus mutation and worker-fault sentinels.
+
+The mutator turns well-formed records into the hostile inputs a
+production feed actually produces — truncation mid-record, bit rot,
+structural-character damage, invalid UTF-8, corrupted string quoting,
+and adversarial nesting bombs.  Every mutation is driven by a caller's
+``random.Random`` so a failing case reproduces from its seed alone.
+
+The sentinels at the bottom are for *process-level* fault injection:
+:func:`repro.parallel.real_pool.run_records_pool_resilient` can be asked
+(``inject_faults=True``, tests only) to crash or stall a worker when it
+meets one, exercising the pool's replacement and quarantine paths.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+_STRUCTURAL = b'{}[]:,"'
+_OPENERS = b"{["
+_SWAPS = {
+    0x7B: 0x5B, 0x5B: 0x7B,  # { <-> [
+    0x7D: 0x5D, 0x5D: 0x7D,  # } <-> ]
+    0x3A: 0x2C, 0x2C: 0x3A,  # : <-> ,
+}
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One mutated input: the bytes plus provenance for reproduction."""
+
+    data: bytes
+    kind: str
+    seed: int
+    detail: str = ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Mutation(kind={self.kind!r}, seed={self.seed}, {len(self.data)} bytes, {self.detail})"
+
+
+def _structural_positions(data: bytes) -> list[int]:
+    """Positions of structural metacharacters (string-blind, by design:
+    corrupting a quoted metachar is a legitimate fault too)."""
+    return [i for i, byte in enumerate(data) if byte in _STRUCTURAL]
+
+
+def _truncate(data: bytes, rng: random.Random) -> tuple[bytes, str]:
+    cut = rng.randrange(0, max(len(data), 1))
+    return data[:cut], f"cut at byte {cut}"
+
+
+def _byte_flip(data: bytes, rng: random.Random) -> tuple[bytes, str]:
+    if not data:
+        return data, "empty input"
+    pos = rng.randrange(len(data))
+    mutated = bytearray(data)
+    mutated[pos] ^= 1 << rng.randrange(8)
+    return bytes(mutated), f"bit flip at byte {pos}"
+
+
+def _drop_structural(data: bytes, rng: random.Random) -> tuple[bytes, str]:
+    positions = _structural_positions(data)
+    if not positions:
+        return data, "no structural bytes"
+    pos = rng.choice(positions)
+    return data[:pos] + data[pos + 1 :], f"dropped {chr(data[pos])!r} at byte {pos}"
+
+
+def _duplicate_structural(data: bytes, rng: random.Random) -> tuple[bytes, str]:
+    positions = _structural_positions(data)
+    if not positions:
+        return data, "no structural bytes"
+    pos = rng.choice(positions)
+    return data[:pos] + data[pos : pos + 1] + data[pos:], f"duplicated {chr(data[pos])!r} at byte {pos}"
+
+
+def _swap_structural(data: bytes, rng: random.Random) -> tuple[bytes, str]:
+    """Replace a structural char with its unbalancing counterpart."""
+    positions = [i for i in _structural_positions(data) if data[i] in _SWAPS]
+    if not positions:
+        return data, "no swappable bytes"
+    pos = rng.choice(positions)
+    mutated = bytearray(data)
+    mutated[pos] = _SWAPS[data[pos]]
+    return bytes(mutated), f"swapped {chr(data[pos])!r} at byte {pos}"
+
+
+def _invalid_utf8(data: bytes, rng: random.Random) -> tuple[bytes, str]:
+    pos = rng.randrange(0, len(data) + 1)
+    junk = bytes(rng.choice((0xC0, 0xFF, 0xFE, 0x80, 0xF8)) for _ in range(rng.randrange(1, 4)))
+    return data[:pos] + junk + data[pos:], f"{len(junk)} invalid bytes at {pos}"
+
+
+def _quote_corrupt(data: bytes, rng: random.Random) -> tuple[bytes, str]:
+    quotes = [i for i, byte in enumerate(data) if byte == 0x22]
+    if not quotes:
+        return data, "no quotes"
+    pos = rng.choice(quotes)
+    if rng.random() < 0.5:
+        return data[:pos] + data[pos + 1 :], f"removed quote at byte {pos}"
+    insert_at = rng.randrange(len(data) + 1)
+    return data[:insert_at] + b'"' + data[insert_at:], f"inserted quote at byte {insert_at}"
+
+
+def _nesting_bomb(data: bytes, rng: random.Random) -> tuple[bytes, str]:
+    depth = rng.randrange(400, 4000)
+    opener = rng.choice((b"[", b'{"a":'))
+    if opener == b"[":
+        bomb = b"[" * depth + (b"]" * depth if rng.random() < 0.5 else b"")
+    else:
+        bomb = b'{"a":' * depth + b"1" + b"}" * (depth if rng.random() < 0.5 else 0)
+    if data and rng.random() < 0.5:
+        pos = rng.randrange(len(data))
+        return data[:pos] + bomb + data[pos:], f"depth-{depth} bomb spliced at {pos}"
+    return bomb, f"standalone depth-{depth} bomb"
+
+
+#: kind name -> mutator; each returns ``(mutated_bytes, detail)``.
+MUTATORS = {
+    "truncate": _truncate,
+    "byte_flip": _byte_flip,
+    "drop_structural": _drop_structural,
+    "duplicate_structural": _duplicate_structural,
+    "swap_structural": _swap_structural,
+    "invalid_utf8": _invalid_utf8,
+    "quote_corrupt": _quote_corrupt,
+    "nesting_bomb": _nesting_bomb,
+}
+
+
+def mutate(data: bytes, seed: int, kind: str | None = None) -> Mutation:
+    """Apply one seeded mutation to ``data``.
+
+    ``kind`` selects a specific mutator (a :data:`MUTATORS` key);
+    ``None`` picks one from the seed, so a corpus sweep over seeds
+    exercises every fault class.
+    """
+    rng = random.Random(seed)
+    if kind is None:
+        kind = rng.choice(sorted(MUTATORS))
+    mutated, detail = MUTATORS[kind](data, rng)
+    return Mutation(data=mutated, kind=kind, seed=seed, detail=detail)
+
+
+def corpus(base_records: list[bytes], n: int, seed: int = 0) -> list[Mutation]:
+    """``n`` seeded mutations cycling over ``base_records``.
+
+    Deterministic: the same ``(base_records, n, seed)`` triple always
+    yields byte-identical mutations, so a fuzz failure reported by CI
+    replays locally.
+    """
+    out = []
+    for i in range(n):
+        base = base_records[i % len(base_records)]
+        out.append(mutate(base, seed=seed * 1_000_003 + i))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Process-level fault sentinels (pool fault injection; tests only).
+
+#: A worker that meets this record under ``inject_faults=True`` calls
+#: ``os._exit`` — a hard crash no ``except`` can see, like a segfault or
+#: an OOM kill.
+CRASH_SENTINEL = b'{"__repro_fault__": "crash"}'
+
+#: A worker that meets this record under ``inject_faults=True`` sleeps
+#: far past any reasonable batch timeout (lost/hung worker).
+HANG_SENTINEL = b'{"__repro_fault__": "hang"}'
+
+#: How long the hang sentinel stalls a worker (seconds).
+HANG_SECONDS = 3600.0

@@ -1,0 +1,194 @@
+"""Differential fuzzing: every engine vs. the reference evaluator.
+
+One fuzz case is ``(engine, query, mutated input)``.  The contract the
+harness enforces — the resilience layer's core claim — is that every
+registered engine, on *any* input, does exactly one of:
+
+- **agree**: run successfully and match the reference evaluator;
+- **engine_error**: raise a :class:`~repro.errors.ReproError` subclass
+  (diagnosed malformation or resource guard);
+- **blindspot**: succeed where the reference rejects the input — the
+  paper's Section 3.3 skip-region validation gap, which fast-forwarding
+  engines document rather than close (also covers duplicate-key records,
+  where streaming and DOM semantics legitimately differ);
+
+and never:
+
+- **divergence**: both sides succeed on valid input but disagree (an
+  engine bug); or
+- **crash**: leak a bare builtin exception (``RecursionError``,
+  ``IndexError``, numpy errors, ...) — the failure mode resource guards
+  exist to eliminate.
+
+:func:`differential_fuzz` sweeps a seeded mutation corpus over every
+engine and returns a :class:`FuzzReport`; ``report.ok`` is the assertion
+CI makes (see ``tests/test_fuzz_smoke.py`` and
+``benchmarks/fuzz_soak.py`` for the long-running form).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError, UnsupportedQueryError
+from repro.resilience.faults import Mutation, corpus
+from repro.resilience.guards import Limits
+
+#: Outcome tags, from best to worst.
+OUTCOMES = ("agree", "engine_error", "blindspot", "divergence", "crash")
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One classified case (kept only for the interesting outcomes)."""
+
+    engine: str
+    query: str
+    mutation: Mutation
+    outcome: str
+    detail: str = ""
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate of one differential sweep."""
+
+    counts: dict[str, int] = field(default_factory=lambda: {k: 0 for k in OUTCOMES})
+    failures: list[FuzzCase] = field(default_factory=list)
+    cases: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """No crashes, no divergences."""
+        return self.counts["crash"] == 0 and self.counts["divergence"] == 0
+
+    def record(self, case: FuzzCase) -> None:
+        self.cases += 1
+        self.counts[case.outcome] += 1
+        if case.outcome in ("divergence", "crash"):
+            self.failures.append(case)
+
+    def describe(self) -> str:
+        parts = ", ".join(f"{k}={self.counts[k]}" for k in OUTCOMES)
+        lines = [f"{self.cases} cases: {parts}"]
+        for case in self.failures[:20]:
+            lines.append(
+                f"  {case.outcome.upper()}: engine={case.engine} query={case.query!r} "
+                f"mutation=({case.mutation.kind}, seed={case.mutation.seed}) {case.detail}"
+            )
+        if len(self.failures) > 20:
+            lines.append(f"  ... and {len(self.failures) - 20} more")
+        return "\n".join(lines)
+
+
+def _reference_outcome(query: str, data: bytes):
+    """``("ok", values, dup_keys)`` or ``("reject", reason)``.
+
+    Uses :func:`json.loads` + the tree evaluator, with duplicate-key
+    detection (streaming engines emit every occurrence; a DOM keeps one —
+    a legitimate semantic difference, not an engine bug).
+    """
+    from repro.reference import evaluate
+
+    dup = False
+
+    def pairs_hook(items):
+        nonlocal dup
+        keys = [k for k, _ in items]
+        if len(set(keys)) != len(keys):
+            dup = True
+        return dict(items)
+
+    try:
+        value = json.loads(data.decode("utf-8"), object_pairs_hook=pairs_hook)
+        return ("ok", evaluate(query, value), dup)
+    except RecursionError:
+        return ("reject", "reference recursion limit")
+    except (ValueError, UnicodeDecodeError) as exc:
+        return ("reject", str(exc))
+
+
+def _classify(engine_name: str, query: str, mutation: Mutation, limits: Limits) -> FuzzCase:
+    import repro
+
+    info = repro.ENGINES[engine_name]
+    try:
+        engine = info(query, limits=limits)
+        values = engine.run(mutation.data).values()
+    except ReproError as exc:
+        return FuzzCase(engine_name, query, mutation, "engine_error", type(exc).__name__)
+    except ValueError:
+        # run() succeeded but a matched slice is not decodable JSON: the
+        # match text itself came out of an unvalidated skip region.
+        return FuzzCase(engine_name, query, mutation, "blindspot", "undecodable match text")
+    except Exception as exc:  # noqa: BLE001 - the whole point of the harness
+        return FuzzCase(
+            engine_name, query, mutation, "crash",
+            f"{type(exc).__name__}: {exc}",
+        )
+    ref = _reference_outcome(query, mutation.data)
+    if ref[0] == "reject":
+        return FuzzCase(engine_name, query, mutation, "blindspot", f"reference: {ref[1]}")
+    expected, dup_keys = ref[1], ref[2]
+    if values == expected:
+        return FuzzCase(engine_name, query, mutation, "agree")
+    if dup_keys:
+        return FuzzCase(engine_name, query, mutation, "blindspot", "duplicate keys")
+    return FuzzCase(
+        engine_name, query, mutation, "divergence",
+        f"engine={values!r} reference={expected!r}",
+    )
+
+
+#: Queries exercised per engine when the caller gives none: one per
+#: automaton shape (concrete path, wildcard, index range, descendant).
+DEFAULT_QUERIES = ("$.a", "$.a.b", "$[*].x", "$.a[1:3]", "$..k")
+
+
+def differential_fuzz(
+    base_records: list[bytes],
+    n_mutations: int,
+    seed: int = 0,
+    engines: tuple[str, ...] | None = None,
+    queries: tuple[str, ...] = DEFAULT_QUERIES,
+    limits: Limits | None = None,
+    deadline_per_case: float | None = 10.0,
+    metrics=None,
+) -> FuzzReport:
+    """Run the seeded differential sweep and classify every case.
+
+    Each engine sees all ``n_mutations`` mutated inputs, cycling through
+    ``queries`` (skipping query features an engine does not support).
+    Every case runs under ``limits`` plus a fresh per-case cooperative
+    deadline, so the sweep terminates even on an engine hang regression.
+
+    ``metrics``, when a :class:`~repro.observe.MetricsRegistry`, receives
+    ``fuzz.cases`` and per-outcome ``fuzz.outcome{outcome=...}`` counters.
+    """
+    import repro
+    from repro.jsonpath.parser import parse_path
+
+    engine_names = tuple(engines) if engines is not None else tuple(repro.ENGINES)
+    base = limits if limits is not None else Limits()
+    mutations = corpus(base_records, n_mutations, seed=seed)
+    report = FuzzReport()
+    for engine_name in engine_names:
+        info = repro.ENGINES[engine_name]
+        for i, mutation in enumerate(mutations):
+            query = queries[i % len(queries)]
+            try:
+                info.check_query(parse_path(query))
+            except UnsupportedQueryError:
+                continue
+            case_limits = (
+                base.with_deadline(deadline_per_case)
+                if deadline_per_case is not None else base
+            )
+            report.record(_classify(engine_name, query, mutation, case_limits))
+    if metrics is not None:
+        metrics.counter("fuzz.cases").add(report.cases)
+        for outcome, count in report.counts.items():
+            if count:
+                metrics.counter("fuzz.outcome", outcome=outcome).add(count)
+    return report

@@ -1,0 +1,149 @@
+"""Graceful degradation over record streams: skip, resync, report.
+
+A multi-gigabyte feed with one truncated record should not lose the
+other billion.  :func:`run_with_recovery` evaluates a query over a
+:class:`~repro.stream.records.RecordStream` record by record; a record
+that raises a :class:`~repro.errors.ReproError` is skipped and the run
+*resynchronizes at the next record boundary* (the stream's offset array
+— the reason the paper stores small-record input as payload + offsets
+makes recovery structurally trivial).  The result carries the partial
+matches plus a structured failure report instead of one raw traceback.
+
+Payload-level resynchronization (when the boundaries themselves are
+damaged) lives in
+:meth:`repro.stream.records.RecordStream.from_concatenated_lenient`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ReproError, ResourceLimitError
+
+
+@dataclass(frozen=True)
+class RecordFailure:
+    """One skipped record: where it was and why it failed.
+
+    ``kind`` is ``"error"`` (malformed / guard-tripped input), or — from
+    the resilient pool — ``"crash"`` / ``"timeout"`` for records
+    quarantined because they repeatedly took a worker down with them.
+    """
+
+    index: int
+    kind: str
+    error: str
+    message: str
+    position: int | None = None
+
+    @classmethod
+    def from_exception(cls, index: int, exc: ReproError) -> "RecordFailure":
+        return cls(
+            index=index,
+            kind="error",
+            error=type(exc).__name__,
+            message=str(exc),
+            position=getattr(exc, "position", None),
+        )
+
+
+@dataclass
+class RecoveryResult:
+    """Partial results plus the failure report of one lenient run.
+
+    ``values[i]`` is the list of matched values for record ``i``, or
+    ``None`` when that record was skipped (its entry is in
+    ``failures``).
+    """
+
+    values: list[list[Any] | None]
+    failures: list[RecordFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def records_ok(self) -> int:
+        return sum(1 for v in self.values if v is not None)
+
+    def all_values(self) -> list[Any]:
+        """Matched values across surviving records, in record order."""
+        return [v for per_record in self.values if per_record is not None for v in per_record]
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.records_ok}/{len(self.values)} records ok, "
+            f"{len(self.failures)} skipped"
+        ]
+        for failure in self.failures[:20]:
+            where = f" at byte {failure.position}" if failure.position is not None else ""
+            lines.append(
+                f"  record {failure.index}: [{failure.kind}] {failure.error}: "
+                f"{failure.message}{where}"
+            )
+        if len(self.failures) > 20:
+            lines.append(f"  ... and {len(self.failures) - 20} more")
+        return "\n".join(lines)
+
+
+def run_with_recovery(
+    engine,
+    stream,
+    *,
+    max_failures: int | None = None,
+    metrics=None,
+) -> RecoveryResult:
+    """Evaluate ``engine`` over every record, surviving malformed ones.
+
+    Each record that raises a :class:`ReproError` becomes a
+    :class:`RecordFailure`; processing resumes at the next record
+    boundary.  A :class:`~repro.errors.DeadlineExceededError` (the
+    cooperative deadline is a property of the whole run, not of one
+    record) and ``max_failures`` overruns abort the run early — the
+    partial result still carries everything processed so far, with the
+    aborting failure last.
+
+    ``metrics`` receives ``stream.records_ok`` / ``stream.records_skipped``
+    counters (per failure class, via the ``error`` label).
+    """
+    from repro.errors import DeadlineExceededError
+
+    values: list[list[Any] | None] = []
+    failures: list[RecordFailure] = []
+    aborted = False
+    for i in range(len(stream)):
+        if aborted:
+            values.append(None)
+            continue
+        try:
+            values.append(engine.run(stream.record(i)).values())
+        except ReproError as exc:
+            failure = RecordFailure.from_exception(i, exc)
+            failures.append(failure)
+            values.append(None)
+            if metrics is not None:
+                metrics.counter("stream.records_skipped", error=failure.error).add(1)
+            if isinstance(exc, DeadlineExceededError):
+                aborted = True
+            if max_failures is not None and len(failures) >= max_failures:
+                aborted = True
+        except ValueError as exc:
+            # run() tolerated a skip-region malformation but the matched
+            # slice is undecodable; treat like a diagnosed bad record.
+            failure = RecordFailure(i, "error", "UndecodableMatch", str(exc))
+            failures.append(failure)
+            values.append(None)
+            if metrics is not None:
+                metrics.counter("stream.records_skipped", error=failure.error).add(1)
+            if max_failures is not None and len(failures) >= max_failures:
+                aborted = True
+    if metrics is not None:
+        metrics.counter("stream.records_ok").add(
+            sum(1 for v in values if v is not None)
+        )
+    return RecoveryResult(values=values, failures=failures)
+
+
+__all__ = ["RecordFailure", "RecoveryResult", "run_with_recovery", "ResourceLimitError"]

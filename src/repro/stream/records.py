@@ -90,7 +90,7 @@ class RecordStream:
         import numpy as np
 
         from repro.baselines.simdjson_like import structural_positions
-        from repro.errors import JsonSyntaxError
+        from repro.errors import JsonSyntaxError, StreamExhaustedError
 
         structs = structural_positions(payload)
         vals = np.frombuffer(payload, dtype=np.uint8)[structs] if len(structs) else np.empty(0, np.uint8)
@@ -113,10 +113,63 @@ class RecordStream:
                     offsets.append((start, pos + 1))
                     prev_end = pos + 1
         if depth != 0:
-            raise JsonSyntaxError("payload ended with an unclosed record", len(payload))
+            # A trailing partial record is an exhaustion condition, not
+            # garbage: the distinction lets incremental readers retry
+            # with more data instead of discarding the buffer.
+            raise StreamExhaustedError(
+                "payload ended inside an unclosed trailing record", start
+            )
         if payload[prev_end:].strip():
             raise JsonSyntaxError("trailing non-whitespace after the last record", prev_end)
         return cls(payload=payload, offsets=np.array(offsets, dtype=np.int64).reshape(-1, 2))
+
+    @classmethod
+    def from_concatenated_lenient(
+        cls, payload: bytes
+    ) -> "tuple[RecordStream, list[tuple[int, str]]]":
+        """Boundary detection that survives malformed stretches.
+
+        Where :meth:`from_concatenated` raises on the first structural
+        problem, the lenient variant *resynchronizes*: it abandons the
+        record in progress, scans forward to the next depth-0 ``{`` or
+        ``[``, and resumes there.  Returns the recovered stream plus a
+        skip report of ``(byte_offset, reason)`` pairs — one per region
+        that had to be discarded — so callers still see what was lost.
+        """
+        import numpy as np
+
+        from repro.baselines.simdjson_like import structural_positions
+
+        structs = structural_positions(payload)
+        vals = np.frombuffer(payload, dtype=np.uint8)[structs] if len(structs) else np.empty(0, np.uint8)
+        offsets: list[tuple[int, int]] = []
+        skipped: list[tuple[int, str]] = []
+        depth = 0
+        start = -1
+        prev_end = 0
+        for pos, byte in zip(structs.tolist(), vals.tolist()):
+            if byte == 0x7B or byte == 0x5B:  # { [
+                if depth == 0:
+                    if payload[prev_end:pos].strip():
+                        skipped.append((prev_end, "non-whitespace between records"))
+                    start = pos
+                depth += 1
+            elif byte == 0x7D or byte == 0x5D:  # } ]
+                if depth == 0:
+                    # Stray closer with no open record: note it, resync.
+                    skipped.append((pos, "unbalanced closing bracket"))
+                    prev_end = pos + 1
+                    continue
+                depth -= 1
+                if depth == 0:
+                    offsets.append((start, pos + 1))
+                    prev_end = pos + 1
+        if depth != 0:
+            skipped.append((start, "unclosed trailing record"))
+        elif payload[prev_end:].strip():
+            skipped.append((prev_end, "trailing non-whitespace after the last record"))
+        stream = cls(payload=payload, offsets=np.array(offsets, dtype=np.int64).reshape(-1, 2))
+        return stream, skipped
 
     def partitions(self, n_parts: int) -> list["RecordStream"]:
         """Split records round-robin-free (contiguous blocks) into

@@ -107,10 +107,18 @@ class TestJPStream:
 
     def test_deep_iterative_no_recursion_limit(self):
         # The explicit dual stack must survive nesting far beyond Python's
-        # recursion limit.
+        # recursion limit (with the depth guard disabled; the default
+        # guard turns the same input into a DepthLimitError).
+        import pytest
+
+        from repro.errors import DepthLimitError
+        from repro.resilience import Limits
+
         depth = 5000
         data = (b'{"a":' * depth) + b"1" + (b"}" * depth)
-        assert len(JPStream("$.x").run(data)) == 0
+        assert len(JPStream("$.x", limits=Limits.unlimited()).run(data)) == 0
+        with pytest.raises(DepthLimitError):
+            JPStream("$.x").run(data)
 
 
 class TestPisonLike:

@@ -65,7 +65,7 @@ class TestBasics:
         path = tmp_path / "bad.json"
         path.write_bytes(b'{"a": ')
         code, _, err = run_cli(["$.a.b", str(path)])
-        assert code == 2
+        assert code == 4
 
 
 class TestModes:

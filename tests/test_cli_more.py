@@ -68,7 +68,7 @@ class TestFlagCombinations:
         path = tmp_path / "bad.json"
         path.write_bytes(b'{"a": {"b": 1}; "c": 2}')
         code, _, err = run_cli(["$.*.b", str(path)])
-        assert code == 2
+        assert code == 4
         assert "^" in err  # the caret line
 
     def test_stdlib_engine_from_cli(self, doc):

@@ -53,6 +53,22 @@ def test_noop_observability_overhead_fig10_style():
     assert t_spelled <= t_plain * 1.05 + 0.005, (t_plain, t_spelled)
 
 
+def test_default_guard_overhead_under_five_percent():
+    """The default depth guard is one ``is not None`` branch plus an int
+    compare per container entry; against the guards-off hot path it must
+    stay under the 5% resilience budget (plus noise floor)."""
+    from repro.resilience import Limits
+
+    data = large_record("BB", 300_000, seed=7)
+    unguarded = JsonSki("$.pd[*].cp[1:3].id", limits=Limits.unlimited())
+    guarded = JsonSki("$.pd[*].cp[1:3].id")  # DEFAULT_LIMITS: depth guard on
+    unguarded.run(data)  # warm caches
+    guarded.run(data)
+    t_off = _best_seconds(lambda: unguarded.run(data))
+    t_on = _best_seconds(lambda: guarded.run(data))
+    assert t_on <= t_off * 1.05 + 0.005, (t_off, t_on)
+
+
 def test_collect_stats_overhead_is_modest():
     """collect_stats touches counters per fast-forward, not per byte;
     its cost must stay a small fraction of the scan itself."""
