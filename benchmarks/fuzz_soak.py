@@ -6,16 +6,25 @@ resilience contract continuously: every case must end in agreement, a
 diagnosed :class:`~repro.errors.ReproError`, or the documented
 skip-region blind spot — never a divergence, a crash, or a hang.
 
+``--kill-resume`` soaks the checkpoint layer's contract instead: each
+round builds a record stream from the mutated corpus (malformed records
+included), interrupts a checkpointed run at a random cursor, resumes
+it, and asserts the combined output is byte-identical to an
+uninterrupted run — reported in the same agree/violation taxonomy.
+
 Exit status 0 when the contract held, 1 otherwise (CI-friendly)::
 
     PYTHONPATH=src python benchmarks/fuzz_soak.py --mutations 5000
     PYTHONPATH=src python benchmarks/fuzz_soak.py --minutes 10 --seed 3
+    PYTHONPATH=src python benchmarks/fuzz_soak.py --kill-resume --mutations 600
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import random
+import tempfile
 import time
 
 from repro.resilience import differential_fuzz
@@ -31,6 +40,41 @@ BASE_RECORDS = [
 
 BATCH = 500  # mutations per reported round
 
+#: Queries the kill-resume soak cycles through (record-stream shapes).
+KILL_RESUME_QUERIES = ("$.a.b", "$.a[*]", "$.pd[*].cp[*].id", "$.k")
+
+
+def kill_resume_round(seed: int, n_records: int, workdir: str) -> tuple[int, list[str]]:
+    """One kill-resume soak round: returns (cases, violation lines).
+
+    Builds a stream of ``n_records`` mutated records (seeded, so every
+    violation is replayable by seed), then checks the interrupt/resume
+    equivalence at a random cursor for each query — alternating between
+    the serial recovery runner and the resilient pool runner.
+    """
+    from repro.checkpoint import kill_resume_differential
+    from repro.resilience import corpus
+    from repro.stream.records import RecordStream
+
+    rng = random.Random(seed)
+    mutations = corpus(BASE_RECORDS, n_records, seed=seed)
+    stream = RecordStream.from_records([m.data for m in mutations])
+    cases = 0
+    violations: list[str] = []
+    for qi, query in enumerate(KILL_RESUME_QUERIES):
+        runner = "pool" if qi % 2 else "recovery"
+        interrupt_at = rng.randrange(0, len(stream) + 2)  # past-end on purpose
+        report = kill_resume_differential(
+            query, stream, interrupt_at=interrupt_at, workdir=workdir,
+            runner=runner, checkpoint_every=max(1, n_records // 8),
+        )
+        cases += 1
+        if not report.ok:
+            violations.append(
+                f"seed={seed} query={query!r} runner={runner} {report.describe()}"
+            )
+    return cases, violations
+
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
@@ -41,6 +85,9 @@ def main() -> int:
     parser.add_argument("--seed", type=int, default=0, help="corpus seed (default 0)")
     parser.add_argument("--engines", nargs="*", default=None,
                         help="engine names (default: every registered engine)")
+    parser.add_argument("--kill-resume", action="store_true",
+                        help="soak the checkpoint kill-and-resume contract "
+                             "instead of the engine differential")
     args = parser.parse_args()
 
     engines = tuple(args.engines) if args.engines else None
@@ -49,25 +96,35 @@ def main() -> int:
     round_seed = args.seed
     swept = 0
     ok = True
-    while True:
-        report = differential_fuzz(
-            BASE_RECORDS, BATCH, seed=round_seed,
-            engines=engines, deadline_per_case=30.0,
-        )
-        total_cases += report.cases
-        swept += BATCH
-        minutes = (time.monotonic() - started) / 60.0
-        print(f"[{minutes:6.2f} min] seed={round_seed} {report.describe().splitlines()[0]}")
-        if not report.ok:
-            print(report.describe())
-            ok = False
-            break
-        round_seed += 1
-        if args.minutes is not None:
-            if minutes >= args.minutes:
+    batch = 40 if args.kill_resume else BATCH  # resume rounds re-run streams 3x
+    with tempfile.TemporaryDirectory(prefix="fuzz-soak-ckpt-") as workdir:
+        while True:
+            if args.kill_resume:
+                cases, violations = kill_resume_round(round_seed, batch, workdir)
+                total_cases += cases
+                headline = (f"kill-resume: {cases} checks ok" if not violations
+                            else f"kill-resume: {len(violations)} VIOLATIONS")
+            else:
+                report = differential_fuzz(
+                    BASE_RECORDS, batch, seed=round_seed,
+                    engines=engines, deadline_per_case=30.0,
+                )
+                total_cases += report.cases
+                violations = [] if report.ok else [report.describe()]
+                headline = report.describe().splitlines()[0]
+            swept += batch
+            minutes = (time.monotonic() - started) / 60.0
+            print(f"[{minutes:6.2f} min] seed={round_seed} {headline}")
+            if violations:
+                print("\n".join(violations))
+                ok = False
                 break
-        elif swept >= args.mutations:
-            break
+            round_seed += 1
+            if args.minutes is not None:
+                if minutes >= args.minutes:
+                    break
+            elif swept >= args.mutations:
+                break
     verdict = "contract held" if ok else "CONTRACT VIOLATED"
     print(f"{verdict}: {total_cases} cases over {swept} mutations "
           f"in {(time.monotonic() - started):.1f}s")

@@ -22,8 +22,18 @@ The uniform engine registry lets the same code drive any method:
 """
 
 from repro.baselines import JPStream, PisonLike, RapidJsonLike, SimdJsonLike, StdlibJson
+from repro.checkpoint import (
+    CheckpointInfo,
+    CheckpointStore,
+    EngineState,
+    JsonlEmitter,
+    KillResumeReport,
+    SuspendableRun,
+    kill_resume_differential,
+)
 from repro.engine import FastForwardStats, JsonSki, JsonSkiMulti, Match, MatchList, RecursiveDescentStreamer, iter_events
 from repro.errors import (
+    CheckpointError,
     DeadlineExceededError,
     DepthLimitError,
     JsonPathSyntaxError,
@@ -72,11 +82,19 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnalysisReport",
+    "CheckpointError",
+    "CheckpointInfo",
+    "CheckpointStore",
     "Counter",
     "Deadline",
     "DeadlineExceededError",
     "DepthLimitError",
+    "EngineState",
     "FuzzReport",
+    "JsonlEmitter",
+    "KillResumeReport",
+    "SuspendableRun",
+    "kill_resume_differential",
     "Limits",
     "PoolResult",
     "RecordFailure",

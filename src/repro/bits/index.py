@@ -205,6 +205,35 @@ class BufferIndex:
         """Chunk id containing absolute position ``pos``."""
         return pos // self.chunk_size
 
+    # -- suspend/resume carry transfer ---------------------------------
+
+    def carries_snapshot(self) -> list[tuple[int, int]]:
+        """The cross-chunk string-mask carries of every chunk built so far,
+        as plain ``(escape, in_string)`` pairs (JSON-serializable).
+
+        This is the *only* state a fresh process needs to rebuild any
+        already-visited chunk's bitmaps without rescanning the stream from
+        byte zero — two bits per chunk, the suspension payoff of the
+        forward-chained index design.
+        """
+        return [(carry.escape, carry.in_string) for carry in self._carries]
+
+    def seed_carries(self, carries) -> None:
+        """Pre-load carries captured by :meth:`carries_snapshot`.
+
+        Must be called on a fresh index (nothing built yet).  Afterwards
+        chunk ``i`` for any ``i <= len(carries)`` is buildable directly
+        from its own bytes, because its carry-in is already known.
+        """
+        if self._carries or self._cache:
+            raise ValueError("seed_carries requires a fresh index (no chunks built)")
+        carries = list(carries)
+        if len(carries) > self.n_chunks:
+            raise ValueError(
+                f"{len(carries)} carries for an input of {self.n_chunks} chunks"
+            )
+        self._carries = [StringCarry(int(escape), int(in_string)) for escape, in_string in carries]
+
     def chunk_start(self, chunk_id: int) -> int:
         return chunk_id * self.chunk_size
 

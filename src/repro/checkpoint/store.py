@@ -1,0 +1,247 @@
+"""Crash-consistent checkpoint persistence.
+
+A checkpoint is only useful if it is *trustworthy after a crash*: a
+worker can die mid-``write``, a disk can drop a tail of dirty pages, an
+operator can copy half a file.  :class:`CheckpointStore` therefore never
+updates a checkpoint in place.  Every :meth:`~CheckpointStore.save`
+writes a **new generation**:
+
+1. the payload (a JSON document) is serialized and its CRC32 computed;
+2. a header + payload file is written to a temporary name *in the same
+   directory*, flushed, and ``fsync``'d;
+3. the temporary file is atomically ``os.replace``'d onto the
+   generation name (crash before this point leaves the old generations
+   untouched; crash after it leaves a fully-written new one);
+4. the directory entry is fsync'd (best effort) and generations older
+   than the newest ``keep`` are pruned.
+
+:meth:`~CheckpointStore.load_latest` walks generations newest-first and
+returns the first one that validates — magic, format version, payload
+length, and CRC32 all have to match.  A truncated or bit-rotted newest
+generation is *skipped with a note* (see :attr:`CheckpointStore.skipped`)
+and the previous generation is used instead: resuming from a slightly
+older checkpoint re-does a little work; resuming from a corrupt one
+silently produces wrong output.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import CheckpointError
+
+#: First line of every checkpoint file.
+MAGIC = "repro-ckpt"
+
+#: Bump when the header or payload layout changes incompatibly.
+FORMAT_VERSION = 1
+
+#: Generations retained by default (newest K survive pruning).
+DEFAULT_KEEP = 3
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """One validated checkpoint: its generation number, file, payload."""
+
+    generation: int
+    path: Path
+    payload: dict
+
+
+def _crc32(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def fingerprint(data: bytes) -> int:
+    """Cheap input identity: CRC32 over a bounded sample of ``data``.
+
+    Resume must not re-read gigabytes just to prove the input is the same
+    file, so the fingerprint covers the first and last 64 KiB plus the
+    total length — enough to catch the realistic accidents (wrong file,
+    regenerated input, appended records) in O(1).
+    """
+    head, tail = data[: 1 << 16], data[-(1 << 16) :]
+    return _crc32(head + tail + str(len(data)).encode("ascii"))
+
+
+class CheckpointStore:
+    """Versioned, checksummed, atomically-written checkpoint generations.
+
+    Parameters
+    ----------
+    path:
+        Base path; generation ``g`` lives at ``<path>.g<g:06d>``.
+    keep:
+        Number of newest generations retained after each save.  More than
+        one generation is the corruption fallback *and* the crash-window
+        fallback (a save interrupted by SIGKILL leaves at most a stale
+        ``.tmp`` file behind, never a damaged generation).
+
+    Example
+    -------
+    >>> import tempfile, os
+    >>> base = os.path.join(tempfile.mkdtemp(), "run.ckpt")
+    >>> store = CheckpointStore(base)
+    >>> _ = store.save({"cursor": 10})
+    >>> store.load_latest().payload["cursor"]
+    10
+    """
+
+    def __init__(self, path: str | Path, keep: int = DEFAULT_KEEP) -> None:
+        if keep < 1:
+            raise ValueError("keep must be at least 1")
+        self.base = Path(path)
+        self.keep = keep
+        #: ``(path, reason)`` pairs for generations skipped as invalid by
+        #: the most recent :meth:`load_latest` call.
+        self.skipped: list[tuple[Path, str]] = []
+
+    # -- enumeration ----------------------------------------------------
+
+    def generations(self) -> list[tuple[int, Path]]:
+        """Existing generation files, oldest first (files only, unvalidated)."""
+        prefix = self.base.name + ".g"
+        parent = self.base.parent
+        found: list[tuple[int, Path]] = []
+        if not parent.is_dir():
+            return found
+        for entry in parent.iterdir():
+            name = entry.name
+            if not name.startswith(prefix) or name.endswith(".tmp"):
+                continue
+            suffix = name[len(prefix) :]
+            if suffix.isdigit():
+                found.append((int(suffix), entry))
+        found.sort()
+        return found
+
+    def _generation_path(self, generation: int) -> Path:
+        return self.base.with_name(f"{self.base.name}.g{generation:06d}")
+
+    # -- write ----------------------------------------------------------
+
+    def save(self, payload: dict) -> Path:
+        """Durably persist ``payload`` as a new generation; prune old ones."""
+        existing = self.generations()
+        generation = (existing[-1][0] + 1) if existing else 1
+        target = self._generation_path(generation)
+        target.parent.mkdir(parents=True, exist_ok=True)
+
+        body = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+        header = json.dumps(
+            {
+                "magic": MAGIC,
+                "version": FORMAT_VERSION,
+                "crc32": _crc32(body),
+                "length": len(body),
+            },
+            separators=(",", ":"),
+            sort_keys=True,
+        ).encode("ascii")
+
+        tmp = target.with_name(target.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(header + b"\n" + body)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+        self._fsync_dir(target.parent)
+
+        # After this save there are len(existing) + 1 generations; drop the
+        # oldest ones beyond ``keep``.
+        for _, old_path in existing[: max(0, len(existing) + 1 - self.keep)]:
+            try:
+                old_path.unlink()
+            except OSError:  # pragma: no cover - best effort
+                pass
+        return target
+
+    @staticmethod
+    def _fsync_dir(directory: Path) -> None:
+        """Persist the rename itself (best effort — not all filesystems
+        support fsync on a directory handle)."""
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform dependent
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform dependent
+            pass
+        finally:
+            os.close(fd)
+
+    # -- read -----------------------------------------------------------
+
+    def _read_validated(self, path: Path) -> dict:
+        """Parse and verify one generation file; raise on any defect."""
+        try:
+            raw = path.read_bytes()
+        except OSError as exc:
+            raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from None
+        newline = raw.find(b"\n")
+        if newline < 0:
+            raise CheckpointError(f"checkpoint {path} is truncated (no header line)")
+        try:
+            header = json.loads(raw[:newline])
+        except ValueError:
+            raise CheckpointError(f"checkpoint {path} has an unparsable header") from None
+        if not isinstance(header, dict) or header.get("magic") != MAGIC:
+            raise CheckpointError(f"checkpoint {path} has wrong magic")
+        if header.get("version") != FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {path} has format version {header.get('version')!r}, "
+                f"expected {FORMAT_VERSION}"
+            )
+        body = raw[newline + 1 :]
+        if len(body) != header.get("length"):
+            raise CheckpointError(
+                f"checkpoint {path} is truncated "
+                f"({len(body)} payload bytes, header says {header.get('length')})"
+            )
+        if _crc32(body) != header.get("crc32"):
+            raise CheckpointError(f"checkpoint {path} failed its CRC32 check")
+        try:
+            payload = json.loads(body)
+        except ValueError:
+            raise CheckpointError(f"checkpoint {path} payload is not valid JSON") from None
+        if not isinstance(payload, dict):
+            raise CheckpointError(f"checkpoint {path} payload is not an object")
+        return payload
+
+    def load_latest(self) -> CheckpointRecord | None:
+        """Newest *valid* checkpoint, or ``None`` when no generation validates.
+
+        Invalid generations encountered on the way are recorded in
+        :attr:`skipped` so callers can report the fallback instead of
+        resuming silently from older state.
+        """
+        self.skipped = []
+        for generation, path in reversed(self.generations()):
+            try:
+                payload = self._read_validated(path)
+            except CheckpointError as exc:
+                self.skipped.append((path, str(exc)))
+                continue
+            return CheckpointRecord(generation=generation, path=path, payload=payload)
+        return None
+
+    def clear(self) -> None:
+        """Delete every generation (a completed run's cleanup)."""
+        for _, path in self.generations():
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - best effort
+                pass
+
+
+def as_store(checkpoint: "CheckpointStore | str | Path") -> CheckpointStore:
+    """Coerce a path-or-store argument into a :class:`CheckpointStore`."""
+    if isinstance(checkpoint, CheckpointStore):
+        return checkpoint
+    return CheckpointStore(checkpoint)

@@ -8,24 +8,15 @@ matches, one per line — a grep for JSONPath.  Examples::
     python -m repro '$.text' tweets.jsonl --jsonl --engine jpstream
     python -m repro '$.pd[*].cp[1:3].id' catalog.json --stats
 
-Exit status (grep-inspired, with distinct failure classes):
-
-====  =========================================================
-code  meaning
-====  =========================================================
-0     at least one match
-1     no match
-2     JSONPath syntax error, usage error, or unreadable input
-3     the query needs a feature the chosen engine does not support
-4     malformed JSON input
-5     a resource guard tripped (``--max-depth`` / ``--timeout`` /
-      record size)
-====  =========================================================
+Exit status (grep-inspired, with distinct failure classes): see
+:data:`EXIT_CODES`, which is also rendered into ``--help``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import signal
 import sys
 
 from repro.engine import JsonSki
@@ -39,6 +30,35 @@ from repro.errors import (
 )
 from repro.harness.runner import METHOD_LABELS, make_engine
 from repro.stream.records import RecordStream
+
+#: The exit-code taxonomy, the single source of truth: the ``--help``
+#: epilog and the table in ``docs/api.md`` are generated from / checked
+#: against this mapping by the test suite.
+EXIT_CODES = {
+    0: "at least one match",
+    1: "no match",
+    2: "JSONPath syntax error, usage error, or unreadable input",
+    3: "the query needs a feature the chosen engine does not support",
+    4: "malformed JSON input",
+    5: "a resource guard tripped (--max-depth / --timeout / record size)",
+    6: "interrupted (SIGINT/SIGTERM) with --checkpoint; progress saved, resume with --resume",
+}
+
+#: Exit code for a run stopped by SIGINT/SIGTERM after flushing a checkpoint.
+EXIT_INTERRUPTED = 6
+
+#: Default checkpoint cadences: records between commits in --jsonl mode,
+#: bytes of input between suspensions in single-record mode.
+DEFAULT_CHECKPOINT_RECORDS = 1000
+DEFAULT_CHECKPOINT_BYTES = 1 << 20
+
+
+def exit_code_table() -> str:
+    """The exit-code taxonomy as help-epilog text."""
+    lines = ["exit codes:"]
+    for code, meaning in sorted(EXIT_CODES.items()):
+        lines.append(f"  {code}  {meaning}")
+    return "\n".join(lines)
 
 
 def _exit_code_for(exc: ReproError) -> int:
@@ -56,6 +76,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Stream JSONPath queries over JSON with bit-parallel fast-forwarding (JSONSki).",
+        epilog=exit_code_table(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("query", help="JSONPath expression, e.g. '$.place.name'")
     parser.add_argument("file", nargs="?", default="-", help="input file ('-' or omitted: stdin)")
@@ -97,6 +119,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="refuse single records larger than N bytes")
     robust.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                         help="abandon the run after SECONDS via the cooperative deadline")
+    robust.add_argument("--checkpoint", default=None, metavar="FILE",
+                        help="persist resumable progress checkpoints at FILE (atomic, "
+                             "checksummed generations); with --jsonl progress is "
+                             "per-record, otherwise the single record is suspended "
+                             "mid-stream at chunk boundaries (jsonski only). "
+                             "SIGINT/SIGTERM flush a final checkpoint and exit "
+                             f"{EXIT_INTERRUPTED}")
+    robust.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
+                        help="checkpoint cadence: records between commits with --jsonl "
+                             f"(default {DEFAULT_CHECKPOINT_RECORDS}), bytes of input "
+                             "between suspensions in single-record mode "
+                             f"(default {DEFAULT_CHECKPOINT_BYTES})")
+    robust.add_argument("--resume", action="store_true",
+                        help="resume from the newest valid generation of --checkpoint "
+                             "(skipping completed records / already-streamed bytes); "
+                             "without a usable checkpoint the run starts fresh")
     return parser
 
 
@@ -197,6 +235,168 @@ def _run_lenient(args, engine, data: bytes, info, registry, trace_sink, out, err
     return 0 if values else 1
 
 
+class _CliEmitter:
+    """Adapter from the checkpoint emitter protocol onto the CLI output.
+
+    When the stream is seekable (a redirected file, a test buffer) the
+    resumed run truncates back to the checkpointed offset and the final
+    output is exactly-once; a terminal/pipe falls back to at-least-once
+    across the narrow crash window (``tell`` reports ``None``).
+    """
+
+    def __init__(self, stream) -> None:
+        self.stream = stream
+
+    def emit(self, index: int, values: list) -> None:
+        for value in values:
+            print(json.dumps(value, ensure_ascii=False), file=self.stream)
+
+    def flush(self) -> None:
+        self.stream.flush()
+
+    def tell(self):
+        try:
+            return self.stream.tell()
+        except (OSError, ValueError, AttributeError):
+            return None
+
+    def truncate_to(self, offset) -> None:
+        self.stream.seek(offset)
+        self.stream.truncate(offset)
+
+
+def _signal_stop():
+    """Arm SIGINT/SIGTERM as *clean-stop requests* for checkpointed runs.
+
+    Returns ``(stop, restore)``: ``stop(...)`` reports whether a signal
+    arrived (accepted as both the record-cursor and no-arg callback), and
+    ``restore()`` reinstates the previous handlers.
+    """
+    hits: list[int] = []
+
+    def handler(signum, frame):  # pragma: no cover - signal delivery timing
+        hits.append(signum)
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, handler)
+        except (ValueError, OSError):  # non-main thread or unsupported
+            pass
+
+    def stop(*_args) -> bool:
+        return bool(hits)
+
+    def restore() -> None:
+        for signum, old in previous.items():
+            try:
+                signal.signal(signum, old)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+
+    return stop, restore
+
+
+def _run_checkpointed_records(args, engine, data, info, registry, trace_sink, out, err, stop) -> int:
+    """``--checkpoint --jsonl``: record-granularity resumable streaming."""
+    from repro.resilience.recovery import run_with_recovery
+
+    stream = RecordStream.from_jsonl(data)
+    every = args.checkpoint_every or DEFAULT_CHECKPOINT_RECORDS
+    emitter = None if args.count else _CliEmitter(out)
+    recovery = run_with_recovery(
+        engine,
+        stream,
+        metrics=registry,
+        checkpoint=args.checkpoint,
+        checkpoint_every=every,
+        resume=args.resume,
+        emitter=emitter,
+        stop=stop,
+    )
+    ck = recovery.checkpoint
+    if ck.resumed_at:
+        print(f"resumed from checkpoint at record {ck.resumed_at}", file=err)
+    if not recovery.ok:
+        print(recovery.describe(), file=err)
+    code = _finish_observability(args, info, registry, trace_sink, data, ck.emitted, err)
+    if code:
+        return code
+    if ck.interrupted:
+        print(
+            f"interrupted: progress checkpointed to {args.checkpoint}; "
+            "rerun with --resume to continue",
+            file=err,
+        )
+        return EXIT_INTERRUPTED
+    if args.count:
+        print(ck.emitted, file=out)
+    return 0 if ck.emitted else 1
+
+
+def _run_checkpointed_single(args, data, limits, info, registry, trace_sink, out, err, stop) -> int:
+    """``--checkpoint`` on one record: intra-record suspend/resume."""
+    from repro.checkpoint import SUSPEND_KIND, CheckpointStore, SuspendableRun
+    from repro.errors import CheckpointError
+
+    store = CheckpointStore(args.checkpoint)
+    every = args.checkpoint_every or DEFAULT_CHECKPOINT_BYTES
+    run = None
+    if args.resume:
+        record = store.load_latest()
+        for path, reason in store.skipped:
+            print(f"warning: skipped invalid checkpoint: {reason}", file=err)
+        if record is not None:
+            payload = record.payload
+            if payload.get("kind") != SUSPEND_KIND:
+                raise CheckpointError(
+                    f"checkpoint {record.path} is a {payload.get('kind')!r} "
+                    "checkpoint, not a single-record suspension (did you "
+                    "mean to pass --jsonl?)"
+                )
+            if payload.get("query") != args.query:
+                raise CheckpointError(
+                    f"checkpoint {record.path} was written for query "
+                    f"{payload.get('query')!r}, not {args.query!r}"
+                )
+            run = SuspendableRun.resume(data, payload["engine_state"], limits=limits)
+    else:
+        store.clear()
+    if run is None:
+        run = SuspendableRun.begin(args.query, data, limits=limits)
+
+    def save(done: bool) -> None:
+        store.save({
+            "kind": SUSPEND_KIND,
+            "query": args.query,
+            "done": done,
+            "engine_state": run.suspend().to_dict(),
+        })
+
+    while not run.step(every):
+        save(False)
+        if stop():
+            print(
+                f"interrupted at byte {run.pos}/{run.size}: progress "
+                f"checkpointed to {args.checkpoint}; rerun with --resume "
+                "to continue",
+                file=err,
+            )
+            return EXIT_INTERRUPTED
+    save(True)
+    matches = run.matches()
+    n = len(matches)
+    code = _finish_observability(args, info, registry, trace_sink, data, n, err)
+    if code:
+        return code
+    if args.count:
+        print(n, file=out)
+        return 0 if n else 1
+    for match in list(matches)[: 1 if args.first else n]:
+        print(match.text.decode("utf-8", "replace") if args.raw else match.value(), file=out)
+    return 0 if n else 1
+
+
 def main(argv: list[str] | None = None, out=None, err=None) -> int:
     out = out if out is not None else sys.stdout
     err = err if err is not None else sys.stderr
@@ -249,6 +449,21 @@ def main(argv: list[str] | None = None, out=None, err=None) -> int:
         print("--paths/--stats require --engine jsonski", file=err)
         return 2
 
+    if args.resume and args.checkpoint is None:
+        print("--resume requires --checkpoint", file=err)
+        return 2
+    if args.checkpoint is not None:
+        if args.paths:
+            print("--checkpoint does not support --paths", file=err)
+            return 2
+        if not args.jsonl and args.engine != "jsonski":
+            print("--checkpoint on a single record requires --engine jsonski "
+                  "(intra-record suspension)", file=err)
+            return 2
+        if args.jsonl and args.first:
+            print("--checkpoint with --jsonl does not support --first", file=err)
+            return 2
+
     try:
         data = _read_input(args.file)
     except OSError as exc:
@@ -289,6 +504,19 @@ def main(argv: list[str] | None = None, out=None, err=None) -> int:
 
     try:
         engine = make_engine(args.engine, args.query, collect_stats=args.stats, **observe_kwargs)
+
+        if args.checkpoint is not None:
+            stop, restore = _signal_stop()
+            try:
+                if args.jsonl:
+                    return _run_checkpointed_records(
+                        args, engine, data, info, registry, trace_sink, out, err, stop
+                    )
+                return _run_checkpointed_single(
+                    args, data, limits, info, registry, trace_sink, out, err, stop
+                )
+            finally:
+                restore()
 
         if args.lenient and args.jsonl and not args.paths:
             return _run_lenient(args, engine, data, info, registry, trace_sink, out, err)

@@ -84,6 +84,19 @@ class DepthLimitError(ResourceLimitError):
         self.depth = depth
 
 
+class CheckpointError(ReproError):
+    """A checkpoint could not be used.
+
+    Raised when a checkpoint file fails validation (bad magic, version
+    mismatch, truncation, checksum mismatch) *and* no older generation is
+    usable, or when a checkpoint does not belong to the run being resumed
+    (different input payload, record count, or run kind).  A corrupt
+    *newest* generation alone does not raise — the store falls back to
+    the newest valid generation (see
+    :class:`repro.checkpoint.CheckpointStore`).
+    """
+
+
 class DeadlineExceededError(ResourceLimitError):
     """A cooperative deadline expired while streaming.
 

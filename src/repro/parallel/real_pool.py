@@ -169,6 +169,9 @@ class PoolResult:
     failures: list = field(default_factory=list)
     worker_crashes: int = 0
     batch_retries: int = 0
+    #: :class:`repro.checkpoint.runs.CheckpointInfo` when the run was
+    #: checkpointed (``checkpoint=`` was passed); ``None`` otherwise.
+    checkpoint: Any | None = None
 
     @property
     def ok(self) -> bool:
@@ -215,6 +218,11 @@ def run_records_pool_resilient(
     backoff: float = 0.05,
     metrics=None,
     inject_faults: bool = False,
+    checkpoint=None,
+    checkpoint_every: int = 1000,
+    resume: bool = False,
+    emitter=None,
+    stop=None,
 ) -> PoolResult:
     """Pool execution that survives crashing workers and poison records.
 
@@ -239,8 +247,33 @@ def run_records_pool_resilient(
     receives ``pool.worker_crashes``, ``pool.batch_retries``,
     ``pool.poison_records``, ``pool.records_ok`` and
     ``pool.records_failed`` counters.
+
+    ``checkpoint`` (a path or :class:`~repro.checkpoint.CheckpointStore`)
+    makes the run resumable in segments of ``checkpoint_every`` records;
+    see :func:`repro.checkpoint.runs.checkpointed_pool` for the
+    ``resume`` / ``emitter`` / ``stop`` semantics.
     """
     from repro.resilience.recovery import RecordFailure
+
+    if checkpoint is not None:
+        from repro.checkpoint.runs import checkpointed_pool
+
+        return checkpointed_pool(
+            query,
+            stream,
+            checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+            emitter=emitter,
+            stop=stop,
+            n_workers=n_workers,
+            batch_size=batch_size,
+            max_retries=max_retries,
+            timeout=timeout,
+            backoff=backoff,
+            metrics=metrics,
+            inject_faults=inject_faults,
+        )
 
     records = [stream.record(i) for i in range(len(stream))]
     n = len(records)
@@ -302,6 +335,14 @@ def run_records_pool_resilient(
                                 _Batch(batch.start, batch.records, batch.attempts + 1)
                             )
                             result.batch_retries += 1
+                        elif _isolated_trial(query, batch, timeout, inject_faults, harvest):
+                            # Exonerated: every attempt so far may have been
+                            # collateral damage — BrokenProcessPool fails all
+                            # in-flight futures, so an innocent record can
+                            # burn its retries on a *sibling's* crash.  Only
+                            # a record that also kills a private one-worker
+                            # pool is quarantined.
+                            result.batch_retries += 1
                         else:
                             result.failures.append(
                                 RecordFailure(
@@ -332,6 +373,24 @@ def run_records_pool_resilient(
         metrics.counter("pool.records_ok").add(result.records_ok)
         metrics.counter("pool.records_failed").add(len(result.failures))
     return result
+
+
+def _isolated_trial(query: str, batch: _Batch, timeout, inject_faults, harvest) -> bool:
+    """Final verdict for a suspect record: run it alone in a fresh
+    single-worker pool, where no sibling can take the worker down.
+    Harvests the result and returns True if the record survives; returns
+    False (quarantine is warranted) if it kills even its private worker.
+    """
+    trial = ProcessPoolExecutor(max_workers=1)
+    try:
+        future = trial.submit(_run_batch_resilient, query, batch.records, inject_faults)
+        out = future.result(timeout=timeout)
+    except (BrokenProcessPool, FutureTimeoutError, OSError):
+        return False
+    finally:
+        _kill_pool(trial)
+    harvest(batch.start, out)
+    return True
 
 
 def _harvest_if_done(batch: _Batch, future, harvest) -> bool:

@@ -144,6 +144,24 @@ class QueryAutomaton:
         """The step-index frontier behind an opaque state id."""
         return self._frontiers[state]
 
+    def state_for_frontier(self, frontier) -> int:
+        """State id for a step-index frontier — the inverse of :meth:`frontier`.
+
+        State *ids* are interning-order dependent (they differ between two
+        processes that streamed different prefixes), so a suspended run is
+        serialized as frontiers and re-entered through this method
+        (:mod:`repro.checkpoint.suspend`).  Unknown step indices are
+        rejected so a checkpoint from a different query cannot silently
+        produce a plausible-looking state.
+        """
+        members = frozenset(frontier)
+        for q in members:
+            if not isinstance(q, int) or not 0 <= q <= self._n:
+                raise ValueError(
+                    f"frontier member {q!r} is outside this query's steps (0..{self._n})"
+                )
+        return self._intern(members)
+
     # ------------------------------------------------------------------
     # transitions
 

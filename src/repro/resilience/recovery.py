@@ -59,6 +59,9 @@ class RecoveryResult:
 
     values: list[list[Any] | None]
     failures: list[RecordFailure] = field(default_factory=list)
+    #: :class:`repro.checkpoint.runs.CheckpointInfo` when the run was
+    #: checkpointed (``checkpoint=`` was passed); ``None`` otherwise.
+    checkpoint: Any | None = None
 
     @property
     def ok(self) -> bool:
@@ -94,6 +97,11 @@ def run_with_recovery(
     *,
     max_failures: int | None = None,
     metrics=None,
+    checkpoint=None,
+    checkpoint_every: int = 1000,
+    resume: bool = False,
+    emitter=None,
+    stop=None,
 ) -> RecoveryResult:
     """Evaluate ``engine`` over every record, surviving malformed ones.
 
@@ -107,8 +115,31 @@ def run_with_recovery(
 
     ``metrics`` receives ``stream.records_ok`` / ``stream.records_skipped``
     counters (per failure class, via the ``error`` label).
+
+    ``checkpoint`` (a path or :class:`~repro.checkpoint.CheckpointStore`)
+    makes the run resumable: progress is committed every
+    ``checkpoint_every`` records, ``resume=True`` skips the completed
+    prefix of an interrupted run, ``emitter`` receives match values
+    exactly once across kill/resume cycles, and ``stop`` (called with the
+    next record index) requests a clean early exit.  See
+    :func:`repro.checkpoint.runs.checkpointed_recovery`.
     """
     from repro.errors import DeadlineExceededError
+
+    if checkpoint is not None:
+        from repro.checkpoint.runs import checkpointed_recovery
+
+        return checkpointed_recovery(
+            engine,
+            stream,
+            checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+            emitter=emitter,
+            stop=stop,
+            max_failures=max_failures,
+            metrics=metrics,
+        )
 
     values: list[list[Any] | None] = []
     failures: list[RecordFailure] = []

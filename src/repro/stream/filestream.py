@@ -28,6 +28,9 @@ class MappedFile:
     indexing, slicing, ``find``, ``numpy.frombuffer``).  Decode or copy
     any results you need before leaving the block; afterwards the
     mapping is closed and match slices become invalid.
+
+    A zero-length file (which ``mmap`` refuses to map) yields ``b""``
+    rather than raising, so empty inputs behave like any other input.
     """
 
     def __init__(self, path: str | Path) -> None:
@@ -35,13 +38,19 @@ class MappedFile:
         self._handle = None
         self._map: mmap.mmap | None = None
 
-    def __enter__(self) -> mmap.mmap:
+    def __enter__(self):
         self._handle = open(self.path, "rb")
         try:
             self._map = mmap.mmap(self._handle.fileno(), 0, access=mmap.ACCESS_READ)
-        except ValueError:  # zero-length file cannot be mapped
+        except ValueError:
+            # mmap cannot map a zero-length file.  An empty input is not
+            # an error — hand back an empty read-only buffer with the
+            # same interface (len, slicing, find) instead of leaking the
+            # platform quirk to callers.
             self._handle.close()
             self._handle = None
+            if self.path.stat().st_size == 0:
+                return b""
             raise
         return self._map
 

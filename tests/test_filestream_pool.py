@@ -36,12 +36,20 @@ class TestMappedFile:
         with pytest.raises(ValueError):
             data[0]  # mmap closed
 
-    def test_empty_file_raises(self, tmp_path):
+    def test_empty_file_yields_empty_buffer(self, tmp_path):
         path = tmp_path / "empty.json"
         path.write_bytes(b"")
-        with pytest.raises(ValueError):
-            with MappedFile(path):
-                pass
+        with MappedFile(path) as data:
+            assert data == b""
+            assert len(data) == 0
+
+    def test_empty_file_exit_is_clean(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_bytes(b"")
+        manager = MappedFile(path)
+        with manager:
+            pass
+        assert manager._handle is None and manager._map is None
 
     def test_missing_file(self, tmp_path):
         with pytest.raises(OSError):

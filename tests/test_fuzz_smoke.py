@@ -89,3 +89,22 @@ def test_pool_resilient_clean_run_matches_plain_pool():
     stream = RecordStream.from_records(records)
     result = run_records_pool_resilient("$.a", stream, n_workers=1, batch_size=4)
     assert result.ok and result.values == [[i] for i in range(10)]
+
+
+@pytest.mark.fuzz_smoke
+def test_kill_resume_contract_on_hostile_corpus(tmp_path):
+    """The checkpoint contract on a mutated (partly malformed) stream:
+    interrupt anywhere, resume, byte-identical output and identical
+    failure reports.  The soak-scale form is
+    ``benchmarks/fuzz_soak.py --kill-resume``."""
+    from repro.checkpoint import kill_resume_differential
+    from repro.resilience import corpus
+
+    mutations = corpus(BASE_RECORDS, 30, seed=5)
+    stream = RecordStream.from_records([m.data for m in mutations])
+    for interrupt_at in (0, 7, 16, len(stream) + 1):
+        report = kill_resume_differential(
+            "$.a.b", stream, interrupt_at=interrupt_at,
+            workdir=tmp_path, checkpoint_every=4,
+        )
+        assert report.ok, report.describe()

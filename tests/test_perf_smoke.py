@@ -69,6 +69,27 @@ def test_default_guard_overhead_under_five_percent():
     assert t_on <= t_off * 1.05 + 0.005, (t_off, t_on)
 
 
+def test_checkpoint_overhead_under_five_percent(tmp_path):
+    """``checkpoint_every=1000`` must stay within the 5% resilience budget
+    of the plain record loop: one staged list append per record, and one
+    json+fsync+rename commit amortized over every 1000 records."""
+    from repro.data.datasets import record_stream
+    from repro.resilience import run_with_recovery
+
+    stream = record_stream("TT", 300_000, seed=7)
+    plain_engine = JsonSki("$.text")
+    ckpt_engine = JsonSki("$.text")
+    run_with_recovery(plain_engine, stream)  # warm caches
+    t_plain = _best_seconds(lambda: run_with_recovery(plain_engine, stream))
+    t_ckpt = _best_seconds(
+        lambda: run_with_recovery(
+            ckpt_engine, stream,
+            checkpoint=tmp_path / "run.ckpt", checkpoint_every=1000,
+        )
+    )
+    assert t_ckpt <= t_plain * 1.05 + 0.005, (t_plain, t_ckpt)
+
+
 def test_collect_stats_overhead_is_modest():
     """collect_stats touches counters per fast-forward, not per byte;
     its cost must stay a small fraction of the scan itself."""

@@ -230,6 +230,53 @@ class TestLenientBoundaries:
         assert len(stream) == 2 and skipped == []
 
 
+class TestFailurePositionMapping:
+    """Lenient resync + recovery: positions map to the *original* payload.
+
+    After ``from_concatenated_lenient`` discards garbage stretches, record
+    ``i`` of the resynced stream generally does not start at payload byte
+    ``i``-anything: the skipped regions are still part of the payload.  A
+    ``RecordFailure.position`` is relative to the failing record, so the
+    original-payload byte is ``stream.offsets[index][0] + position`` — and
+    the skip report's offsets are original-payload offsets already.
+    """
+
+    PAYLOAD = b'{"a": {"b": 1}} @@garbage@@ {"a": {"b" 5}} ] {"a": {"b": 3}}'
+
+    def test_failure_position_maps_to_original_payload(self):
+        stream, skipped = RecordStream.from_concatenated_lenient(self.PAYLOAD)
+        assert len(stream) == 3
+        result = run_with_recovery(repro.JsonSki("$.a.b"), stream)
+        assert result.all_values() == [1, 3]
+        [failure] = result.failures
+        assert failure.index == 1 and failure.position is not None
+
+        start, end = stream.offsets[failure.index]
+        absolute = int(start) + failure.position
+        # The absolute offset lands inside the failing record and on the
+        # same byte the record-relative position names.
+        assert start <= absolute < end
+        bad_record = stream.record(failure.index)
+        assert self.PAYLOAD[absolute : absolute + 1] == bad_record[failure.position : failure.position + 1]
+        # The mapping genuinely required the offset array: the record does
+        # not start at byte 0, so record-relative != payload-absolute.
+        assert start > 0 and absolute != failure.position
+
+    def test_skip_report_offsets_are_payload_offsets(self):
+        _, skipped = RecordStream.from_concatenated_lenient(self.PAYLOAD)
+        by_reason = {reason: pos for pos, reason in skipped}
+        garbage_at = by_reason["non-whitespace between records"]
+        assert self.PAYLOAD[garbage_at:].lstrip().startswith(b"@@garbage@@")
+        stray_at = by_reason["unbalanced closing bracket"]
+        assert self.PAYLOAD[stray_at : stray_at + 1] == b"]"
+
+    def test_records_slice_original_payload(self):
+        stream, _ = RecordStream.from_concatenated_lenient(self.PAYLOAD)
+        for i in range(len(stream)):
+            start, end = stream.offsets[i]
+            assert stream.record(i) == self.PAYLOAD[int(start) : int(end)]
+
+
 class TestUniformLimitsKwarg:
     @pytest.mark.parametrize("name", ALL_ENGINES)
     def test_compile_accepts_limits(self, name):
