@@ -23,7 +23,6 @@ from repro.engine.names import decode_name as _decode_name
 from repro.engine.output import MatchList
 from repro.jsonpath.ast import Path
 from repro.query.automaton import QueryAutomaton, compile_query
-from repro.stream.records import RecordStream
 
 _LBRACE, _RBRACE = 0x7B, 0x7D
 _LBRACKET, _RBRACKET = 0x5B, 0x5D

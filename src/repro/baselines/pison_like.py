@@ -31,7 +31,6 @@ from repro.engine.output import MatchList
 from repro.errors import JsonSyntaxError, UnsupportedQueryError
 from repro.jsonpath.ast import (
     Child,
-    Descendant,
     Index,
     MultiIndex,
     MultiName,
@@ -41,7 +40,6 @@ from repro.jsonpath.ast import (
     WildcardIndex,
 )
 from repro.jsonpath.parser import parse_path
-from repro.stream.records import RecordStream
 
 _WS = frozenset(WHITESPACE)
 _LBRACE, _RBRACE = 0x7B, 0x7D

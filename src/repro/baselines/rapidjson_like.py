@@ -17,7 +17,6 @@ from repro.baselines.tree import AnyNode, ArrayNode, ObjectNode, PrimitiveNode, 
 from repro.engine.output import MatchList
 from repro.jsonpath.ast import Path
 from repro.jsonpath.parser import parse_path
-from repro.stream.records import RecordStream
 
 _LBRACE, _RBRACE = 0x7B, 0x7D
 _LBRACKET, _RBRACKET = 0x5B, 0x5D

@@ -26,7 +26,6 @@ from repro.engine.output import MatchList
 from repro.errors import JsonSyntaxError, RecordTooLargeError, StreamExhaustedError
 from repro.jsonpath.ast import Path
 from repro.jsonpath.parser import parse_path
-from repro.stream.records import RecordStream
 
 _WS = frozenset(WHITESPACE)
 _LBRACE, _RBRACE = 0x7B, 0x7D

@@ -12,7 +12,7 @@ handy in a REPL::
 from __future__ import annotations
 
 from repro.bits.classify import STRUCTURAL_CLASSES, CharClass
-from repro.bits.index import BufferIndex, build_chunk_index
+from repro.bits.index import build_chunk_index
 from repro.bits.strings import naive_string_mask
 
 

@@ -29,7 +29,6 @@ from repro.bits.words import (
     WORD_MASK,
     interval_between,
     lowest_bit,
-    mask_up_to,
 )
 
 

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.bits.classify import CharClass
-from repro.bits.index import DEFAULT_CHUNK_SIZE, BufferIndex
+from repro.bits.index import BufferIndex
 from repro.bits.strings import INITIAL_CARRY, StringCarry
 
 _INTERESTING = np.zeros(256, dtype=bool)

@@ -18,11 +18,9 @@ from repro.engine.base import EngineBase
 from repro.engine.stats import FastForwardStats
 from repro.engine.names import decode_name as _decode_name
 from repro.engine.output import MatchList
-from repro.errors import JsonSyntaxError
 from repro.jsonpath.ast import Path
 from repro.observe import NOOP_TRACER
 from repro.query.automaton import QueryAutomaton, compile_query
-from repro.stream.records import RecordStream
 
 _LBRACE, _RBRACE = 0x7B, 0x7D
 _LBRACKET, _RBRACKET = 0x5B, 0x5D

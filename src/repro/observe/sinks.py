@@ -22,7 +22,7 @@ from __future__ import annotations
 import json
 from typing import IO, Any
 
-from repro.observe.metrics import Histogram, MetricsRegistry
+from repro.observe.metrics import MetricsRegistry
 
 
 class MemorySink:

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.engine.output import MatchList
-from repro.jsonpath.ast import Child, Index, MultiIndex, Path, Slice, Step
+from repro.jsonpath.ast import Index, MultiIndex, Path, Slice, Step
 from repro.jsonpath.parser import parse_path
 from repro.parallel.chunking import ChunkInput, split_top_level
 from repro.parallel.simulator import MakespanResult, makespan

@@ -16,12 +16,9 @@ from repro.jsonpath.ast import (
     Descendant,
     Index,
     MultiIndex,
-    MultiName,
     Path,
     Slice,
     Step,
-    WildcardChild,
-    WildcardIndex,
 )
 from repro.jsonpath.parser import parse_path
 

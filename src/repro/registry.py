@@ -19,7 +19,7 @@ deprecation shim for the old string→constructor dictionary.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.baselines import JPStream, PisonLike, RapidJsonLike, SimdJsonLike, StdlibJson

@@ -14,7 +14,7 @@ from __future__ import annotations
 import json
 import re
 
-from repro.baselines.rapidjson_like import _parse_value, parse_dom
+from repro.baselines.rapidjson_like import _parse_value
 from repro.baselines.tokenizer import Tokenizer
 from repro.baselines.tree import AnyNode, ArrayNode, ObjectNode, PrimitiveNode
 from repro.errors import JsonSyntaxError, ReproError

@@ -4,9 +4,7 @@ from __future__ import annotations
 
 import json
 
-import pytest
-
-from repro.jsonpath.ast import Index, MultiIndex, Path, Slice, WildcardIndex
+from repro.jsonpath.ast import Index, MultiIndex, Slice
 from repro.jsonpath.parser import parse_path
 from repro.parallel.chunking import ChunkInput, split_top_level
 from repro.parallel.speculation import _rewrite_query

@@ -10,9 +10,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 import repro
-from repro.engine.filtered import FilteredJsonSki, SlicePredicate
-from repro.jsonpath.ast import Filter, Path
-from repro.jsonpath.filter import And, Comparison, Exists, Not, Or, RelPath
+from repro.engine.filtered import SlicePredicate
 from repro.jsonpath.parser import parse_path
 from repro.reference import evaluate_bytes
 

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.harness.report import generate_markdown
 from repro.harness.runner import Measurement, time_run_records
 from repro.harness.tables import render_series, render_table

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro import paperdata
 from repro.harness import experiments as exp
 

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.bits.classify import CharClass
 from repro.bits.index import BufferIndex
 from repro.bits.posindex import PositionBufferIndex

@@ -11,7 +11,6 @@ from hypothesis import strategies as st
 
 import repro
 from repro.data.synth import random_json
-from repro.errors import JsonSyntaxError
 
 
 class TestAccepts:
