@@ -20,6 +20,7 @@ from __future__ import annotations
 from array import array
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Any, Iterable
 
 import numpy as np
 
@@ -218,7 +219,7 @@ class BufferIndex:
         """
         return [(carry.escape, carry.in_string) for carry in self._carries]
 
-    def seed_carries(self, carries) -> None:
+    def seed_carries(self, carries: Iterable[tuple[int, int]]) -> None:
         """Pre-load carries captured by :meth:`carries_snapshot`.
 
         Must be called on a fresh index (nothing built yet).  Afterwards
@@ -254,12 +255,12 @@ class BufferIndex:
             self._build(cid)
         return self._build(chunk_id)
 
-    def _build_chunk(self, chunk: bytes, start: int, carry: StringCarry):
+    def _build_chunk(self, chunk: bytes, start: int, carry: StringCarry) -> Any:
         """Per-chunk build; subclasses may produce a different chunk type
         (see :class:`repro.bits.posindex.PositionBufferIndex`)."""
         return build_chunk_index(chunk, start, carry)
 
-    def _build(self, chunk_id: int):
+    def _build(self, chunk_id: int) -> Any:
         start = self.chunk_start(chunk_id)
         carry = INITIAL_CARRY if chunk_id == 0 else self._carries[chunk_id - 1]
         raw = self.data[start : start + self.chunk_size]

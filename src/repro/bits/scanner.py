@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from bisect import bisect_left, bisect_right
+from typing import Any
 
 from repro.bits.classify import CharClass
 from repro.bits.index import BufferIndex, ChunkIndex
@@ -46,7 +47,7 @@ class Scanner(ABC):
     def size(self) -> int:
         return len(self.index)
 
-    def attach_metrics(self, registry) -> None:
+    def attach_metrics(self, registry: Any) -> None:
         """Count scanner primitive calls into ``registry``.
 
         Wraps the five public query methods with per-op counters
@@ -67,7 +68,7 @@ class Scanner(ABC):
             inner = getattr(self, op)
             counter = registry.counter("scanner.calls", op=op)
 
-            def wrapper(*args, _inner=inner, _counter=counter):
+            def wrapper(*args: Any, _inner: Any = inner, _counter: Any = counter) -> Any:
                 _counter.value += 1
                 return _inner(*args)
 

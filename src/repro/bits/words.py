@@ -144,11 +144,12 @@ def prefix_xor(word: int, bits: int = WORD_BITS) -> int:
     whole word — the pure-Python stand-in for the carry-less multiply that
     simdjson uses.
     """
+    mask = (1 << bits) - 1
     shift = 1
     while shift < bits:
-        word ^= word << shift
-        shift <<= 1
-    return word & ((1 << bits) - 1)
+        word = (word ^ (word << shift)) & mask
+        shift *= 2
+    return word & mask
 
 
 def escaped_positions(backslashes: int, carry: int, bits: int = WORD_BITS) -> tuple[int, int]:
@@ -184,8 +185,8 @@ def escaped_positions(backslashes: int, carry: int, bits: int = WORD_BITS) -> tu
     even_bits = EVEN_BITS
     width = 64
     while width < bits:
-        even_bits |= even_bits << width
-        width <<= 1
+        even_bits = (even_bits | (even_bits << width)) & mask
+        width *= 2
     even_bits &= mask
     odd_bits = ~even_bits & mask
 
@@ -203,6 +204,8 @@ def escaped_positions(backslashes: int, carry: int, bits: int = WORD_BITS) -> tu
     # position *after* the run; the parity of that landing position versus
     # the start classification reveals the run-length parity.
     even_carries = (bs + even_starts) & mask
+    # repro: ignore[RS001] -- the overflow bit at position `bits` IS the
+    # carry-out (read via '>> bits' below); odd_carries re-masks the sum.
     odd_sum = bs + odd_starts
     carry_out = int(odd_sum >> bits)
     odd_carries = (odd_sum | carry) & mask

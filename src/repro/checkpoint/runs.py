@@ -36,7 +36,12 @@ from dataclasses import dataclass, replace
 from typing import Any, Callable
 
 from repro.checkpoint.store import CheckpointStore, as_store, fingerprint
-from repro.errors import CheckpointError, DeadlineExceededError, ReproError
+from repro.errors import (
+    CheckpointError,
+    ConfigurationError,
+    DeadlineExceededError,
+    ReproError,
+)
 
 #: ``kind`` tags distinguishing checkpoint flavours; resuming a run with
 #: a checkpoint of a different kind is an error, not a silent restart.
@@ -274,7 +279,7 @@ def checkpointed_recovery(
     from repro.resilience.recovery import RecordFailure, RecoveryResult
 
     if checkpoint_every < 1:
-        raise ValueError("checkpoint_every must be at least 1")
+        raise ConfigurationError("checkpoint_every must be at least 1")
     if query is None:
         # Engines keep their parsed Path; record its canonical text so a
         # resume against a different query is rejected, not silently mixed.
@@ -362,7 +367,7 @@ def checkpointed_pool(
     from repro.resilience.recovery import RecordFailure
 
     if checkpoint_every < 1:
-        raise ValueError("checkpoint_every must be at least 1")
+        raise ConfigurationError("checkpoint_every must be at least 1")
     ck = _Checkpointer(
         POOL_KIND, as_store(checkpoint), stream, query, emitter, metrics, resume
     )

@@ -32,7 +32,7 @@ import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, ConfigurationError
 
 #: First line of every checkpoint file.
 MAGIC = "repro-ckpt"
@@ -94,7 +94,7 @@ class CheckpointStore:
 
     def __init__(self, path: str | Path, keep: int = DEFAULT_KEEP) -> None:
         if keep < 1:
-            raise ValueError("keep must be at least 1")
+            raise ConfigurationError("keep must be at least 1")
         self.base = Path(path)
         self.keep = keep
         #: ``(path, reason)`` pairs for generations skipped as invalid by

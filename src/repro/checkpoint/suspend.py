@@ -37,7 +37,7 @@ matches (see docs/robustness.md for what is and is not checkpointed).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.bits.classify import CharClass
 from repro.bits.index import DEFAULT_CHUNK_SIZE
@@ -45,7 +45,12 @@ from repro.checkpoint.store import fingerprint
 from repro.engine.fastforward import FastForwarder
 from repro.engine.names import decode_name
 from repro.engine.output import MatchList
-from repro.errors import CheckpointError, JsonSyntaxError, UnsupportedQueryError
+from repro.errors import (
+    CheckpointError,
+    InvariantError,
+    JsonSyntaxError,
+    UnsupportedQueryError,
+)
 from repro.query.automaton import ACCEPT, ALIVE, QueryAutomaton, compile_query
 from repro.resilience.guards import Limits, effective_limits
 from repro.stream.buffer import StreamBuffer
@@ -369,7 +374,7 @@ class SuspendableRun:
 
     def _fill(self, slot: int, vstart: int, vend: int) -> None:
         if self._matches[slot] is not None:
-            raise ValueError(f"slot {slot} already filled")
+            raise InvariantError(f"slot {slot} already filled")
         self._matches[slot] = [vstart, vend]
 
     def _skip_value(self, vstart: int, vbyte: int, in_object: bool) -> int:

@@ -23,10 +23,10 @@ import json
 from typing import Any
 
 from repro.engine.base import EngineBase
+from repro.errors import InvariantError
 from repro.engine.output import MatchList
 from repro.jsonpath.ast import Filter, Path, WildcardIndex
 from repro.jsonpath.filter import And, Comparison, Exists, FilterExpr, Not, Or, RelPath
-from repro.jsonpath.ast import Child, Index
 
 
 class SlicePredicate:
@@ -38,8 +38,9 @@ class SlicePredicate:
     ``@``-path (the element itself) falls back to ``json.loads``.
     """
 
-    def __init__(self, expr: FilterExpr) -> None:
+    def __init__(self, expr: FilterExpr, limits: Any = None) -> None:
         self.expr = expr
+        self.limits = limits
         self._engines: dict[RelPath, Any] = {}
         self._collect(expr)
 
@@ -49,7 +50,10 @@ class SlicePredicate:
             if path.steps and path not in self._engines:
                 from repro.engine.jsonski import JsonSki
 
-                self._engines[path] = JsonSki(Path(tuple(path.steps)))
+                # Predicate sub-engines inherit the caller's resource
+                # guards: a depth bomb inside a candidate slice must hit
+                # the same max_depth as the outer scan.
+                self._engines[path] = JsonSki(Path(tuple(path.steps)), limits=self.limits)
         elif isinstance(expr, Not):
             self._collect(expr.operand)
         elif isinstance(expr, (And, Or)):
@@ -87,9 +91,11 @@ class SlicePredicate:
             return self._eval(expr.left, slice_) and self._eval(expr.right, slice_)
         if isinstance(expr, Or):
             return self._eval(expr.left, slice_) or self._eval(expr.right, slice_)
-        raise TypeError(f"unknown filter node {expr!r}")  # pragma: no cover
+        raise InvariantError(f"unknown filter node {expr!r}")  # pragma: no cover
 
 
+# repro: ignore[RS007] -- internal composition engine: JsonSki's constructor
+# dispatches filter paths here; it is not separately user-selectable.
 class FilteredJsonSki(EngineBase):
     """Streaming evaluation of a path containing filter steps."""
 
@@ -103,7 +109,7 @@ class FilteredJsonSki(EngineBase):
         self.path = path
         self._engine_kwargs = engine_kwargs
         self.outer = JsonSki(outer_path, **engine_kwargs)
-        self.predicate = SlicePredicate(filter_step.expr)
+        self.predicate = SlicePredicate(filter_step.expr, limits=engine_kwargs.get("limits"))
         # The inner remainder may itself contain filters; JsonSki's
         # constructor dispatches back here in that case.
         self.inner = JsonSki(Path(inner_steps), **engine_kwargs) if inner_steps else None

@@ -16,6 +16,8 @@ import json
 from dataclasses import dataclass
 from typing import Any, Iterator
 
+from repro.errors import InvariantError
+
 
 def _decode(text: bytes) -> Any:
     try:
@@ -80,13 +82,13 @@ class MatchList:
     def fill(self, slot: int, source: bytes, start: int, end: int) -> None:
         """Fill a slot created by :meth:`reserve`."""
         if self._matches[slot] is not None:
-            raise ValueError(f"slot {slot} already filled")
+            raise InvariantError(f"slot {slot} already filled")
         self._matches[slot] = (source, start, end)
 
     def _entry(self, i: int) -> tuple[bytes, int, int]:
         entry = self._matches[i]
         if entry is None:
-            raise ValueError(f"match slot {i} was reserved but never filled")
+            raise InvariantError(f"match slot {i} was reserved but never filled")
         return entry
 
     def __len__(self) -> int:

@@ -6,6 +6,8 @@ catch everything from this package with a single ``except`` clause.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this package."""
@@ -84,6 +86,26 @@ class DepthLimitError(ResourceLimitError):
         self.depth = depth
 
 
+class ConfigurationError(ReproError, ValueError):
+    """A caller supplied an invalid configuration value.
+
+    Raised when an argument fails validation before any work starts
+    (``keep < 1``, ``checkpoint_every < 1``, ``n_parts <= 0``).  Also a
+    :class:`ValueError` so historical ``except ValueError`` callers keep
+    working; new code should catch :class:`ReproError`.
+    """
+
+
+class InvariantError(ReproError, ValueError):
+    """An internal consistency invariant was violated.
+
+    Indicates a bug in this package (a match slot filled twice, an
+    unknown AST node reached an exhaustive dispatch), not bad input.
+    Also a :class:`ValueError` for backward compatibility with callers
+    that caught the previous bare raises.
+    """
+
+
 class CheckpointError(ReproError):
     """A checkpoint could not be used.
 
@@ -112,7 +134,7 @@ class DeadlineExceededError(ResourceLimitError):
         self.position = position
 
 
-def _iter_chars(data: bytes, lo: int, hi: int):
+def _iter_chars(data: bytes, lo: int, hi: int) -> Iterator[tuple[int, str]]:
     """Yield ``(byte_start, char)`` over ``data[lo:hi]``, decoding UTF-8
     one character at a time so byte offsets map exactly onto rendered
     characters (undecodable bytes render as one char each)."""

@@ -203,7 +203,7 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
     for proc in processes:
         try:
             proc.terminate()
-        except Exception:
+        except OSError:  # already-dead process: nothing left to kill
             pass
     pool.shutdown(wait=False, cancel_futures=True)
 

@@ -1,0 +1,7 @@
+"""Module entry point: ``python -m repro.staticcheck [paths]``."""
+
+import sys
+
+from repro.staticcheck.cli import main
+
+sys.exit(main())

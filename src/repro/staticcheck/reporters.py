@@ -1,0 +1,46 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.staticcheck.core import RULE_REGISTRY, Finding
+
+
+def render_text(findings: list[Finding]) -> str:
+    """One ``path:line:col: CODE message`` line per finding + summary."""
+    lines = [finding.render() for finding in findings]
+    if findings:
+        by_rule: dict[str, int] = {}
+        for finding in findings:
+            by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+        breakdown = ", ".join(f"{code}: {count}" for code, count in sorted(by_rule.items()))
+        lines.append("")
+        lines.append(f"{len(findings)} finding{'s' if len(findings) != 1 else ''} ({breakdown})")
+    else:
+        lines.append("staticcheck: clean")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding]) -> str:
+    """JSON document: findings plus the rule catalogue (stable schema)."""
+    return json.dumps(
+        {
+            "findings": [
+                {
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "line": finding.line,
+                    "col": finding.col,
+                    "message": finding.message,
+                }
+                for finding in findings
+            ],
+            "rules": {
+                code: {"name": cls.name, "summary": cls.summary}
+                for code, cls in sorted(RULE_REGISTRY.items())
+            },
+            "count": len(findings),
+        },
+        indent=2,
+    )

@@ -1,0 +1,634 @@
+"""The seven engine-contract rules (RS001-RS007).
+
+Each rule is documented in ``docs/static-analysis.md`` with its
+rationale and the exact exemptions it grants; the docstrings here are
+the normative short form.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterable
+
+from repro.staticcheck.core import (
+    FileContext,
+    Project,
+    Rule,
+    register_rule,
+)
+
+_BITWISE_BINOPS = (ast.LShift, ast.RShift, ast.BitAnd, ast.BitOr, ast.BitXor)
+
+#: repro.bits.words helpers whose return value is a word/bitmap.
+_BITMAP_HELPERS = frozenset({
+    "lowest_bit",
+    "clear_lowest_bit",
+    "mask_up_to",
+    "mask_from",
+    "interval_between",
+    "prefix_xor",
+})
+
+
+def _is_int_literal(node: ast.AST, value: int | None = None) -> bool:
+    if not (isinstance(node, ast.Constant) and type(node.value) is int):
+        return False
+    return value is None or node.value == value
+
+
+def _has_bitand_ancestor(node: ast.AST, ctx: FileContext) -> bool:
+    """Whether the expression's value flows through an ``&`` before it
+    leaves the enclosing statement (``&`` with any operand clamps a
+    non-negative word back into range; ``&`` with ``~x`` keeps the other
+    operand's bound)."""
+    current = node
+    for anc in ctx.ancestors(node):
+        if isinstance(anc, ast.stmt):
+            return isinstance(anc, ast.AugAssign) and isinstance(anc.op, ast.BitAnd)
+        if isinstance(anc, ast.BinOp) and isinstance(anc.op, ast.BitAnd):
+            return True
+        if isinstance(anc, ast.Call) and current in anc.args:
+            # The value escapes into a call — stop scanning; the callee
+            # is responsible for its own clamping.
+            return False
+        current = anc
+    return False
+
+
+def _is_single_bit_expr(node: ast.AST, ctx: FileContext, scope: ast.AST,
+                        _depth: int = 0) -> bool:
+    """``1 << n`` or a name only ever bound to such expressions."""
+    if _depth > 4:
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.LShift):
+        return _is_int_literal(node.left)
+    if isinstance(node, ast.Name):
+        bindings = ctx.bindings(scope).get(node.id)
+        if bindings:
+            return all(
+                _is_single_bit_expr(value, ctx, scope, _depth + 1)
+                for value in bindings
+            )
+    if isinstance(node, ast.IfExp):
+        return all(
+            _is_single_bit_expr(branch, ctx, scope, _depth + 1)
+            for branch in (node.body, node.orelse)
+        )
+    return False
+
+
+def _is_word_like(node: ast.AST, ctx: FileContext, scope: ast.AST,
+                  _seen: frozenset[str] = frozenset(), _depth: int = 0) -> bool:
+    """Heuristic taint: could this expression hold a word/bitmap value?
+
+    True for bitwise operations, calls to the known bitmap helpers of
+    :mod:`repro.bits.words`, and names bound (flow-insensitively, in the
+    enclosing scope) to either.  Parameters and plain arithmetic stay
+    untainted — positions and counters are not words.
+    """
+    if _depth > 6:
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _BITWISE_BINOPS):
+        # Bitwise ops over comparison results are numpy boolean-mask
+        # algebra ((a == 0) & flag), not word arithmetic.
+        if isinstance(node.left, ast.Compare) or isinstance(node.right, ast.Compare):
+            return False
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Invert):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _BITMAP_HELPERS
+    if isinstance(node, ast.Name) and node.id not in _seen:
+        bindings = ctx.bindings(scope).get(node.id, ())
+        return any(
+            _is_word_like(value, ctx, scope, _seen | {node.id}, _depth + 1)
+            for value in bindings
+        )
+    return False
+
+
+@register_rule
+class UnmaskedWordArithmetic(Rule):
+    """RS001: word arithmetic in ``repro/bits/`` must clamp to the word.
+
+    Python ints are unbounded; the paper's Algorithm-3 tricks assume
+    fixed 64-bit words.  ``~``, ``<<`` (non-constant shiftee), and
+    ``+``/``-`` on word-tainted values must flow through an ``&`` before
+    the end of the statement.  Exemptions: ``1 << n`` single-bit/mask
+    construction, ``x - 1`` where ``x`` is a single bit (the borrow
+    cannot underflow), ``~m`` used directly as a subscript index (numpy
+    boolean masking, fixed-width by construction).
+    """
+
+    code = "RS001"
+    name = "unmasked-word-arithmetic"
+    summary = "bit-parallel arithmetic not clamped with '& WORD_MASK'"
+    node_types = (ast.BinOp, ast.UnaryOp, ast.AugAssign)
+
+    def visit(self, node: ast.AST, ctx: FileContext, project: Project) -> None:
+        if not ctx.in_packages("bits"):
+            return
+        scope = ctx.enclosing_scope(node)
+        if isinstance(node, ast.UnaryOp):
+            self._check_unary(node, ctx, project, scope)
+        elif isinstance(node, ast.BinOp):
+            self._check_binop(node, ctx, project, scope)
+        else:
+            self._check_augassign(node, ctx, project, scope)
+
+    def _check_unary(self, node: ast.UnaryOp, ctx: FileContext,
+                     project: Project, scope: ast.AST) -> None:
+        if isinstance(node.op, ast.Invert):
+            parent = ctx.parent(node)
+            if isinstance(parent, ast.Subscript) and parent.slice is node:
+                return  # numpy boolean-mask indexing
+            if not _has_bitand_ancestor(node, ctx):
+                project.add(self, ctx, node,
+                            "'~' result is negative in unbounded Python ints; "
+                            "clamp with '& WORD_MASK' (or the chunk mask)")
+        elif isinstance(node.op, ast.USub):
+            if _is_word_like(node.operand, ctx, scope) and \
+                    not _has_bitand_ancestor(node, ctx):
+                project.add(self, ctx, node,
+                            "unary '-' on a word value yields a negative int; "
+                            "use it only inside an '&' clamp")
+
+    def _check_binop(self, node: ast.BinOp, ctx: FileContext,
+                     project: Project, scope: ast.AST) -> None:
+        if isinstance(node.op, ast.LShift):
+            if _is_int_literal(node.left):
+                return  # 1 << n: single-bit / constant construction
+            if not _has_bitand_ancestor(node, ctx):
+                project.add(self, ctx, node,
+                            "'<<' can carry set bits past the word width; "
+                            "clamp the result with '& WORD_MASK'")
+        elif isinstance(node.op, (ast.Add, ast.Sub)):
+            if not (_is_word_like(node.left, ctx, scope)
+                    or _is_word_like(node.right, ctx, scope)):
+                return
+            if _has_bitand_ancestor(node, ctx):
+                return
+            if isinstance(node.op, ast.Sub) and _is_int_literal(node.right, 1) and (
+                _is_single_bit_expr(node.left, ctx, scope)
+            ):
+                return  # (1 << n) - 1 / b - 1 mask construction: b >= 1
+            kind = "+" if isinstance(node.op, ast.Add) else "-"
+            project.add(self, ctx, node,
+                        f"'{kind}' on word values can overflow/underflow the "
+                        "64-bit word; clamp with '& WORD_MASK'")
+
+    def _check_augassign(self, node: ast.AugAssign, ctx: FileContext,
+                         project: Project, scope: ast.AST) -> None:
+        if isinstance(node.op, ast.LShift):
+            project.add(self, ctx, node,
+                        "'<<=' cannot be clamped in place; write the masked "
+                        "form 'x = (x << n) & WORD_MASK' (counters: 'x *= 2')")
+        elif isinstance(node.op, (ast.Add, ast.Sub)):
+            if _is_word_like(node.target, ctx, scope) or \
+                    _is_word_like(node.value, ctx, scope):
+                kind = "+=" if isinstance(node.op, ast.Add) else "-="
+                project.add(self, ctx, node,
+                            f"'{kind}' on a word value cannot be clamped in "
+                            "place; write the masked explicit form")
+
+
+#: Raise targets that are always acceptable: abstract-method guards and
+#: iteration-protocol signals.
+_ALLOWED_BUILTIN_RAISES = frozenset({
+    "NotImplementedError", "StopIteration", "StopAsyncIteration",
+})
+
+_BUILTIN_EXCEPTIONS = frozenset(
+    name for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException)
+)
+
+
+@register_rule
+class RaiseTaxonomy(Rule):
+    """RS002: engine/resilience/checkpoint/stream code raises only the
+    :mod:`repro.errors` hierarchy.
+
+    A bare ``ValueError`` from deep inside an engine is indistinguishable
+    from a data bug to callers that catch ``ReproError``; the error
+    surface is part of the API.  Private module-local control-flow
+    exceptions (``_Suspend``) and abstract-method
+    ``NotImplementedError`` are exempt.
+    """
+
+    code = "RS002"
+    name = "raise-taxonomy"
+    summary = "builtin exception raised where repro.errors is required"
+    node_types = (ast.Raise,)
+
+    def visit(self, node: ast.AST, ctx: FileContext, project: Project) -> None:
+        assert isinstance(node, ast.Raise)
+        if not ctx.in_packages("engine", "resilience", "checkpoint", "stream"):
+            return
+        exc = node.exc
+        if exc is None:
+            return  # bare re-raise
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if not isinstance(exc, ast.Name):
+            return  # attribute raises (errors.X) and exotic forms pass
+        name = exc.id
+        if name.startswith("_"):
+            return  # private module-local control-flow exception
+        if name in _ALLOWED_BUILTIN_RAISES:
+            return
+        if name in _BUILTIN_EXCEPTIONS:
+            project.add(self, ctx, node,
+                        f"raises builtin {name}; raise a repro.errors class "
+                        "(subclass the builtin for compatibility if needed)")
+
+
+def _call_name(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _accepts_keyword(args: ast.arguments, name: str) -> bool:
+    if args.kwarg is not None:
+        return True
+    return any(arg.arg == name for arg in [*args.args, *args.kwonlyargs])
+
+
+def _is_abstract_method(node: ast.FunctionDef) -> bool:
+    """Body is (docstring +) a single ``raise NotImplementedError``."""
+    body = node.body
+    if body and isinstance(body[0], ast.Expr) and isinstance(body[0].value, ast.Constant):
+        body = body[1:]
+    if len(body) != 1 or not isinstance(body[0], ast.Raise):
+        return False
+    exc = body[0].exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    return isinstance(exc, ast.Name) and exc.id == "NotImplementedError"
+
+
+def _is_engine_class(node: ast.ClassDef) -> bool:
+    """Public class subclassing EngineBase, or duck-typed with both
+    ``run`` and ``run_records`` (the multi-query engine).  An abstract
+    base whose own ``run`` merely raises NotImplementedError is not an
+    engine."""
+    if node.name.startswith("_"):
+        return False
+    methods = {
+        item.name: item for item in node.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    run = methods.get("run")
+    if run is not None and isinstance(run, ast.FunctionDef) and _is_abstract_method(run):
+        return False
+    for base in node.bases:
+        base_name = base.id if isinstance(base, ast.Name) else (
+            base.attr if isinstance(base, ast.Attribute) else None
+        )
+        if base_name == "EngineBase":
+            return True
+    return "run" in methods and "run_records" in methods
+
+
+@register_rule
+class LimitsThreading(Rule):
+    """RS003: engines accept ``limits=`` and forward it to nested engines.
+
+    Resource guards only work if every nested scan inherits them: an
+    engine that builds a sub-engine without ``limits=`` opens an
+    unguarded path (a depth bomb inside a filter candidate would bypass
+    ``max_depth``).  Checked in ``repro/engine/`` and
+    ``repro/baselines/``: every public engine class's ``__init__`` must
+    accept ``limits`` (directly or via ``**kwargs``), and every call to
+    an engine constructor must pass ``limits=`` or forward ``**kwargs``.
+    """
+
+    code = "RS003"
+    name = "limits-threading"
+    summary = "'limits=' not accepted or not forwarded to a nested engine"
+    node_types = (ast.ClassDef, ast.Call)
+
+    def __init__(self) -> None:
+        self._engine_classes: set[str] = set()
+        self._calls: list[tuple[str, ast.Call, bool]] = []
+        self._missing_init: list[tuple[str, ast.ClassDef]] = []
+
+    def visit(self, node: ast.AST, ctx: FileContext, project: Project) -> None:
+        if not ctx.in_packages("engine", "baselines"):
+            return
+        if isinstance(node, ast.ClassDef):
+            if not _is_engine_class(node):
+                return
+            self._engine_classes.add(node.name)
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef) and item.name == "__init__":
+                    if not _accepts_keyword(item.args, "limits"):
+                        self._missing_init.append((ctx.path, node))
+                    break
+        else:
+            assert isinstance(node, ast.Call)
+            name = _call_name(node)
+            if name is None:
+                return
+            threads = (
+                any(kw.arg == "limits" or kw.arg is None for kw in node.keywords)
+            )
+            self._calls.append((ctx.path, node, threads))
+
+    def end_project(self, project: Project) -> None:
+        for path, class_node in self._missing_init:
+            project.add(self, path, class_node,
+                        f"engine class {class_node.name} does not accept "
+                        "'limits=' in __init__ (add the parameter or **kwargs)",
+                        col=class_node.col_offset)
+        for path, call, threads in self._calls:
+            name = _call_name(call)
+            if name in self._engine_classes and not threads:
+                project.add(self, path, call,
+                            f"call to engine constructor {name}(...) does not "
+                            "forward 'limits=' (pass limits= or **kwargs)",
+                            col=call.col_offset)
+
+
+#: Annotation names that compose to JSON.
+_JSON_ATOMS = frozenset({"int", "str", "float", "bool", "None", "NoneType",
+                         "dict", "list", "tuple", "object"})
+_JSON_CONTAINERS = frozenset({"list", "dict", "tuple", "Optional", "Union"})
+
+
+def _annotation_is_jsonable(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        # string annotations ('list[int]') and bare None
+        if node.value is None:
+            return True
+        if isinstance(node.value, str):
+            try:
+                return _annotation_is_jsonable(
+                    ast.parse(node.value, mode="eval").body
+                )
+            except SyntaxError:
+                return False
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in _JSON_ATOMS
+    if isinstance(node, ast.Attribute):
+        return node.attr in _JSON_ATOMS
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return _annotation_is_jsonable(node.left) and _annotation_is_jsonable(node.right)
+    if isinstance(node, ast.Subscript):
+        base = node.value
+        base_name = base.id if isinstance(base, ast.Name) else (
+            base.attr if isinstance(base, ast.Attribute) else None
+        )
+        if base_name not in _JSON_CONTAINERS:
+            return False
+        inner = node.slice
+        elements = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+        return all(_annotation_is_jsonable(el) for el in elements)
+    return False
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = target.id if isinstance(target, ast.Name) else (
+            target.attr if isinstance(target, ast.Attribute) else None
+        )
+        if name == "dataclass":
+            return True
+    return False
+
+
+@register_rule
+class CheckpointSerializable(Rule):
+    """RS004: checkpoint-payload classes hold only JSON-composable state.
+
+    A field that is not built from ``int/str/float/bool/None`` and
+    ``list/dict/tuple`` thereof either crashes ``json.dumps`` at save
+    time or — worse — round-trips as a different type and corrupts a
+    resume.  Applies to dataclasses in ``repro/checkpoint/`` that define
+    ``to_dict`` (the serialization marker).
+    """
+
+    code = "RS004"
+    name = "checkpoint-serializable"
+    summary = "non-JSON-serializable field on a checkpoint payload class"
+    node_types = (ast.ClassDef,)
+
+    def visit(self, node: ast.AST, ctx: FileContext, project: Project) -> None:
+        assert isinstance(node, ast.ClassDef)
+        if not ctx.in_packages("checkpoint"):
+            return
+        if not _is_dataclass(node):
+            return
+        methods = {
+            item.name for item in node.body if isinstance(item, ast.FunctionDef)
+        }
+        if "to_dict" not in methods:
+            return
+        for item in node.body:
+            if not isinstance(item, ast.AnnAssign):
+                continue
+            if not _annotation_is_jsonable(item.annotation):
+                rendered = ast.unparse(item.annotation)
+                project.add(self, ctx, item,
+                            f"field annotated {rendered!r} is not "
+                            "JSON-primitive-composable; checkpoint payloads "
+                            "must survive json.dumps/json.loads unchanged")
+
+
+#: module.attr call patterns that are nondeterministic.
+_NONDET_CALLS = {
+    "time": {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+             "perf_counter_ns"},
+    "datetime": {"now", "utcnow", "today"},
+    "os": {"urandom", "getrandom"},
+    "uuid": {"uuid1", "uuid4"},
+    "secrets": None,  # every secrets.* call
+}
+
+
+@register_rule
+class DeterministicResume(Rule):
+    """RS005: checkpoint/resume and differential-fuzz paths are
+    deterministic.
+
+    Kill-resume equivalence and fuzz reproducibility both assert
+    bit-identical behaviour across process restarts; a ``time.time()``
+    in a payload or an unseeded RNG in a mutator silently breaks them.
+    Applies to ``repro/checkpoint/`` and ``repro/resilience/fuzz.py``.
+    Seeded ``random.Random(seed)`` instances are the sanctioned
+    randomness; wall-clock reads belong in injected clocks.
+    """
+
+    code = "RS005"
+    name = "deterministic-resume"
+    summary = "nondeterminism (clock/RNG/set order) on a determinism-critical path"
+    node_types = (ast.Call, ast.For, ast.comprehension)
+
+    def _in_scope(self, ctx: FileContext) -> bool:
+        if ctx.in_packages("checkpoint"):
+            return True
+        return ctx.in_packages("resilience") and ctx.module_name == "fuzz"
+
+    def visit(self, node: ast.AST, ctx: FileContext, project: Project) -> None:
+        if not self._in_scope(ctx):
+            return
+        if isinstance(node, ast.Call):
+            self._check_call(node, ctx, project)
+        elif isinstance(node, ast.For):
+            self._check_iterable(node.iter, ctx, project)
+        else:
+            assert isinstance(node, ast.comprehension)
+            self._check_iterable(node.iter, ctx, project)
+
+    def _check_call(self, node: ast.Call, ctx: FileContext, project: Project) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name)):
+            return
+        module, attr = func.value.id, func.attr
+        if module == "random":
+            if attr in {"Random", "SystemRandom"}:
+                if attr == "SystemRandom" or not (node.args or node.keywords):
+                    project.add(self, ctx, node,
+                                f"random.{attr}() without a seed is "
+                                "nondeterministic; pass an explicit seed")
+            else:
+                project.add(self, ctx, node,
+                            f"module-level random.{attr}() uses global hidden "
+                            "state; use a seeded random.Random instance")
+            return
+        wanted = _NONDET_CALLS.get(module)
+        if wanted is None and module in _NONDET_CALLS:
+            project.add(self, ctx, node,
+                        f"{module}.{attr}() is nondeterministic by design and "
+                        "breaks kill-resume equivalence")
+        elif wanted is not None and attr in wanted:
+            project.add(self, ctx, node,
+                        f"{module}.{attr}() reads ambient state; inject a "
+                        "clock/seed so resume replays identically")
+
+    def _check_iterable(self, node: ast.expr, ctx: FileContext,
+                        project: Project) -> None:
+        is_set = isinstance(node, ast.Set) or (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in {"set", "frozenset"}
+        )
+        if is_set:
+            project.add(self, ctx, node,
+                        "iteration over a set has hash-order semantics; sort "
+                        "first (sorted(...)) on determinism-critical paths")
+
+
+_RECORDING_NAMES = frozenset({
+    "log", "debug", "info", "warning", "warn", "error", "exception",
+    "critical", "record", "count", "inc", "increment", "add", "observe",
+    "note", "quarantine", "append", "skipped", "print",
+})
+
+
+@register_rule
+class ExceptionSwallow(Rule):
+    """RS006: no bare/overbroad ``except`` that swallows silently.
+
+    ``except Exception: pass`` hides engine bugs as data errors.  A
+    broad handler must re-raise, use the bound exception object, or
+    record the event (logger/metric call); otherwise narrow the type.
+    """
+
+    code = "RS006"
+    name = "exception-swallow"
+    summary = "broad except clause swallows the error without recording it"
+    node_types = (ast.ExceptHandler,)
+
+    def visit(self, node: ast.AST, ctx: FileContext, project: Project) -> None:
+        assert isinstance(node, ast.ExceptHandler)
+        if not self._is_broad(node.type):
+            return
+        if self._handler_accounts_for_error(node):
+            return
+        label = "bare 'except:'" if node.type is None else \
+            f"'except {ast.unparse(node.type)}:'"
+        project.add(self, ctx, node,
+                    f"{label} swallows the error: re-raise, use the bound "
+                    "exception, record a metric/log, or narrow the type")
+
+    @staticmethod
+    def _is_broad(type_node: ast.expr | None) -> bool:
+        if type_node is None:
+            return True
+        candidates: Iterable[ast.expr] = (
+            type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+        )
+        for candidate in candidates:
+            name = candidate.id if isinstance(candidate, ast.Name) else (
+                candidate.attr if isinstance(candidate, ast.Attribute) else None
+            )
+            if name in {"Exception", "BaseException"}:
+                return True
+        return False
+
+    @staticmethod
+    def _handler_accounts_for_error(node: ast.ExceptHandler) -> bool:
+        bound = node.name
+        for child in node.body:
+            for sub in ast.walk(child):
+                if isinstance(sub, ast.Raise):
+                    return True
+                if bound and isinstance(sub, ast.Name) and sub.id == bound:
+                    return True
+                if isinstance(sub, ast.Call):
+                    name = _call_name(sub)
+                    if name in _RECORDING_NAMES:
+                        return True
+        return False
+
+
+@register_rule
+class RegistryCompleteness(Rule):
+    """RS007: every engine class is registered with an ``EngineInfo``.
+
+    The registry is the single source of capability truth: CLI, harness
+    and cross-check only see registered engines.  An engine class that
+    never appears inside an ``EngineInfo(...)`` registration is dark
+    machinery — register it or suppress with the reason it is internal.
+    """
+
+    code = "RS007"
+    name = "registry-completeness"
+    summary = "engine class never registered via EngineInfo"
+    node_types = (ast.ClassDef, ast.Call)
+
+    def __init__(self) -> None:
+        self._engine_classes: list[tuple[str, ast.ClassDef]] = []
+        self._registered: set[str] = set()
+
+    def visit(self, node: ast.AST, ctx: FileContext, project: Project) -> None:
+        if isinstance(node, ast.ClassDef):
+            if ctx.in_packages("engine", "baselines") and _is_engine_class(node):
+                self._engine_classes.append((ctx.path, node))
+        else:
+            assert isinstance(node, ast.Call)
+            if _call_name(node) == "EngineInfo":
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Name):
+                        self._registered.add(sub.id)
+
+    def end_project(self, project: Project) -> None:
+        for path, class_node in self._engine_classes:
+            if class_node.name not in self._registered:
+                project.add(self, path, class_node,
+                            f"engine class {class_node.name} is not registered "
+                            "in any EngineInfo(...); register it (with "
+                            "capability flags) or justify why it is internal",
+                            col=class_node.col_offset)

@@ -14,6 +14,8 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.errors import ConfigurationError
+
 
 @dataclass
 class RecordStream:
@@ -176,7 +178,7 @@ class RecordStream:
         ``n_parts`` sub-streams sharing the payload — the unit of work one
         virtual worker gets in the Figure 12 scenario."""
         if n_parts <= 0:
-            raise ValueError("n_parts must be positive")
+            raise ConfigurationError("n_parts must be positive")
         bounds = np.linspace(0, len(self), n_parts + 1).astype(np.int64)
         return [
             RecordStream(self.payload, self.offsets[bounds[i] : bounds[i + 1]])

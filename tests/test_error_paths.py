@@ -76,3 +76,37 @@ class TestStreamBoundaries:
     def test_clean_concatenated_ok(self):
         stream = RecordStream.from_concatenated(b'{"a": 1} [2]')
         assert [bytes(r) for r in stream] == [b'{"a": 1}', b"[2]"]
+
+
+class TestErrorTaxonomy:
+    # The raise-taxonomy rule (RS002) retyped former bare ValueErrors;
+    # both new classes stay catchable as ValueError for old callers.
+    def test_configuration_error_is_repro_and_value_error(self):
+        from repro.errors import ConfigurationError
+
+        assert issubclass(ConfigurationError, ReproError)
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_invariant_error_is_repro_and_value_error(self):
+        from repro.errors import InvariantError
+
+        assert issubclass(InvariantError, ReproError)
+        assert issubclass(InvariantError, ValueError)
+
+    def test_bad_checkpoint_every_is_configuration_error(self, tmp_path):
+        from repro.checkpoint.runs import checkpointed_recovery
+        from repro.errors import ConfigurationError
+
+        stream = RecordStream.from_concatenated(b"[1]")
+        with pytest.raises(ConfigurationError):
+            checkpointed_recovery(
+                repro.JsonSki("$[*]"), stream,
+                checkpoint=str(tmp_path), checkpoint_every=0,
+            )
+
+    def test_bad_n_parts_is_configuration_error(self):
+        from repro.errors import ConfigurationError
+
+        stream = RecordStream.from_concatenated(b"{}")
+        with pytest.raises(ConfigurationError):
+            stream.partitions(0)

@@ -7,7 +7,7 @@ import json
 import pytest
 
 import repro
-from repro.engine.filtered import FilteredJsonSki, SlicePredicate
+from repro.engine.filtered import SlicePredicate
 from repro.jsonpath.parser import parse_path
 from repro.reference import evaluate_bytes
 
@@ -95,3 +95,33 @@ class TestFilterEdgeValues:
         }).encode()
         q = "$.groups[0,1].members[?(@.age >= 40)].age"
         assert repro.JsonSki(q).run(doc).values() == evaluate_bytes(q, doc) == [40, 50]
+
+
+class TestPredicateLimitsThreading:
+    # A predicate @-path that descends 12 levels inside each candidate;
+    # the depth guard must apply to the predicate's sub-engine scan, not
+    # only to the outer wildcard pass.
+    DEEP_QUERY = "$.items[?(@.v" + ".a" * 12 + ")].name"
+    DEEP_DOC = (
+        '{"items": [{"v": %s, "name": "x"}]}' % ("{\"a\":" * 12 + "1" + "}" * 12)
+    ).encode()
+
+    def test_unlimited_predicate_descends(self):
+        assert repro.JsonSki(self.DEEP_QUERY).run(self.DEEP_DOC).values() == ["x"]
+
+    def test_limits_reach_predicate_sub_engines(self):
+        from repro.errors import DepthLimitError
+        from repro.resilience import Limits
+
+        engine = repro.JsonSki(self.DEEP_QUERY, limits=Limits(max_depth=6))
+        with pytest.raises(DepthLimitError):
+            engine.run(self.DEEP_DOC)
+
+    def test_predicate_stores_limits(self):
+        from repro.resilience import Limits
+
+        limits = Limits(max_depth=6)
+        engine = repro.JsonSki(self.DEEP_QUERY, limits=limits)
+        assert engine._delegate.predicate.limits is limits
+        for sub in engine._delegate.predicate._engines.values():
+            assert sub.limits is limits

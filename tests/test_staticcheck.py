@@ -1,0 +1,440 @@
+"""Fixture tests for the engine-contract checker (repro.staticcheck).
+
+Per rule: one minimal failing snippet, one passing snippet.  Plus the
+suppression machinery, the CLI surface, and the two meta-properties the
+CI gate depends on: the real tree is clean, and deleting the clamp from
+``repro.bits.words.mask_from`` trips RS001.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import check_paths, check_sources
+from repro.staticcheck.cli import main as cli_main
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: Synthetic paths that land each snippet in the right rule scope.
+BITS = "src/repro/bits/snippet.py"
+ENGINE = "src/repro/engine/snippet.py"
+CHECKPOINT = "src/repro/checkpoint/snippet.py"
+FUZZ = "src/repro/resilience/fuzz.py"
+ELSEWHERE = "src/repro/harness/snippet.py"
+
+
+def codes(findings):
+    return [finding.rule for finding in findings]
+
+
+def check_one(path, source, select=None):
+    return check_sources({path: source}, select=select)
+
+
+# ---------------------------------------------------------------------------
+# RS001 — unmasked word arithmetic in repro/bits/
+
+
+class TestRS001:
+    def test_unmasked_invert_fails(self):
+        findings = check_one(BITS, "def f(w):\n    return ~w\n")
+        assert codes(findings) == ["RS001"]
+        assert findings[0].line == 2
+
+    def test_clamped_invert_passes(self):
+        src = "M = (1 << 64) - 1\ndef f(w):\n    return M & ~w\n"
+        assert check_one(BITS, src) == []
+
+    def test_unmasked_shift_fails(self):
+        findings = check_one(BITS, "def f(w, n):\n    return w << n\n")
+        assert codes(findings) == ["RS001"]
+
+    def test_single_bit_shift_passes(self):
+        assert check_one(BITS, "def f(n):\n    return 1 << n\n") == []
+
+    def test_mask_idiom_passes(self):
+        assert check_one(BITS, "def f(n):\n    return (1 << n) - 1\n") == []
+
+    def test_single_bit_borrow_passes(self):
+        src = "def f(n):\n    b = 1 << n\n    return b ^ (b - 1)\n"
+        assert check_one(BITS, src) == []
+
+    def test_word_addition_fails(self):
+        src = "def f(a, m):\n    w = a & m\n    return w + w\n"
+        findings = check_one(BITS, src)
+        assert codes(findings) == ["RS001"]
+
+    def test_clamped_word_addition_passes(self):
+        src = "def f(a, m):\n    w = a & m\n    return (w + w) & m\n"
+        assert check_one(BITS, src) == []
+
+    def test_augmented_shift_fails(self):
+        findings = check_one(BITS, "def f(w):\n    w <<= 1\n    return w\n")
+        assert codes(findings) == ["RS001"]
+
+    def test_numpy_boolean_index_passes(self):
+        assert check_one(BITS, "def f(q, mask):\n    return q[~mask]\n") == []
+
+    def test_out_of_scope_file_passes(self):
+        assert check_one(ELSEWHERE, "def f(w):\n    return ~w\n") == []
+
+
+# ---------------------------------------------------------------------------
+# RS002 — raise taxonomy
+
+
+class TestRS002:
+    def test_builtin_raise_fails(self):
+        src = "def f():\n    raise ValueError('nope')\n"
+        assert codes(check_one(ENGINE, src)) == ["RS002"]
+
+    def test_repro_error_passes(self):
+        src = (
+            "from repro.errors import JsonSyntaxError\n"
+            "def f():\n    raise JsonSyntaxError('bad', 0)\n"
+        )
+        assert check_one(ENGINE, src) == []
+
+    def test_private_control_flow_exception_passes(self):
+        src = (
+            "class _Suspend(Exception):\n    pass\n"
+            "def f():\n    raise _Suspend\n"
+        )
+        assert check_one(ENGINE, src) == []
+
+    def test_not_implemented_passes(self):
+        src = "def f():\n    raise NotImplementedError\n"
+        assert check_one(ENGINE, src) == []
+
+    def test_out_of_scope_file_passes(self):
+        src = "def f():\n    raise ValueError('fine here')\n"
+        assert check_one(ELSEWHERE, src) == []
+
+
+# ---------------------------------------------------------------------------
+# RS003 — limits= threading
+
+
+ENGINE_CLASS_OK = """
+class EngineBase: pass
+class Thing(EngineBase):
+    def __init__(self, query, limits=None): pass
+"""
+
+ENGINE_CLASS_MISSING = """
+class EngineBase: pass
+class Thing(EngineBase):
+    def __init__(self, query): pass
+"""
+
+
+class TestRS003:
+    def test_init_without_limits_fails(self):
+        findings = check_one(ENGINE, ENGINE_CLASS_MISSING, select=["RS003"])
+        assert codes(findings) == ["RS003"]
+        assert "Thing" in findings[0].message
+
+    def test_init_with_limits_passes(self):
+        assert check_one(ENGINE, ENGINE_CLASS_OK, select=["RS003"]) == []
+
+    def test_init_with_kwargs_passes(self):
+        src = (
+            "class EngineBase: pass\n"
+            "class Thing(EngineBase):\n"
+            "    def __init__(self, query, **kw): pass\n"
+        )
+        assert check_one(ENGINE, src, select=["RS003"]) == []
+
+    def test_nested_call_without_limits_fails(self):
+        src = ENGINE_CLASS_OK + "def make():\n    return Thing('$.a')\n"
+        findings = check_one(ENGINE, src, select=["RS003"])
+        assert codes(findings) == ["RS003"]
+        assert "forward" in findings[0].message
+
+    def test_nested_call_with_limits_passes(self):
+        src = ENGINE_CLASS_OK + (
+            "def make(limits):\n    return Thing('$.a', limits=limits)\n"
+        )
+        assert check_one(ENGINE, src, select=["RS003"]) == []
+
+    def test_nested_call_with_kwargs_forwarding_passes(self):
+        src = ENGINE_CLASS_OK + "def make(**kw):\n    return Thing('$.a', **kw)\n"
+        assert check_one(ENGINE, src, select=["RS003"]) == []
+
+
+# ---------------------------------------------------------------------------
+# RS004 — checkpoint payload serializability
+
+
+class TestRS004:
+    def test_non_json_field_fails(self):
+        src = (
+            "from dataclasses import dataclass\n"
+            "from pathlib import Path\n"
+            "@dataclass\n"
+            "class State:\n"
+            "    where: Path\n"
+            "    def to_dict(self): return {}\n"
+        )
+        findings = check_one(CHECKPOINT, src)
+        assert codes(findings) == ["RS004"]
+        assert "Path" in findings[0].message
+
+    def test_json_composable_fields_pass(self):
+        src = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class State:\n"
+            "    pos: int\n"
+            "    label: str | None\n"
+            "    frames: list[dict]\n"
+            "    matches: list[list[int] | None]\n"
+            "    def to_dict(self): return {}\n"
+        )
+        assert check_one(CHECKPOINT, src) == []
+
+    def test_non_serialized_dataclass_ignored(self):
+        src = (
+            "from dataclasses import dataclass\n"
+            "from pathlib import Path\n"
+            "@dataclass\n"
+            "class ReadView:\n"
+            "    where: Path\n"
+        )
+        assert check_one(CHECKPOINT, src) == []
+
+
+# ---------------------------------------------------------------------------
+# RS005 — determinism on resume/fuzz paths
+
+
+class TestRS005:
+    def test_wall_clock_fails(self):
+        src = "import time\ndef f():\n    return time.time()\n"
+        assert codes(check_one(CHECKPOINT, src)) == ["RS005"]
+
+    def test_module_level_random_fails(self):
+        src = "import random\ndef f():\n    return random.random()\n"
+        assert codes(check_one(FUZZ, src)) == ["RS005"]
+
+    def test_seeded_rng_passes(self):
+        src = "import random\ndef f(seed):\n    return random.Random(seed)\n"
+        assert check_one(FUZZ, src) == []
+
+    def test_unseeded_rng_fails(self):
+        src = "import random\ndef f():\n    return random.Random()\n"
+        assert codes(check_one(FUZZ, src)) == ["RS005"]
+
+    def test_set_iteration_fails(self):
+        src = "def f(items):\n    for x in set(items):\n        yield x\n"
+        assert codes(check_one(CHECKPOINT, src)) == ["RS005"]
+
+    def test_sorted_iteration_passes(self):
+        src = "def f(items):\n    for x in sorted(set(items)):\n        yield x\n"
+        assert check_one(CHECKPOINT, src) == []
+
+    def test_out_of_scope_file_passes(self):
+        src = "import time\ndef f():\n    return time.time()\n"
+        assert check_one(ELSEWHERE, src) == []
+
+
+# ---------------------------------------------------------------------------
+# RS006 — exception swallowing
+
+
+class TestRS006:
+    def test_swallowing_broad_except_fails(self):
+        src = "def f():\n    try:\n        g()\n    except Exception:\n        pass\n"
+        assert codes(check_one(ELSEWHERE, src)) == ["RS006"]
+
+    def test_bare_except_fails(self):
+        src = "def f():\n    try:\n        g()\n    except:\n        pass\n"
+        assert codes(check_one(ELSEWHERE, src)) == ["RS006"]
+
+    def test_reraise_passes(self):
+        src = "def f():\n    try:\n        g()\n    except Exception:\n        raise\n"
+        assert check_one(ELSEWHERE, src) == []
+
+    def test_using_bound_exception_passes(self):
+        src = (
+            "def f(out):\n    try:\n        g()\n"
+            "    except Exception as exc:\n        out.failures = exc\n"
+        )
+        assert check_one(ELSEWHERE, src) == []
+
+    def test_recording_metric_passes(self):
+        src = (
+            "def f(metrics):\n    try:\n        g()\n"
+            "    except Exception:\n        metrics.count('errors')\n"
+        )
+        assert check_one(ELSEWHERE, src) == []
+
+    def test_narrow_except_passes(self):
+        src = "def f():\n    try:\n        g()\n    except OSError:\n        pass\n"
+        assert check_one(ELSEWHERE, src) == []
+
+
+# ---------------------------------------------------------------------------
+# RS007 — registry completeness
+
+
+REGISTRY_SNIPPET = """
+from repro.registry import EngineInfo, ENGINES
+ENGINES.register(EngineInfo(name='thing', label='T', factory=Thing))
+"""
+
+
+class TestRS007:
+    def test_unregistered_engine_fails(self):
+        findings = check_sources({ENGINE: ENGINE_CLASS_OK}, select=["RS007"])
+        assert codes(findings) == ["RS007"]
+        assert "Thing" in findings[0].message
+
+    def test_registered_engine_passes(self):
+        sources = {
+            ENGINE: ENGINE_CLASS_OK,
+            "src/repro/registry.py": REGISTRY_SNIPPET,
+        }
+        assert check_sources(sources, select=["RS007"]) == []
+
+    def test_lambda_registered_engine_passes(self):
+        sources = {
+            ENGINE: ENGINE_CLASS_OK,
+            "src/repro/registry.py": (
+                "from repro.registry import EngineInfo, ENGINES\n"
+                "ENGINES.register(EngineInfo(name='t', label='T',\n"
+                "    factory=lambda q, **kw: Thing(q, mode='word', **kw)))\n"
+            ),
+        }
+        assert check_sources(sources, select=["RS007"]) == []
+
+    def test_abstract_base_is_not_an_engine(self):
+        src = (
+            "class EngineBase:\n"
+            "    def run(self, data):\n"
+            "        raise NotImplementedError\n"
+            "    def run_records(self, stream):\n"
+            "        return [self.run(r) for r in stream]\n"
+        )
+        assert check_sources({ENGINE: src}, select=["RS007"]) == []
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+
+
+class TestSuppressions:
+    FAILING = "def f(w):\n    return ~w\n"
+
+    def test_trailing_suppression_honored(self):
+        src = "def f(w):\n    return ~w  # repro: ignore[RS001] -- fixture\n"
+        assert check_one(BITS, src) == []
+
+    def test_standalone_suppression_covers_next_code_line(self):
+        src = (
+            "def f(w):\n"
+            "    # repro: ignore[RS001] -- fixture reason\n"
+            "    # (continuation comment lines are skipped)\n"
+            "    return ~w\n"
+        )
+        assert check_one(BITS, src) == []
+
+    def test_suppression_without_reason_is_rs000(self):
+        src = "def f(w):\n    return ~w  # repro: ignore[RS001]\n"
+        found = codes(check_one(BITS, src))
+        assert "RS000" in found and "RS001" in found
+
+    def test_wrong_code_does_not_suppress(self):
+        src = "def f(w):\n    return ~w  # repro: ignore[RS006] -- wrong rule\n"
+        assert codes(check_one(BITS, src)) == ["RS001"]
+
+    def test_malformed_code_list_is_rs000(self):
+        src = "def f(w):\n    return ~w  # repro: ignore[banana] -- reason\n"
+        found = codes(check_one(BITS, src))
+        assert "RS000" in found
+
+
+# ---------------------------------------------------------------------------
+# Framework / CLI
+
+
+class TestFramework:
+    def test_syntax_error_reported_not_crashed(self):
+        findings = check_one(BITS, "def f(:\n")
+        assert codes(findings) == ["RS000"]
+
+    def test_unknown_select_raises(self):
+        with pytest.raises(KeyError):
+            check_one(BITS, "x = 1\n", select=["RS999"])
+
+    def test_cli_clean_exit_zero(self, tmp_path, capsys):
+        target = tmp_path / "ok.py"
+        target.write_text("x = 1\n")
+        assert cli_main([str(target)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_cli_findings_exit_one_with_location(self, tmp_path, capsys):
+        bits = tmp_path / "repro" / "bits"
+        bits.mkdir(parents=True)
+        target = bits / "bad.py"
+        target.write_text("def f(w):\n    return ~w\n")
+        assert cli_main([str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "bad.py:2" in out and "RS001" in out
+
+    def test_cli_json_format(self, tmp_path, capsys):
+        bits = tmp_path / "repro" / "bits"
+        bits.mkdir(parents=True)
+        (bits / "bad.py").write_text("def f(w):\n    return ~w\n")
+        assert cli_main([str(bits), "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["count"] == 1
+        assert doc["findings"][0]["rule"] == "RS001"
+        assert "RS001" in doc["rules"]
+
+    def test_cli_list_rules(self, capsys):
+        assert cli_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RS001", "RS002", "RS003", "RS004", "RS005", "RS006", "RS007"):
+            assert code in out
+
+    def test_cli_bad_select_exit_two(self, capsys):
+        assert cli_main(["--select", "RS123", "."]) == 2
+
+
+# ---------------------------------------------------------------------------
+# The CI gate itself
+
+
+class TestTreeIsClean:
+    def test_src_tree_is_clean(self):
+        findings = check_paths([str(SRC)])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_deleting_word_mask_clamp_trips_rs001(self):
+        """The acceptance tripwire: removing the clamp from
+        repro/bits/words.py mask_from must produce an RS001 diagnostic
+        naming the file and line."""
+        words = SRC / "repro" / "bits" / "words.py"
+        source = words.read_text()
+        clamp = "return WORD_MASK & ~((1 << pos) - 1)"
+        assert clamp in source
+        mutated = source.replace(clamp, "return ~((1 << pos) - 1)")
+        findings = check_sources({str(words): mutated}, select=["RS001"])
+        assert [f.rule for f in findings] == ["RS001"]
+        assert findings[0].line == source.splitlines().index(
+            "    " + clamp
+        ) + 1
+
+    def test_module_runs_as_script(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.staticcheck", str(SRC)],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout
