@@ -1,0 +1,214 @@
+"""Record and gate the word-vs-vector performance trajectory.
+
+This script is the repository's perf ledger for the two-stage hot path
+(``docs/two-stage.md``).  It times every Table 5 query under both
+JSONSki scanner modes — the paper-faithful word-at-a-time path
+(``jsonski-word``) and the vectorized stage-1/stage-2 default
+(``jsonski``) — and appends one JSON record per figure to
+``BENCH_fig10.json`` (one large record per dataset) and
+``BENCH_fig11.json`` (streams of small records).  Each record carries
+raw best-of-N seconds plus the word/vector speedup ratio per query, so
+the files accumulate a machine-comparable trajectory over the repo's
+history: ratios, unlike absolute seconds, transfer across hosts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_trajectory.py            # measure + print
+    PYTHONPATH=src python benchmarks/perf_trajectory.py --record   # ... and append
+    PYTHONPATH=src python benchmarks/perf_trajectory.py --check    # gate vs last record
+
+``--check`` is the CI regression gate: it fails (exit 1) if the
+geometric-mean vector speedup of either figure regresses more than
+``--tolerance`` (default 10%) against the most recent committed record,
+or if any fig10 large-record flagship query falls below parity.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.harness.experiments import (
+    DEFAULT_SIZE,
+    all_queries,
+    get_large,
+    get_records,
+    small_queries,
+)
+from repro.harness.runner import make_engine, time_run, time_run_records
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILES = {10: REPO_ROOT / "BENCH_fig10.json", 11: REPO_ROOT / "BENCH_fig11.json"}
+
+#: The large-record queries the tentpole promises >=2x on (the paper's
+#: headline bars); ``--check`` additionally requires these stay >= 1.0.
+FLAGSHIPS = ("TT1", "TT2", "BB1", "BB2", "GMD1")
+
+WORD, VECTOR = "jsonski-word", "jsonski"
+
+
+def _geomean(values: list[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values)) if values else 0.0
+
+
+def _git_head() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        return out.stdout.strip() or "unknown"
+    except OSError:
+        return "unknown"
+
+
+def measure_fig10(size: int, repeat: int) -> dict:
+    queries = {}
+    for name, q in all_queries():
+        data = get_large(name, size)
+        word_s, word_m = time_run(make_engine(WORD, q.large), data, repeat=repeat)
+        vec_s, vec_m = time_run(make_engine(VECTOR, q.large), data, repeat=repeat)
+        if len(word_m) != len(vec_m):
+            raise AssertionError(
+                f"{q.qid}: word found {len(word_m)} matches, vector {len(vec_m)}"
+            )
+        queries[q.qid] = {
+            "word_s": round(word_s, 6),
+            "vector_s": round(vec_s, 6),
+            "ratio": round(word_s / vec_s, 4),
+            "matches": len(word_m),
+        }
+    return queries
+
+
+def measure_fig11(size: int, repeat: int) -> dict:
+    queries = {}
+    for name, q in small_queries():
+        word_s, word_m = time_run_records(
+            make_engine(WORD, q.small), get_records(name, size), repeat=repeat
+        )
+        vec_s, vec_m = time_run_records(
+            make_engine(VECTOR, q.small), get_records(name, size), repeat=repeat
+        )
+        if len(word_m) != len(vec_m):
+            raise AssertionError(
+                f"{q.qid}: word found {len(word_m)} matches, vector {len(vec_m)}"
+            )
+        queries[q.qid] = {
+            "word_s": round(word_s, 6),
+            "vector_s": round(vec_s, 6),
+            "ratio": round(word_s / vec_s, 4),
+            "matches": len(word_m),
+        }
+    return queries
+
+
+def build_record(fig: int, size: int, repeat: int) -> dict:
+    queries = measure_fig10(size, repeat) if fig == 10 else measure_fig11(size, repeat)
+    return {
+        "figure": fig,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "commit": _git_head(),
+        "size": size,
+        "repeat": repeat,
+        "modes": {"word": WORD, "vector": VECTOR},
+        "queries": queries,
+        "geomean_ratio": round(_geomean([q["ratio"] for q in queries.values()]), 4),
+    }
+
+
+def load_trajectory(fig: int) -> list[dict]:
+    path = BENCH_FILES[fig]
+    if not path.exists():
+        return []
+    return [json.loads(line) for line in path.read_text().splitlines() if line.strip()]
+
+
+def append_record(fig: int, record: dict) -> None:
+    with BENCH_FILES[fig].open("a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def print_record(record: dict) -> None:
+    fig = record["figure"]
+    print(f"fig{fig} (size={record['size']}, best of {record['repeat']}):")
+    for qid, cell in record["queries"].items():
+        print(
+            f"  {qid:7s} word {cell['word_s']:.4f}s  vector {cell['vector_s']:.4f}s"
+            f"  ratio {cell['ratio']:.2f}x  ({cell['matches']} matches)"
+        )
+    print(f"  geomean vector speedup: {record['geomean_ratio']:.2f}x")
+
+
+def check_record(fig: int, record: dict, tolerance: float) -> list[str]:
+    """Compare a fresh measurement against the last committed record."""
+    failures = []
+    history = load_trajectory(fig)
+    if history:
+        baseline = history[-1]
+        floor = baseline["geomean_ratio"] * (1.0 - tolerance)
+        if record["geomean_ratio"] < floor:
+            failures.append(
+                f"fig{fig}: geomean vector speedup {record['geomean_ratio']:.2f}x regressed"
+                f" more than {tolerance:.0%} below the recorded baseline"
+                f" {baseline['geomean_ratio']:.2f}x (commit {baseline['commit']})"
+            )
+    else:
+        failures.append(f"fig{fig}: no recorded baseline in {BENCH_FILES[fig].name}")
+    if fig == 10:
+        for qid in FLAGSHIPS:
+            ratio = record["queries"][qid]["ratio"]
+            if ratio < 1.0:
+                failures.append(
+                    f"fig10: flagship {qid} vector slower than word ({ratio:.2f}x)"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", type=int, default=DEFAULT_SIZE, help="bytes per dataset")
+    parser.add_argument("--repeat", type=int, default=5, help="reps per cell (best-of)")
+    parser.add_argument(
+        "--figure", type=int, choices=(10, 11), default=None, help="limit to one figure"
+    )
+    parser.add_argument(
+        "--record", action="store_true", help="append the measurement to BENCH_fig*.json"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail if the vector speedup regressed vs the last recorded baseline",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.10, help="allowed geomean regression (fraction)"
+    )
+    args = parser.parse_args(argv)
+
+    figures = (args.figure,) if args.figure else (10, 11)
+    failures: list[str] = []
+    for fig in figures:
+        record = build_record(fig, args.size, args.repeat)
+        print_record(record)
+        if args.check:
+            failures.extend(check_record(fig, record, args.tolerance))
+        if args.record:
+            append_record(fig, record)
+            print(f"  appended to {BENCH_FILES[fig].name}")
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,14 @@ The uniform engine registry lets the same code drive any method:
 ['x']
 >>> repro.ENGINES["jpstream"]("$.place.name").run(b'{"place": {"name": "x"}}').values()
 ['x']
+
+The two-stage API separates stage 1 (structural indexing) from stage 2
+(streaming) so the index can be reused across queries:
+
+>>> prepared = repro.compile("$.place.name")
+>>> indexed = repro.index(b'{"place": {"name": "x"}}')
+>>> prepared.run(indexed).values()
+['x']
 """
 
 from repro.baselines import JPStream, PisonLike, RapidJsonLike, SimdJsonLike, StdlibJson
@@ -32,6 +40,7 @@ from repro.checkpoint import (
     kill_resume_differential,
 )
 from repro.engine import FastForwardStats, JsonSki, JsonSkiMulti, Match, MatchList, RecursiveDescentStreamer, iter_events
+from repro.engine.prepared import IndexedBuffer, PreparedQuery, index
 from repro.errors import (
     CheckpointError,
     DeadlineExceededError,
@@ -109,6 +118,7 @@ __all__ = [
     "Extractor",
     "FastForwardStats",
     "Histogram",
+    "IndexedBuffer",
     "JPStream",
     "JsonlSink",
     "MemorySink",
@@ -128,6 +138,7 @@ __all__ = [
     "MatchStatus",
     "Path",
     "PisonLike",
+    "PreparedQuery",
     "QueryAutomaton",
     "RapidJsonLike",
     "RecordStream",
@@ -145,6 +156,7 @@ __all__ = [
     "CrossCheckFailure",
     "compile_query",
     "explain",
+    "index",
     "is_valid_json",
     "iter_events",
     "metrics_document",

@@ -18,17 +18,36 @@ property-based tests assert equality against the word path) but costs a
 dozen short array operations per chunk — which is what makes the
 streaming engine competitive on kilobyte-sized records, where fixed
 per-record indexing cost dominates (paper Section 5.2, Figure 11).
+
+Beyond the flat per-class arrays, each chunk can materialize
+:class:`DepthTables` — the stage-1 artifacts of the two-stage hot path
+(see ``docs/two-stage.md``):
+
+- per pair class (``{}``/``[]``), closer positions grouped by the pair
+  depth *after* the closer, which turns the counting-based pairing of
+  Algorithm 4 / Theorem 4.3 into two binary searches (the first closer at
+  depth ``depth_before(pos) - num_open`` is exactly the closer the
+  reference interval walk returns, on any byte stream);
+- Pison-style leveled colon/comma position maps keyed by combined
+  structural depth, which turn the paper's G5 ``goOverElems(k)`` into a
+  single k-th-comma-at-depth lookup.
+
+Depth values are absolute (carried across chunks like the string mask),
+so a lookup that misses one chunk continues into the next with the same
+target.
 """
 
 from __future__ import annotations
 
 from array import array
+from bisect import bisect_left
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 import numpy as np
 
 from repro.bits.classify import CharClass
-from repro.bits.index import BufferIndex
+from repro.bits.index import DEFAULT_CHUNK_SIZE, BufferIndex
 from repro.bits.strings import INITIAL_CARRY, StringCarry
 
 _INTERESTING = np.zeros(256, dtype=bool)
@@ -36,11 +55,211 @@ for _c in b'{}[]:,"\\':
     _INTERESTING[_c] = True
 
 _QUOTE, _BACKSLASH = 0x22, 0x5C
+_LBRACE, _RBRACE = 0x7B, 0x7D
+_LBRACKET, _RBRACKET = 0x5B, 0x5D
+_COLON, _COMMA = 0x3A, 0x2C
 
 #: Byte values selected by each character class.
 _CLASS_BYTES: dict[CharClass, tuple[int, ...]] = {
     cls: tuple(cls.chars) for cls in CharClass
 }
+
+#: ``+1`` for openers, ``-1`` for closers, ``0`` for ``:``/``,``/quotes.
+_DELTA = np.zeros(256, dtype=np.int64)
+_DELTA[_LBRACE] = _DELTA[_LBRACKET] = 1
+_DELTA[_RBRACE] = _DELTA[_RBRACKET] = -1
+
+
+class DepthCarry(NamedTuple):
+    """Structural depth state at a chunk boundary.
+
+    ``depth`` is the combined open-container count (braces + brackets);
+    ``brace``/``bracket`` are the per-pair-class counts Algorithm 4's
+    counting argument runs on.  Three small ints per chunk, chained
+    forward exactly like :class:`~repro.bits.strings.StringCarry` — and
+    serialized next to it by checkpoint suspension.
+    """
+
+    depth: int = 0
+    brace: int = 0
+    bracket: int = 0
+
+
+DEPTH_ZERO = DepthCarry(0, 0, 0)
+
+
+def _group_by_depth(pos: np.ndarray, depth: np.ndarray) -> dict[int, "array[int]"]:
+    """``{depth: sorted positions at that depth}`` from parallel arrays.
+
+    A stable argsort keeps each depth group in ascending position order;
+    groups are stored as ``array('q')`` so lookups are plain ``bisect``
+    calls (no numpy scalar boxing on the hot path).
+    """
+    groups: dict[int, "array[int]"] = {}
+    if not len(pos):
+        return groups
+    order = np.argsort(depth, kind="stable")
+    sorted_depth = depth[order]
+    sorted_pos = pos[order]
+    bounds = np.flatnonzero(sorted_depth[1:] != sorted_depth[:-1]) + 1
+    starts = np.concatenate(([0], bounds))
+    ends = np.concatenate((bounds, [len(sorted_depth)]))
+    for s, e in zip(starts, ends):
+        arr: "array[int]" = array("q")
+        arr.frombytes(np.ascontiguousarray(sorted_pos[s:e]).tobytes())
+        groups[int(sorted_depth[s])] = arr
+    return groups
+
+
+class PairTable:
+    """One pair class's (``{}`` or ``[]``) depth view of a chunk.
+
+    ``close_at_depth(d, pos)`` returns the first closer at or after
+    ``pos`` whose pair depth *after* processing it equals ``d`` — which,
+    because pair depth moves by ±1 per event, is exactly the closer that
+    balances ``depth_before(pos) - d`` outstanding opens (Theorem 4.3).
+    """
+
+    __slots__ = ("depth_in", "events", "after", "closes_by_depth", "opens", "opens_after")
+
+    def __init__(self, pos: np.ndarray, vals: np.ndarray, open_byte: int, close_byte: int, depth_in: int) -> None:
+        mask = (vals == open_byte) | (vals == close_byte)
+        events = pos[mask]
+        ev_vals = vals[mask]
+        is_open = ev_vals == open_byte
+        after = depth_in + np.cumsum(np.where(is_open, 1, -1))
+        self.depth_in = depth_in
+        self.events: "array[int]" = array("q")
+        self.events.frombytes(np.ascontiguousarray(events).tobytes())
+        self.after: "array[int]" = array("q")
+        self.after.frombytes(np.ascontiguousarray(after).tobytes())
+        self.closes_by_depth = _group_by_depth(events[~is_open], after[~is_open])
+        #: Open positions and their after-depths (consumed by the paired
+        #: interval table, :func:`repro.bits.intervals.build_interval_table`).
+        self.opens = events[is_open]
+        self.opens_after = after[is_open]
+
+    def depth_before(self, pos: int) -> int:
+        """Pair depth just before absolute position ``pos``."""
+        j = bisect_left(self.events, pos)
+        return self.depth_in if j == 0 else self.after[j - 1]
+
+    def close_at_depth(self, depth: int, pos: int) -> int:
+        """First closer at or after ``pos`` with after-depth ``depth``
+        (``-1`` when this chunk has none)."""
+        arr = self.closes_by_depth.get(depth)
+        if arr is None:
+            return -1
+        i = bisect_left(arr, pos)
+        return arr[i] if i < len(arr) else -1
+
+    def first_close_at_depth(self, depth: int) -> int:
+        """First closer in the chunk with after-depth ``depth`` (or -1)."""
+        arr = self.closes_by_depth.get(depth)
+        return arr[0] if arr else -1
+
+
+class DepthTables:
+    """Stage-1 depth artifacts of one chunk.
+
+    Combined-depth leveled maps for ``:``/``,`` and the ``{``/``[``
+    openers, plus one :class:`PairTable` per brace/bracket pair.  All
+    depths are absolute (seeded from the chunk's :class:`DepthCarry`),
+    so queries compose across chunk boundaries without rebasing.
+
+    Only the combined event/depth arrays are built up front; each
+    component table materializes on first access, so a query that only
+    pairs braces never pays for comma maps (and vice versa).
+    """
+
+    __slots__ = (
+        "depth_in", "events", "after", "_pos", "_vals", "_after_np",
+        "_brace", "_bracket", "_commas", "_colons", "_obj_opens", "_ary_opens",
+        "_closes",
+    )
+
+    def __init__(self, pos: np.ndarray, vals: np.ndarray, depth_in: DepthCarry) -> None:
+        after = depth_in.depth + np.cumsum(_DELTA[vals])
+        self.depth_in = depth_in
+        self.events: "array[int]" = array("q")
+        self.events.frombytes(np.ascontiguousarray(pos).tobytes())
+        self.after: "array[int]" = array("q")
+        self.after.frombytes(np.ascontiguousarray(after).tobytes())
+        self._pos = pos
+        self._vals = vals
+        self._after_np = after
+        self._brace: PairTable | None = None
+        self._bracket: PairTable | None = None
+        self._commas: dict[int, "array[int]"] | None = None
+        self._colons: dict[int, "array[int]"] | None = None
+        self._obj_opens: dict[int, "array[int]"] | None = None
+        self._ary_opens: dict[int, "array[int]"] | None = None
+        self._closes: dict[int, "array[int]"] | None = None
+
+    @property
+    def brace(self) -> PairTable:
+        table = self._brace
+        if table is None:
+            table = self._brace = PairTable(self._pos, self._vals, _LBRACE, _RBRACE, self.depth_in.brace)
+        return table
+
+    @property
+    def bracket(self) -> PairTable:
+        table = self._bracket
+        if table is None:
+            table = self._bracket = PairTable(self._pos, self._vals, _LBRACKET, _RBRACKET, self.depth_in.bracket)
+        return table
+
+    @property
+    def commas_by_depth(self) -> dict[int, "array[int]"]:
+        groups = self._commas
+        if groups is None:
+            mask = self._vals == _COMMA
+            groups = self._commas = _group_by_depth(self._pos[mask], self._after_np[mask])
+        return groups
+
+    @property
+    def colons_by_depth(self) -> dict[int, "array[int]"]:
+        groups = self._colons
+        if groups is None:
+            mask = self._vals == _COLON
+            groups = self._colons = _group_by_depth(self._pos[mask], self._after_np[mask])
+        return groups
+
+    def opens_by_depth(self, open_byte: int) -> dict[int, "array[int]"]:
+        """``{``/``[`` positions grouped by the combined depth *after* the
+        opener — i.e. the depth of the container it starts.  A container
+        value at interior depth ``d`` opens at group key ``d + 1``, which
+        is what makes the G1 sweeps single lookups."""
+        if open_byte == _LBRACE:
+            groups = self._obj_opens
+            if groups is None:
+                mask = self._vals == _LBRACE
+                groups = self._obj_opens = _group_by_depth(self._pos[mask], self._after_np[mask])
+            return groups
+        groups = self._ary_opens
+        if groups is None:
+            mask = self._vals == _LBRACKET
+            groups = self._ary_opens = _group_by_depth(self._pos[mask], self._after_np[mask])
+        return groups
+
+    @property
+    def closes_by_depth(self) -> dict[int, "array[int]"]:
+        """``}``/``]`` positions (merged) grouped by the combined depth
+        *after* the closer — i.e. the depth outside the container it
+        ends.  The end of a container whose interior sits at depth ``d``
+        is the first close at group key ``d - 1``, making "skip to the
+        enclosing end" a single lookup on well-formed input."""
+        groups = self._closes
+        if groups is None:
+            mask = _DELTA[self._vals] == -1
+            groups = self._closes = _group_by_depth(self._pos[mask], self._after_np[mask])
+        return groups
+
+    def depth_before(self, pos: int) -> int:
+        """Combined structural depth just before absolute position ``pos``."""
+        j = bisect_left(self.events, pos)
+        return self.depth_in.depth if j == 0 else self.after[j - 1]
 
 
 @dataclass
@@ -60,7 +279,11 @@ class PositionChunk:
     quotes: np.ndarray
     carry_in: StringCarry
     carry_out: StringCarry
+    depth_in: DepthCarry = DEPTH_ZERO
+    depth_out: DepthCarry = DEPTH_ZERO
     _lists: dict[CharClass, "array[int]"] = field(default_factory=dict, repr=False)
+    _arrays: dict[CharClass, np.ndarray] = field(default_factory=dict, repr=False)
+    _depth: DepthTables | None = field(default=None, repr=False)
 
     @property
     def end(self) -> int:
@@ -71,13 +294,26 @@ class PositionChunk:
             return self.keep
         if cls is CharClass.QUOTE:
             return self.quotes
+        cached = self._arrays.get(cls)
+        if cached is not None:
+            return cached
         bytes_ = _CLASS_BYTES[cls]
         if len(bytes_) == 1:
-            return self.keep[self.keep_vals == bytes_[0]]
-        mask = self.keep_vals == bytes_[0]
-        for b in bytes_[1:]:
-            mask |= self.keep_vals == b
-        return self.keep[mask]
+            selected = self.keep[self.keep_vals == bytes_[0]]
+        else:
+            mask = self.keep_vals == bytes_[0]
+            for b in bytes_[1:]:
+                mask |= self.keep_vals == b
+            selected = self.keep[mask]
+        self._arrays[cls] = selected
+        return selected
+
+    def depth_tables(self) -> DepthTables:
+        """This chunk's :class:`DepthTables`, built once on first use."""
+        tables = self._depth
+        if tables is None:
+            tables = self._depth = DepthTables(self.keep, self.keep_vals, self.depth_in)
+        return tables
 
     def positions_list(self, cls: CharClass) -> "array[int]":
         """Positions as a compact ``array('q')``.
@@ -95,7 +331,12 @@ class PositionChunk:
         return cached
 
 
-def build_position_chunk(chunk: bytes, start: int, carry: StringCarry = INITIAL_CARRY) -> PositionChunk:
+def build_position_chunk(
+    chunk: bytes,
+    start: int,
+    carry: StringCarry = INITIAL_CARRY,
+    depth_in: DepthCarry = DEPTH_ZERO,
+) -> PositionChunk:
     """Classify one chunk into string-filtered position arrays."""
     buf = np.frombuffer(chunk, dtype=np.uint8)
     idx = np.flatnonzero(_INTERESTING[buf])
@@ -155,6 +396,14 @@ def build_position_chunk(chunk: bytes, start: int, carry: StringCarry = INITIAL_
         keep, keep_vals = s_idx, s_vals
     in_string_out = int((len(uq) + carry.in_string) % 2)
 
+    net_brace = int(np.count_nonzero(keep_vals == _LBRACE)) - int(np.count_nonzero(keep_vals == _RBRACE))
+    net_bracket = int(np.count_nonzero(keep_vals == _LBRACKET)) - int(np.count_nonzero(keep_vals == _RBRACKET))
+    depth_out = DepthCarry(
+        depth_in.depth + net_brace + net_bracket,
+        depth_in.brace + net_brace,
+        depth_in.bracket + net_bracket,
+    )
+
     return PositionChunk(
         start=start,
         length=n,
@@ -163,6 +412,8 @@ def build_position_chunk(chunk: bytes, start: int, carry: StringCarry = INITIAL_
         quotes=uq.astype(np.int64) + start,
         carry_in=carry,
         carry_out=StringCarry(int(pending_out), in_string_out),
+        depth_in=depth_in,
+        depth_out=depth_out,
     )
 
 
@@ -170,8 +421,48 @@ class PositionBufferIndex(BufferIndex):
     """Forward-chained chunked index producing :class:`PositionChunk`.
 
     Shares the chunking, carry-chaining, and LRU machinery of
-    :class:`BufferIndex`; only the per-chunk build differs.
+    :class:`BufferIndex`; only the per-chunk build differs.  In addition
+    to the string-mask carries it chains a :class:`DepthCarry` per chunk,
+    so every chunk's :class:`DepthTables` speak absolute depths and any
+    evicted chunk can be rebuilt — depth state included — from its own
+    bytes.
     """
 
+    def __init__(
+        self,
+        data: bytes,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        cache_chunks: int | None = 4,
+    ) -> None:
+        super().__init__(data, chunk_size=chunk_size, cache_chunks=cache_chunks)
+        self._depth_carries: list[DepthCarry] = []
+
     def _build_chunk(self, chunk: bytes, start: int, carry: StringCarry) -> PositionChunk:
-        return build_position_chunk(chunk, start, carry)
+        chunk_id = start // self.chunk_size
+        depth_in = DEPTH_ZERO if chunk_id == 0 else self._depth_carries[chunk_id - 1]
+        built = build_position_chunk(chunk, start, carry, depth_in=depth_in)
+        if chunk_id == len(self._depth_carries):
+            self._depth_carries.append(built.depth_out)
+        return built
+
+    def carries_snapshot(self) -> list[tuple[int, int, int, int, int]]:
+        """Per-chunk carries as ``(escape, in_string, depth, brace,
+        bracket)`` 5-tuples — the string carry plus the depth carry the
+        vector hot path needs (the "array cursors" of the two-stage
+        suspension contract)."""
+        return [
+            (string.escape, string.in_string, depth.depth, depth.brace, depth.bracket)
+            for string, depth in zip(self._carries, self._depth_carries)
+        ]
+
+    def seed_carries(self, carries) -> None:
+        carries = list(carries)
+        if any(len(item) != 5 for item in carries):
+            raise ValueError(
+                "position-index carries must be (escape, in_string, depth, brace, bracket) 5-tuples"
+            )
+        super().seed_carries([(escape, in_string) for escape, in_string, _, _, _ in carries])
+        self._depth_carries = [
+            DepthCarry(int(depth), int(brace), int(bracket))
+            for _, _, depth, brace, bracket in carries
+        ]

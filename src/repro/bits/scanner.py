@@ -30,6 +30,7 @@ from typing import Any
 
 from repro.bits.classify import CharClass
 from repro.bits.index import BufferIndex, ChunkIndex
+from repro.bits.posindex import PositionBufferIndex
 from repro.bits.words import WORD_BITS, WORD_MASK, lowest_bit_position, popcount, select_kth_bit
 
 #: Sentinel returned when no further occurrence exists in the stream.
@@ -42,6 +43,11 @@ class Scanner(ABC):
     def __init__(self, index: BufferIndex) -> None:
         self.index = index
         self._metrics_registry = None
+        #: True when the index carries depth state (a
+        #: :class:`~repro.bits.posindex.PositionBufferIndex`), enabling the
+        #: depth-table queries; consumed by
+        #: :func:`repro.engine.fastforward.make_fastforwarder`.
+        self.leveled = False
 
     @property
     def size(self) -> int:
@@ -189,7 +195,7 @@ class WordScanner(Scanner):
         if first:
             return chunk.start + word_id * WORD_BITS + lowest_bit_position(first)
         for wid in range(word_id + 1, len(words)):
-            word = int(words[wid])
+            word = int(words[wid])  # repro: ignore[RS008] -- paper-faithful word path (Algorithm 3)
             if word:
                 return chunk.start + wid * WORD_BITS + lowest_bit_position(word)
         return NOT_FOUND
@@ -202,7 +208,7 @@ class WordScanner(Scanner):
         lo_word, hi_word = lo_off // WORD_BITS, (hi_off - 1) // WORD_BITS
         total = 0
         for wid in range(lo_word, hi_word + 1):
-            word = int(words[wid])
+            word = int(words[wid])  # repro: ignore[RS008] -- paper-faithful word path (Algorithm 3)
             if wid == lo_word:
                 word &= ~((1 << (lo_off % WORD_BITS)) - 1)
             if wid == hi_word and hi_off % WORD_BITS:
@@ -216,7 +222,7 @@ class WordScanner(Scanner):
         word_id = offset // WORD_BITS
         remaining = k
         for wid in range(word_id, len(words)):
-            word = int(words[wid])
+            word = int(words[wid])  # repro: ignore[RS008] -- paper-faithful word path (Algorithm 3)
             if wid == word_id:
                 word &= ~((1 << (offset % WORD_BITS)) - 1)
             count = popcount(word)
@@ -236,7 +242,7 @@ class WordScanner(Scanner):
         if first:
             return chunk.start + word_id * WORD_BITS + (first.bit_length() - 1)
         for wid in range(word_id - 1, -1, -1):
-            word = int(words[wid])
+            word = int(words[wid])  # repro: ignore[RS008] -- paper-faithful word path (Algorithm 3)
             if word:
                 return chunk.start + wid * WORD_BITS + (word.bit_length() - 1)
         return NOT_FOUND
@@ -262,6 +268,19 @@ class VectorScanner(Scanner):
         # so this removes the index/dict hops from the common path while
         # leaving eviction behaviour (bounded memory) to the BufferIndex.
         self._cursor: dict[CharClass, tuple[int, list[int]]] = {}
+        # Depth-table queries (O(log) pair_close, leveled comma maps) need
+        # the depth carries only PositionBufferIndex chains; over a plain
+        # word-bitmap index the scanner falls back to the interval walk.
+        self.leveled = isinstance(index, PositionBufferIndex)
+        self._dt_cursor: tuple[int, Any] | None = None
+
+    def _tables(self, chunk_id: int) -> Any:
+        cursor = self._dt_cursor
+        if cursor is not None and cursor[0] == chunk_id:
+            return cursor[1]
+        tables = self.index.get(chunk_id).depth_tables()
+        self._dt_cursor = (chunk_id, tables)
+        return tables
 
     def _list(self, cls: CharClass, chunk_id: int) -> list[int]:
         cursor = self._cursor.get(cls)
@@ -329,12 +348,242 @@ class VectorScanner(Scanner):
         return NOT_FOUND
 
     def pair_close(self, open_cls: CharClass, close_cls: CharClass, pos: int, num_open: int) -> int:
+        """Counting-based pairing as two binary searches (stage 2).
+
+        Over a :class:`~repro.bits.posindex.PositionBufferIndex` the
+        chunk's :class:`~repro.bits.posindex.DepthTables` answer directly:
+        the closer ending ``num_open`` outstanding opens is the first
+        closer at or after ``pos`` whose pair depth *after* processing it
+        equals ``depth_before(pos) - num_open``.  Pair depth moves by ±1
+        per event, so that closer is exactly where the reference interval
+        walk's outstanding count first reaches zero — on well-formed and
+        malformed byte streams alike.  Depths are absolute, so a miss
+        continues into later chunks with the same target.
+        """
+        if self.leveled and (
+            (open_cls is CharClass.LBRACE and close_cls is CharClass.RBRACE)
+            or (open_cls is CharClass.LBRACKET and close_cls is CharClass.RBRACKET)
+        ):
+            if pos >= self._size:
+                return NOT_FOUND
+            brace = open_cls is CharClass.LBRACE
+            chunk_id = pos // self._chunk_size
+            tables = self._tables(chunk_id)
+            pair = tables.brace if brace else tables.bracket
+            target = pair.depth_before(pos) - num_open
+            found = pair.close_at_depth(target, pos)
+            if found >= 0:
+                return found
+            for cid in range(chunk_id + 1, self._n_chunks):
+                tables = self._tables(cid)
+                pair = tables.brace if brace else tables.bracket
+                found = pair.first_close_at_depth(target)
+                if found >= 0:
+                    return found
+            return NOT_FOUND
+        return self._pair_close_walk(open_cls, close_cls, pos, num_open)
+
+    # -- leveled (depth-keyed) queries ----------------------------------
+
+    def structural_depth_before(self, pos: int) -> int:
+        """Combined structural depth just before absolute ``pos``
+        (requires a position index; see :attr:`leveled`)."""
+        return self._tables(pos // self._chunk_size).depth_before(pos)
+
+    def commas_at_depth(self, depth: int, lo: int, hi: int, k: int) -> tuple[int, int]:
+        """Commas whose combined structural depth is ``depth`` in
+        ``[lo, hi)``: ``(position of the k-th, k)`` when at least ``k``
+        exist, else ``(NOT_FOUND, total count)``.
+
+        This is the Pison-style leveled comma map promoted into the main
+        engine: element separators of a container at depth ``d`` are
+        precisely the commas at depth ``d``, so G5's ``goOverElems(k)``
+        becomes this single lookup.
+        """
+        if hi <= lo:
+            return NOT_FOUND, 0
+        hi = min(hi, self._size)
+        first = lo // self._chunk_size
+        last = max(hi - 1, lo) // self._chunk_size
+        remaining = k
+        seen = 0
+        for chunk_id in range(first, last + 1):
+            arr = self._tables(chunk_id).commas_by_depth.get(depth)
+            if not arr:
+                continue
+            i = bisect_left(arr, lo) if chunk_id == first else 0
+            j = bisect_left(arr, hi) if chunk_id == last else len(arr)
+            if j - i >= remaining:
+                return arr[i + remaining - 1], k
+            seen += j - i
+            remaining -= j - i
+        return NOT_FOUND, seen
+
+    def open_at_depth(self, open_byte: int, depth: int, lo: int, hi: int) -> int:
+        """First ``{`` (``open_byte=0x7B``) or ``[`` (``0x5B``) in
+        ``[lo, hi)`` opening a container at combined depth ``depth``.
+
+        This is the leveled G1 sweep: the structured values of a container
+        whose interior sits at depth ``d`` are exactly the opens at depth
+        ``d + 1``, so "next attribute/element of the wanted type" is one
+        binary search — nested opens inside wrong-type siblings are at
+        deeper levels and never surface.
+        """
+        if hi <= lo:
+            return NOT_FOUND
+        hi = min(hi, self._size)
+        first = lo // self._chunk_size
+        last = max(hi - 1, lo) // self._chunk_size
+        for chunk_id in range(first, last + 1):
+            arr = self._tables(chunk_id).opens_by_depth(open_byte).get(depth)
+            if not arr:
+                continue
+            i = bisect_left(arr, lo) if chunk_id == first else 0
+            if i < len(arr):
+                found = arr[i]
+                # Positions only grow from here on; past ``hi`` means done.
+                return found if found < hi else NOT_FOUND
+        return NOT_FOUND
+
+    def close_at_combined_depth(self, depth: int, pos: int) -> int:
+        """First ``}``/``]`` at or after ``pos`` whose combined depth
+        after processing it equals ``depth``.
+
+        On well-formed input this is the end of the enclosing container
+        when called with ``depth_before(pos) - 1`` — the fused bound the
+        leveled G1 sweeps use instead of a full ``pair_close``.
+        """
+        if pos >= self._size:
+            return NOT_FOUND
+        first = pos // self._chunk_size
+        for chunk_id in range(first, self._n_chunks):
+            arr = self._tables(chunk_id).closes_by_depth.get(depth)
+            if not arr:
+                continue
+            i = bisect_left(arr, pos) if chunk_id == first else 0
+            if i < len(arr):
+                return arr[i]
+        return NOT_FOUND
+
+    def count_commas_at_depth(self, depth: int, lo: int, hi: int) -> int:
+        """Number of commas at combined depth ``depth`` in ``[lo, hi)`` —
+        the element separators crossed by a leveled G1 array sweep."""
+        if hi <= lo:
+            return 0
+        hi = min(hi, self._size)
+        first = lo // self._chunk_size
+        last = max(hi - 1, lo) // self._chunk_size
+        total = 0
+        for chunk_id in range(first, last + 1):
+            arr = self._tables(chunk_id).commas_by_depth.get(depth)
+            if not arr:
+                continue
+            i = bisect_left(arr, lo) if chunk_id == first else 0
+            j = bisect_left(arr, hi) if chunk_id == last else len(arr)
+            total += j - i
+        return total
+
+    # -- fused G1 seeks (one tables fetch, in-chunk fast path) ----------
+
+    def leveled_obj_attr(self, pos: int, want_byte: int) -> tuple[int, int]:
+        """Fused object G1 sweep: ``(container_end, wanted_open)``.
+
+        ``container_end`` is the enclosing container's closer
+        (:data:`NOT_FOUND` if the stream ends first, in which case the
+        second element is meaningless); ``wanted_open`` is the first
+        ``want_byte`` open at value depth before that end, or
+        :data:`NOT_FOUND`.  The in-chunk case — overwhelmingly common
+        with megabyte chunks — resolves with one tables fetch and three
+        binary searches; chunk-spill falls back to the decomposed
+        cross-chunk queries.
+        """
+        chunk_id = pos // self._chunk_size
+        tables = self._tables(chunk_id)
+        depth = tables.depth_before(pos)
+        end = NOT_FOUND
+        arr = tables.closes_by_depth.get(depth - 1)
+        if arr:
+            i = bisect_left(arr, pos)
+            if i < len(arr):
+                end = arr[i]
+        if end == NOT_FOUND:
+            end = self.close_at_combined_depth(depth - 1, (chunk_id + 1) * self._chunk_size)
+            if end == NOT_FOUND:
+                return NOT_FOUND, NOT_FOUND
+        opens = tables.opens_by_depth(want_byte).get(depth + 1)
+        if opens:
+            j = bisect_left(opens, pos)
+            if j < len(opens):
+                found = opens[j]
+                # Positions only grow: past ``end`` here means past it
+                # in every later chunk too.
+                return end, (found if found < end else NOT_FOUND)
+        if end < (chunk_id + 1) * self._chunk_size:
+            return end, NOT_FOUND
+        return end, self.open_at_depth(want_byte, depth + 1, (chunk_id + 1) * self._chunk_size, end)
+
+    def leveled_ary_elem(self, pos: int, want_byte: int) -> tuple[int, int, int]:
+        """Fused array G1 sweep: ``(array_end, wanted_open, commas)``.
+
+        Same contract as :meth:`leveled_obj_attr` plus the count of
+        element-level commas crossed up to the wanted open (or up to the
+        array end when there is none) — Algorithm 5's counter as one
+        range count on the leveled comma map.
+        """
+        chunk_id = pos // self._chunk_size
+        chunk_end = (chunk_id + 1) * self._chunk_size
+        tables = self._tables(chunk_id)
+        depth = tables.depth_before(pos)
+        end = NOT_FOUND
+        arr = tables.closes_by_depth.get(depth - 1)
+        if arr:
+            i = bisect_left(arr, pos)
+            if i < len(arr):
+                end = arr[i]
+        if end == NOT_FOUND:
+            end = self.close_at_combined_depth(depth - 1, chunk_end)
+            if end == NOT_FOUND:
+                return NOT_FOUND, NOT_FOUND, 0
+        found = NOT_FOUND
+        spill = True
+        opens = tables.opens_by_depth(want_byte).get(depth + 1)
+        if opens:
+            j = bisect_left(opens, pos)
+            if j < len(opens):
+                spill = False
+                f = opens[j]
+                if f < end:
+                    found = f
+        if spill and end >= chunk_end:
+            found = self.open_at_depth(want_byte, depth + 1, chunk_end, end)
+        bound = end if found == NOT_FOUND else found
+        if bound <= chunk_end:
+            commas = tables.commas_by_depth.get(depth)
+            n = (bisect_left(commas, bound) - bisect_left(commas, pos)) if commas else 0
+            return end, found, n
+        return end, found, self.count_commas_at_depth(depth, pos, bound)
+
+    def prev_quote_pair(self, pos: int) -> tuple[int, int]:
+        """The two nearest unescaped quotes at or before ``pos`` as
+        ``(opening, closing)`` — the G1 name-recovery lookup, fused into
+        one binary search when both quotes sit in ``pos``'s chunk."""
+        chunk_id = pos // self._chunk_size
+        quotes = self._list(CharClass.QUOTE, chunk_id)
+        i = bisect_right(quotes, pos)
+        if i >= 2:
+            return quotes[i - 2], quotes[i - 1]
+        close = self.find_prev(CharClass.QUOTE, pos)
+        if close == NOT_FOUND:
+            return NOT_FOUND, NOT_FOUND
+        return self.find_prev(CharClass.QUOTE, close - 1), close
+
+    def _pair_close_walk(self, open_cls: CharClass, close_cls: CharClass, pos: int, num_open: int) -> int:
         """Fused Algorithm 4 loop over the two position lists.
 
         Identical interval-by-interval semantics to the base class, but
         each step is two bisects and index arithmetic instead of three
-        full scanner calls — this sits under every ``goOverObj`` /
-        ``goToObjEnd`` and dominates engine time on object-dense data.
+        full scanner calls.  Kept as the fallback for word-bitmap indexes
+        and non-brace/bracket class pairs.
         """
         chunk_size = self._chunk_size
         chunk_id = pos // chunk_size

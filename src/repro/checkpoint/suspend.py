@@ -15,10 +15,14 @@ serializable value:
 - the matches emitted so far, as byte offsets (``None`` marks a reserved
   pre-order slot whose container is still open — the descendant
   extension);
-- the structural index's cross-chunk carries (in-string / trailing
-  escape), two bits per chunk, so a fresh process rebuilds bitmaps for
-  the chunk it resumes in **without rescanning from byte zero**
-  (:meth:`~repro.bits.index.BufferIndex.seed_carries`).
+- the structural index's cross-chunk carries: in-string / trailing
+  escape for the word index, plus the structural-depth counters
+  (combined/brace/bracket — the vector hot path's array cursors) for the
+  position index.  A handful of ints per chunk, so a fresh process
+  rebuilds bitmaps *and* depth tables for the chunk it resumes in
+  **without rescanning from byte zero**
+  (:meth:`~repro.bits.index.BufferIndex.seed_carries` /
+  :meth:`~repro.bits.posindex.PositionBufferIndex.seed_carries`).
 
 That bundle is :class:`EngineState`; the paper's Figure-10 giant-record
 scenario can now survive a process death mid-record
@@ -42,7 +46,7 @@ from dataclasses import dataclass
 from repro.bits.classify import CharClass
 from repro.bits.index import DEFAULT_CHUNK_SIZE
 from repro.checkpoint.store import fingerprint
-from repro.engine.fastforward import FastForwarder
+from repro.engine.fastforward import make_fastforwarder
 from repro.engine.names import decode_name
 from repro.engine.output import MatchList
 from repro.errors import (
@@ -64,8 +68,10 @@ _WS = frozenset(b" \t\n\r")
 #: Frame kinds (serialized verbatim).
 OBJ, ARY = "obj", "ary"
 
-#: EngineState layout version.
-STATE_VERSION = 1
+#: EngineState layout version.  2: vector-mode carries widened from
+#: ``(escape, in_string)`` pairs to 5-tuples that include the structural
+#: depth counters the two-stage hot path chains across chunks.
+STATE_VERSION = 2
 
 
 class _Suspend(Exception):
@@ -182,7 +188,7 @@ class SuspendableRun:
         self.deadline = self.limits.deadline
         self.data = buffer.data
         self.size = len(buffer.data)
-        self.ff = FastForwarder(buffer)
+        self.ff = make_fastforwarder(buffer)
         self.pos = 0
         self.done = False
         #: Match offsets: ``[start, end]`` or ``None`` for a reserved

@@ -19,7 +19,6 @@ import json
 import signal
 import sys
 
-from repro.engine import JsonSki
 from repro.engine.stats import GROUPS
 from repro.errors import (
     JsonPathSyntaxError,
@@ -28,7 +27,7 @@ from repro.errors import (
     ResourceLimitError,
     UnsupportedQueryError,
 )
-from repro.harness.runner import METHOD_LABELS, make_engine
+from repro.harness.runner import METHOD_LABELS
 from repro.stream.records import RecordStream
 
 #: The exit-code taxonomy, the single source of truth: the ``--help``
@@ -165,7 +164,7 @@ def _read_input(path: str) -> bytes:
         return handle.read()
 
 
-def _print_stats(engine: JsonSki, err) -> None:
+def _print_stats(engine, err) -> None:
     stats = engine.last_stats
     if stats is None:
         return
@@ -474,9 +473,9 @@ def main(argv: list[str] | None = None, out=None, err=None) -> int:
     # tracer for --trace.  Instrumented engines take both natively; for
     # the baselines the CLI records run-level counters itself below.
     registry = tracer = trace_sink = None
-    from repro.harness.runner import ENGINES as _ENGINES
+    from repro.registry import ENGINES as _ENGINES
 
-    info = _ENGINES[args.engine]
+    info = _ENGINES.info(args.engine)
     if args.metrics is not None:
         from repro.observe import MetricsRegistry
 
@@ -503,7 +502,9 @@ def main(argv: list[str] | None = None, out=None, err=None) -> int:
         observe_kwargs["limits"] = limits
 
     try:
-        engine = make_engine(args.engine, args.query, collect_stats=args.stats, **observe_kwargs)
+        from repro.registry import compile as compile_engine
+
+        engine = compile_engine(args.query, engine=args.engine, collect_stats=args.stats, **observe_kwargs)
 
         if args.checkpoint is not None:
             stop, restore = _signal_stop()
@@ -521,8 +522,12 @@ def main(argv: list[str] | None = None, out=None, err=None) -> int:
         if args.lenient and args.jsonl and not args.paths:
             return _run_lenient(args, engine, data, info, registry, trace_sink, out, err)
 
-        if args.first and isinstance(engine, JsonSki) and not args.jsonl and not args.paths:
-            match = engine.first(data)
+        # Two-stage engines: build the reusable stage-1 index once, so
+        # every view below (first / run / run_with_paths) is stage 2 only.
+        record = engine.index(data) if info.two_stage and not args.jsonl else data
+
+        if args.first and info.early_terminating and not args.jsonl and not args.paths:
+            match = engine.first(record)
             if match is not None:
                 print(match.text.decode("utf-8", "replace") if args.raw else match.value(), file=out)
             code = _finish_observability(args, info, registry, trace_sink, data,
@@ -536,9 +541,9 @@ def main(argv: list[str] | None = None, out=None, err=None) -> int:
             else:
                 matches = engine.run_records(stream)
         elif args.paths:
-            pairs = engine.run_with_paths(data)
+            pairs = engine.run_with_paths(record)
         else:
-            matches = engine.run(data)
+            matches = engine.run(record)
     except ReproError as exc:
         print(f"error: {exc}", file=err)
         # JsonPathSyntaxError.position is an offset into the query, not
@@ -555,7 +560,7 @@ def main(argv: list[str] | None = None, out=None, err=None) -> int:
         _finish_observability(args, info, registry, trace_sink, data, 0, err)
         return _exit_code_for(exc)
 
-    if args.stats and isinstance(engine, JsonSki):
+    if args.stats and info.instrumented:
         _print_stats(engine, err)
 
     code = _finish_observability(args, info, registry, trace_sink, data,

@@ -231,6 +231,8 @@ class FastForwarder:
         while skipped < k:
             while cur < size and data[cur] in _WS:
                 cur += 1
+            if cur >= size:
+                raise StreamExhaustedError("stream ended inside an array", cur)
             byte = data[cur]
             if byte == _LBRACE:
                 cur = self._go_to_close(cur + 1, CharClass.LBRACE, CharClass.RBRACE, 1)
@@ -241,6 +243,8 @@ class FastForwarder:
             # After the value: the next structural char is ',' or ']'.
             while cur < size and data[cur] in _WS:
                 cur += 1
+            if cur >= size:
+                raise StreamExhaustedError("stream ended inside an array", cur)
             delim_byte = data[cur]
             if delim_byte == _COMMA:
                 cur += 1
@@ -271,3 +275,87 @@ class FastForwarder:
         if open_quote == NOT_FOUND:
             raise StreamExhaustedError("unpaired quote before attribute value", close)
         return open_quote, self.data[open_quote + 1 : close]
+
+
+class VectorFastForwarder(FastForwarder):
+    """Stage-2 fast-forwards over the leveled depth tables.
+
+    Requires a scanner with :attr:`~repro.bits.scanner.Scanner.leveled`
+    set (a :class:`~repro.bits.scanner.VectorScanner` over a
+    :class:`~repro.bits.posindex.PositionBufferIndex`).  Skip-to-close
+    queries already route through the scanner's depth-table
+    ``pair_close``; this subclass additionally replaces the per-value G1
+    sweeps and the per-element G5 loop with single leveled lookups
+    (next wanted-type open at the current depth + k-th comma at the
+    current depth).  Positions, statistics, and error classes on
+    well-formed input match the word-at-a-time path byte for byte (the
+    vector-vs-word equivalence suite enforces this); inside *malformed*
+    skip regions the leveled lookup may tolerate delimiter garbage the
+    byte loop would trip over — the paper's Section 3.3 stance that
+    skipped regions are not validated.
+    """
+
+    def go_to_obj_attr(self, pos: int, want: str) -> tuple[bool, int, bytes | None, int]:
+        """``goToObjAttr()`` as two leveled lookups: the enclosing
+        object's closer bounds the sweep, and the next wanted-type open
+        at the attribute-value depth is read straight from the opens-by-
+        depth map (wrong-type siblings nest deeper and never surface)."""
+        want_byte = _LBRACE if want == "object" else _LBRACKET
+        scanner = self.scanner
+        end, found = scanner.leveled_obj_attr(pos, want_byte)
+        if end == NOT_FOUND:
+            raise StreamExhaustedError("stream ended inside an object", pos)
+        if found == NOT_FOUND:
+            return True, end + 1, None, 0
+        name_start, close = scanner.prev_quote_pair(found - 1)
+        if close == NOT_FOUND:
+            raise StreamExhaustedError("attribute value without a name", found)
+        if name_start == NOT_FOUND:
+            raise StreamExhaustedError("unpaired quote before attribute value", close)
+        return False, name_start, self.data[name_start + 1 : close], found
+
+    def go_to_ary_elem(self, pos: int, want: str) -> tuple[bool, int, int]:
+        """``goToAryElem()`` leveled: next wanted-type open at the element
+        depth, with crossed commas counted from the leveled comma map so
+        index constraints stay exact."""
+        want_byte = _LBRACE if want == "object" else _LBRACKET
+        end, found, commas = self.scanner.leveled_ary_elem(pos, want_byte)
+        if end == NOT_FOUND:
+            raise StreamExhaustedError("stream ended inside an array", pos)
+        if found == NOT_FOUND:
+            return True, end + 1, commas
+        return False, found, commas
+
+    def go_over_elems(self, pos: int, k: int) -> tuple[bool, int, int]:
+        """``goOverElems(K)`` as two searchsorted lookups: the enclosing
+        array's closer bounds the span, then the ``k``-th element-level
+        comma (combined depth of ``pos``) is read straight from the
+        leveled comma map."""
+        data = self.data
+        size = self.size
+        if k <= 0:
+            cur = pos
+            while cur < size and data[cur] in _WS:
+                cur += 1
+            return False, cur, 0
+        scanner = self.scanner
+        depth = scanner.structural_depth_before(pos)
+        end = scanner.close_at_combined_depth(depth - 1, pos)
+        if end == NOT_FOUND:
+            raise StreamExhaustedError("stream ended inside an array", pos)
+        comma, crossed = scanner.commas_at_depth(depth, pos, end, k)
+        if comma == NOT_FOUND:
+            return True, end + 1, crossed
+        cur = comma + 1
+        while cur < size and data[cur] in _WS:
+            cur += 1
+        return False, cur, k
+
+
+def make_fastforwarder(buffer: StreamBuffer) -> FastForwarder:
+    """Pick the fast-forwarder matching the buffer's scanner: the leveled
+    :class:`VectorFastForwarder` when depth tables are available, the
+    word-semantics :class:`FastForwarder` otherwise."""
+    if getattr(buffer.scanner, "leveled", False):
+        return VectorFastForwarder(buffer)
+    return FastForwarder(buffer)

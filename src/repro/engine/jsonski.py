@@ -34,7 +34,7 @@ from repro.bits.classify import CharClass
 from repro.bits.index import DEFAULT_CHUNK_SIZE
 from repro.engine.base import EngineBase
 from repro.engine.names import decode_name
-from repro.engine.fastforward import FastForwarder
+from repro.engine.fastforward import make_fastforwarder
 from repro.engine.output import MatchList
 from repro.engine.stats import FastForwardStats
 from repro.errors import JsonSyntaxError
@@ -42,7 +42,7 @@ from repro.observe import NOOP_TRACER, MetricsRegistry
 from repro.jsonpath.ast import Path
 from repro.resilience.guards import Limits, depth_error_from_recursion, effective_limits
 from repro.query.automaton import ACCEPT, ALIVE, QueryAutomaton, compile_query
-from repro.stream.buffer import StreamBuffer
+from repro.stream.buffer import StreamBuffer, as_stream_buffer
 from repro.stream.records import RecordStream
 
 _LBRACE, _RBRACE = 0x7B, 0x7D
@@ -93,6 +93,15 @@ class JsonSki(EngineBase):
     >>> engine = JsonSki("$.place.name")
     >>> engine.run(b'{"place": {"name": "Manhattan"}}').values()
     ['Manhattan']
+
+    .. note:: This one-shot constructor surface is kept for
+       compatibility; it is a thin layer over the two-stage
+       prepare/index/run API, which new code should prefer —
+       ``repro.compile(query)`` returns a
+       :class:`~repro.engine.prepared.PreparedQuery` and
+       ``repro.index(data)`` a reusable stage-1 index (see
+       ``docs/two-stage.md``).  Constructing the internal ``_Run`` type
+       directly is unsupported and its signature changes without notice.
     """
 
     def __init__(
@@ -145,10 +154,7 @@ class JsonSki(EngineBase):
     # ------------------------------------------------------------------
 
     def _buffer(self, data: bytes | str | StreamBuffer) -> StreamBuffer:
-        if isinstance(data, StreamBuffer):
-            buffer = data
-        else:
-            buffer = StreamBuffer(data, mode=self.mode, chunk_size=self.chunk_size, cache_chunks=self.cache_chunks)
+        buffer = as_stream_buffer(data, mode=self.mode, chunk_size=self.chunk_size, cache_chunks=self.cache_chunks)
         self.limits.check_record_size(len(buffer.data))
         if self._observed:
             if self._tracer.enabled:
@@ -184,6 +190,46 @@ class JsonSki(EngineBase):
         index = buffer.index
         return index.chunks_built, index.chunks_evicted, index.words_built
 
+    def _execute(
+        self,
+        data: bytes | str | StreamBuffer,
+        track_paths: bool = False,
+        trace: bool = False,
+        limit: int | None = None,
+    ) -> "tuple[_Run, MatchList]":
+        """The single match-iteration core behind every run view.
+
+        Builds the buffer, performs one streaming pass with the requested
+        bookkeeping, flushes observability (tracer span, fast-forward
+        events, registry counters) when the engine is observed, and
+        leaves :attr:`last_stats` set.  The public views differ only in
+        which ``_Run`` options they enable and how they shape the result.
+        """
+        buffer = self._buffer(data)
+        observed = self._observed
+        tracer = self._tracer
+        index_before = self._index_snapshot(buffer) if observed else (0, 0, 0)
+        run = _Run(
+            self.automaton,
+            buffer,
+            self.collect_stats or observed,
+            self._name_cache,
+            track_paths=track_paths,
+            limit=limit,
+            trace=trace or (observed and tracer.enabled),
+            limits=self.limits,
+        )
+        if observed and tracer.enabled:
+            with tracer.span("scan", engine="jsonski", bytes=len(buffer.data)) as span:
+                matches = run.execute()
+                span.set(matches=len(matches))
+        else:
+            matches = run.execute()
+        if observed:
+            self._finish_observed(run, buffer, index_before)
+        self.last_stats = run.stats
+        return run, matches
+
     def run(self, data: bytes | str | StreamBuffer) -> MatchList:
         """Stream one JSON record and return its matches.
 
@@ -193,21 +239,7 @@ class JsonSki(EngineBase):
             matches = self._delegate.run(data)
             self.last_stats = self._delegate.last_stats
             return matches
-        if self._observed:
-            buffer = self._buffer(data)
-            tracer = self._tracer
-            index_before = self._index_snapshot(buffer)
-            with tracer.span("scan", engine="jsonski", bytes=len(buffer.data)) as span:
-                run = _Run(self.automaton, buffer, True, self._name_cache, trace=tracer.enabled, limits=self.limits)
-                matches = run.execute()
-                span.set(matches=len(matches))
-            self._finish_observed(run, buffer, index_before)
-            self.last_stats = run.stats
-            return matches
-        run = _Run(self.automaton, self._buffer(data), self.collect_stats, self._name_cache, limits=self.limits)
-        matches = run.execute()
-        self.last_stats = run.stats
-        return matches
+        return self._execute(data)[1]
 
     def run_with_paths(self, data: bytes | str | StreamBuffer) -> list[tuple[tuple, "object"]]:
         """Stream one record; return ``(normalized_path, Match)`` pairs.
@@ -220,9 +252,7 @@ class JsonSki(EngineBase):
             from repro.errors import UnsupportedQueryError
 
             raise UnsupportedQueryError("run_with_paths is not available for filter queries")
-        run = _Run(self.automaton, self._buffer(data), self.collect_stats, self._name_cache, track_paths=True, limits=self.limits)
-        matches = run.execute()
-        self.last_stats = run.stats
+        run, matches = self._execute(data, track_paths=True)
         assert run.match_paths is not None
         return [(path, matches[i]) for i, path in enumerate(run.match_paths)]
 
@@ -236,9 +266,7 @@ class JsonSki(EngineBase):
             from repro.errors import UnsupportedQueryError
 
             raise UnsupportedQueryError("trace_run is not available for filter queries")
-        run = _Run(self.automaton, self._buffer(data), self.collect_stats, self._name_cache, trace=True, limits=self.limits)
-        matches = run.execute()
-        self.last_stats = run.stats
+        run, matches = self._execute(data, trace=True)
         return matches, run.trace
 
     def first(self, data: bytes | str | StreamBuffer):
@@ -248,16 +276,11 @@ class JsonSki(EngineBase):
         if self._delegate is not None:
             matches = self._delegate.run(data)
             return matches[0] if len(matches) else None
-        buffer = self._buffer(data)
-        index_before = self._index_snapshot(buffer) if self._observed else (0, 0, 0)
-        run = _Run(self.automaton, buffer, collect_stats=self._observed, name_cache=self._name_cache, limit=1, limits=self.limits)
-        matches = run.execute()
-        if self._observed:
-            self._finish_observed(run, buffer, index_before)
-            if self._metrics is not None and len(matches):
-                # The early-termination proof: streaming stopped at the
-                # first hit, leaving the tail of the record unconsumed.
-                self._metrics.counter("engine.early_stops").add(1)
+        run, matches = self._execute(data, limit=1)
+        if self._metrics is not None and len(matches):
+            # The early-termination proof: streaming stopped at the
+            # first hit, leaving the tail of the record unconsumed.
+            self._metrics.counter("engine.early_stops").add(1)
         return matches[0] if len(matches) else None
 
     def exists(self, data: bytes | str | StreamBuffer) -> bool:
@@ -306,7 +329,7 @@ class _Run:
         self.deadline = limits.deadline if limits is not None else None
         self.data = buffer.data
         self.size = len(buffer.data)
-        self.ff = FastForwarder(buffer)
+        self.ff = make_fastforwarder(buffer)
         self.matches = MatchList()
         self.stats = FastForwardStats() if collect_stats else None
         self.names = name_cache

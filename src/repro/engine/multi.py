@@ -19,7 +19,7 @@ from repro.engine.stats import FastForwardStats
 from repro.jsonpath.ast import Path
 from repro.observe import NOOP_TRACER
 from repro.query.multi import MultiQueryAutomaton
-from repro.stream.buffer import StreamBuffer
+from repro.stream.buffer import StreamBuffer, as_stream_buffer
 from repro.stream.records import RecordStream
 
 
@@ -88,11 +88,7 @@ class JsonSkiMulti:
 
     def run(self, data: bytes | str | StreamBuffer) -> list[MatchList]:
         """Stream one record once; return one MatchList per query."""
-        buffer = (
-            data
-            if isinstance(data, StreamBuffer)
-            else StreamBuffer(data, mode=self.mode, chunk_size=self.chunk_size, cache_chunks=self.cache_chunks)
-        )
+        buffer = as_stream_buffer(data, mode=self.mode, chunk_size=self.chunk_size, cache_chunks=self.cache_chunks)
         self.limits.check_record_size(len(buffer.data))
         if not self._observed:
             run = _MultiRun(self.automaton, buffer, self.collect_stats, self._name_cache, limits=self.limits)

@@ -1,0 +1,174 @@
+"""Prepare/index/run: the two-stage engine API.
+
+The two-stage hot path (``docs/two-stage.md``) separates work that
+depends only on the *query* (automaton compilation), work that depends
+only on the *data* (the stage-1 structural index — per-class position
+arrays, leveled depth tables), and the stage-2 streaming pass that
+consumes both.  This module gives each stage a first-class object:
+
+- :func:`repro.compile` → :class:`PreparedQuery` — the compiled query,
+  reusable across many buffers;
+- :func:`repro.index` (or :meth:`PreparedQuery.index`) →
+  :class:`IndexedBuffer` — one input's stage-1 artifacts, reusable
+  across many queries;
+- :meth:`PreparedQuery.run` — stage 2, accepting raw bytes *or* an
+  :class:`IndexedBuffer`.
+
+Amortization matrix::
+
+    prepared = repro.compile("$.pd[*].id")
+    indexed = repro.index(data)          # stage 1, once
+    prepared.run(indexed)                # stage 2 only
+    repro.compile("$.pd[*].sp").run(indexed)   # same index, new query
+    prepared.run(other_data)             # same query, new buffer
+
+The legacy one-shot surface (``JsonSki(query).run(data)``) remains a
+thin wrapper over the same machinery and is kept for compatibility; new
+code should prefer this API.  Constructing ``repro.engine.jsonski._Run``
+directly is unsupported — it is an internal type whose signature changes
+without notice (see ``docs/api.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.bits.index import DEFAULT_CHUNK_SIZE
+from repro.stream.buffer import StreamBuffer
+
+
+class IndexedBuffer:
+    """One input's stage-1 artifacts: bytes plus a retained structural
+    index, reusable across queries and runs.
+
+    Unlike the transient :class:`~repro.stream.buffer.StreamBuffer` an
+    engine builds per ``run(bytes)`` call (whose chunk cache is bounded
+    because the buffer is throwaway), an :class:`IndexedBuffer` retains
+    every built chunk (``cache_chunks=None``), so the second query over
+    the same data pays zero stage-1 cost.  Construct via
+    :func:`repro.index` or :meth:`PreparedQuery.index`.
+    """
+
+    def __init__(
+        self,
+        data: bytes | str | StreamBuffer,
+        mode: str = "vector",
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
+        if isinstance(data, StreamBuffer):
+            self.buffer = data
+        else:
+            self.buffer = StreamBuffer(data, mode=mode, chunk_size=chunk_size, cache_chunks=None)
+
+    @property
+    def data(self) -> bytes:
+        return self.buffer.data
+
+    @property
+    def mode(self) -> str:
+        """Scanner mode the index was built for (``'vector'``/``'word'``)."""
+        return self.buffer.mode
+
+    def __len__(self) -> int:
+        return len(self.buffer.data)
+
+    def warm(self) -> "IndexedBuffer":
+        """Eagerly build every chunk's stage-1 index (normally chunks
+        build lazily as the scan reaches them).  Returns ``self``."""
+        index = self.buffer.index
+        for chunk_id in range(index.n_chunks):
+            index.get(chunk_id)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IndexedBuffer({len(self)} bytes, mode={self.mode!r})"
+
+
+# repro: ignore[RS003,RS007] -- not an engine: a wrapper the registry's
+# compile() puts around every constructed engine; it takes the engine
+# instance (limits and friends were already applied by the factory) and
+# is selected through compile(), never registered itself.
+class PreparedQuery:
+    """A compiled query bound to one registered engine.
+
+    Wraps the engine instance built by :func:`repro.compile`, adding the
+    two-stage verbs (:meth:`index`, :meth:`run` over an
+    :class:`IndexedBuffer`) while delegating the full engine surface
+    (``first``, ``exists``, ``run_records``, ``last_stats``, ...)
+    unchanged, so it is a drop-in replacement for the engine object the
+    factory used to return.
+    """
+
+    def __init__(self, engine: Any, info: Any = None) -> None:
+        self.engine = engine
+        #: The registry :class:`~repro.registry.EngineInfo`, when known.
+        self.info = info
+
+    # -- two-stage verbs ------------------------------------------------
+
+    def index(self, data: bytes | str | StreamBuffer, chunk_size: int | None = None) -> IndexedBuffer:
+        """Stage 1: build a reusable :class:`IndexedBuffer` for ``data``
+        in this engine's scanner mode."""
+        if isinstance(data, StreamBuffer):
+            return IndexedBuffer(data)
+        return IndexedBuffer(
+            data,
+            mode=getattr(self.engine, "mode", "vector"),
+            chunk_size=chunk_size if chunk_size is not None else getattr(self.engine, "chunk_size", DEFAULT_CHUNK_SIZE),
+        )
+
+    @staticmethod
+    def _coerce(data: Any) -> Any:
+        return data.buffer if isinstance(data, IndexedBuffer) else data
+
+    # -- execution views (all accept bytes / StreamBuffer / IndexedBuffer)
+
+    def run(self, data: Any):
+        """Stage 2: stream ``data`` (raw bytes, a ``StreamBuffer``, or a
+        reusable :class:`IndexedBuffer`) and return the matches."""
+        return self.engine.run(self._coerce(data))
+
+    def first(self, data: Any):
+        return self.engine.first(self._coerce(data))
+
+    def exists(self, data: Any) -> bool:
+        return self.engine.exists(self._coerce(data))
+
+    def run_with_paths(self, data: Any):
+        return self.engine.run_with_paths(self._coerce(data))
+
+    def trace_run(self, data: Any):
+        return self.engine.trace_run(self._coerce(data))
+
+    def run_records(self, stream: Any):
+        return self.engine.run_records(stream)
+
+    @property
+    def last_stats(self):
+        return self.engine.last_stats
+
+    @property
+    def path(self):
+        return getattr(self.engine, "path", None)
+
+    def __getattr__(self, name: str) -> Any:
+        # Anything not overridden (limits, automaton, mode, ...) reads
+        # through to the engine, keeping old callers working unchanged.
+        # Dunders are excluded so protocol probes (copy/pickle) don't
+        # recurse through a half-initialized wrapper.
+        if name.startswith("__") and name.endswith("__"):
+            raise AttributeError(name)  # repro: ignore[RS002] -- the __getattr__ protocol requires AttributeError
+        return getattr(self.__dict__["engine"], name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PreparedQuery({self.engine!r})"
+
+
+def index(
+    data: bytes | str | StreamBuffer,
+    mode: str = "vector",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> IndexedBuffer:
+    """Build a reusable stage-1 index over ``data`` (module-level verb;
+    see :class:`IndexedBuffer`)."""
+    return IndexedBuffer(data, mode=mode, chunk_size=chunk_size)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.engine.fastforward import FastForwarder
+from repro.engine.fastforward import FastForwarder, make_fastforwarder
 from repro.errors import JsonSyntaxError, UnsupportedQueryError
 from repro.jsonpath.ast import Child, Path
 from repro.jsonpath.parser import parse_path
@@ -114,7 +114,7 @@ def split_top_level(data: bytes, array_path: str | Path, mode: str = "vector") -
     if not all(isinstance(s, Child) for s in steps):
         raise UnsupportedQueryError("array_path must be '$' or a chain of child steps")
     buffer = StreamBuffer(data, mode=mode)
-    ff = FastForwarder(buffer)
+    ff = make_fastforwarder(buffer)
     pos = buffer.skip_ws(0)
 
     # Navigate the child chain to the unit array.

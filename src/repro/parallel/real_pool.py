@@ -33,9 +33,9 @@ _WORKER_QUERY = None
 def _run_batch(query: str, records: list[bytes]) -> list[list[Any]]:
     global _WORKER_ENGINE, _WORKER_QUERY
     if _WORKER_QUERY != query:
-        from repro.engine.jsonski import JsonSki
+        from repro.registry import compile as compile_engine
 
-        _WORKER_ENGINE = JsonSki(query)
+        _WORKER_ENGINE = compile_engine(query)
         _WORKER_QUERY = query
     return [_WORKER_ENGINE.run(record).values() for record in records]
 
@@ -48,15 +48,15 @@ def _run_batch_metered(query: str, records: list[bytes]) -> tuple[list[list[Any]
     parent-side merge is a plain sum).  Only the plain-dict snapshot
     crosses the process boundary.
     """
-    from repro.engine.jsonski import JsonSki
     from repro.observe import MetricsRegistry
+    from repro.registry import compile as compile_engine
 
     registry = MetricsRegistry()
     # A fresh engine per batch: the registry is baked into the engine (and
     # any filter delegate) at construction, so swapping registries on a
     # cached engine would mis-route counters.  Compilation is microseconds
     # against a batch of record scans.
-    engine = JsonSki(query, metrics=registry)
+    engine = compile_engine(query, metrics=registry)
     values = [engine.run(record).values() for record in records]
     registry.counter("parallel.batch_records").add(len(records))
     return values, registry.as_dict()
@@ -135,9 +135,9 @@ def _run_batch_resilient(
     from repro.errors import ReproError
 
     if _WORKER_QUERY != query:
-        from repro.engine.jsonski import JsonSki
+        from repro.registry import compile as compile_engine
 
-        _WORKER_ENGINE = JsonSki(query)
+        _WORKER_ENGINE = compile_engine(query)
         _WORKER_QUERY = query
     out: list[tuple] = []
     for record in records:

@@ -25,6 +25,7 @@ from typing import Any, Callable
 from repro.baselines import JPStream, PisonLike, RapidJsonLike, SimdJsonLike, StdlibJson
 from repro.engine import JsonSki, RecursiveDescentStreamer
 from repro.engine.base import ensure_query_supported
+from repro.engine.prepared import PreparedQuery
 from repro.jsonpath.ast import Path
 from repro.jsonpath.parser import parse_path
 
@@ -56,6 +57,11 @@ class EngineInfo:
     instrumented:
         Whether the engine populates the observability layer
         (``last_stats``, spans, registry counters).
+    two_stage:
+        Whether the engine executes as two separable stages — a stage-1
+        structural index (reusable via :func:`repro.index` /
+        :class:`~repro.engine.prepared.IndexedBuffer`) and a stage-2
+        streaming pass — so index cost can be amortized across queries.
     """
 
     name: str
@@ -67,6 +73,7 @@ class EngineInfo:
     supports_filters: bool = True
     early_terminating: bool = False
     instrumented: bool = False
+    two_stage: bool = False
 
     def check_query(self, path: Path) -> None:
         """Raise :class:`UnsupportedQueryError` if ``path`` needs a
@@ -133,12 +140,12 @@ ENGINES.register(EngineInfo(
 ))
 ENGINES.register(EngineInfo(
     name="jsonski", label="JSONSki", factory=JsonSki,
-    streaming=True, early_terminating=True, instrumented=True,
+    streaming=True, early_terminating=True, instrumented=True, two_stage=True,
 ))
 ENGINES.register(EngineInfo(
     name="jsonski-word", label="JSONSki(word)",
     factory=lambda query, **opts: JsonSki(query, mode="word", **opts),
-    streaming=True, early_terminating=True, instrumented=True,
+    streaming=True, early_terminating=True, instrumented=True, two_stage=True,
 ))
 ENGINES.register(EngineInfo(
     name="rds", label="RDS(no-FF)", factory=RecursiveDescentStreamer,
@@ -150,13 +157,18 @@ ENGINES.register(EngineInfo(
 ))
 
 
-def compile(query: str | Path, engine: str = "jsonski", **opts: Any):
+def compile(query: str | Path, engine: str = "jsonski", **opts: Any) -> PreparedQuery:
     """Compile ``query`` for a registered engine — the unified factory.
 
     Parses the query once, verifies the engine supports its features
     (raising a uniform :class:`~repro.errors.UnsupportedQueryError`
     otherwise), and forwards ``opts`` to the constructor.  Unsupported
     keyword options raise the constructor's ordinary :class:`TypeError`.
+
+    Returns a :class:`~repro.engine.prepared.PreparedQuery`, which
+    exposes the full engine surface plus the two-stage verbs
+    (``.index(data)`` and ``.run(indexed_buffer)``); see
+    ``docs/two-stage.md``.
 
     >>> import repro
     >>> repro.compile("$.a", engine="jpstream").run(b'{"a": 7}').values()
@@ -165,7 +177,7 @@ def compile(query: str | Path, engine: str = "jsonski", **opts: Any):
     info = ENGINES.info(engine)
     path = parse_path(query) if isinstance(query, str) else query
     info.check_query(path)
-    return info(path, **opts)
+    return PreparedQuery(info(path, **opts), info)
 
 
 __all__ = ["ENGINES", "EngineInfo", "EngineRegistry", "compile"]

@@ -123,8 +123,19 @@ def run_with_recovery(
     exactly once across kill/resume cycles, and ``stop`` (called with the
     next record index) requests a clean early exit.  See
     :func:`repro.checkpoint.runs.checkpointed_recovery`.
+
+    ``engine`` may also be query text (or a parsed
+    :class:`~repro.jsonpath.ast.Path`), which is compiled through the
+    registry into a :class:`~repro.engine.prepared.PreparedQuery` — the
+    recommended spelling for new code.
     """
     from repro.errors import DeadlineExceededError
+    from repro.jsonpath.ast import Path
+
+    if isinstance(engine, (str, Path)):
+        from repro.registry import compile as compile_engine
+
+        engine = compile_engine(engine)
 
     if checkpoint is not None:
         from repro.checkpoint.runs import checkpointed_recovery

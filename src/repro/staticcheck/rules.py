@@ -1,4 +1,4 @@
-"""The seven engine-contract rules (RS001-RS007).
+"""The engine-contract rules (RS001-RS008).
 
 Each rule is documented in ``docs/static-analysis.md`` with its
 rationale and the exact exemptions it grants; the docstrings here are
@@ -632,3 +632,47 @@ class RegistryCompleteness(Rule):
                             "in any EngineInfo(...); register it (with "
                             "capability flags) or justify why it is internal",
                             col=class_node.col_offset)
+
+
+@register_rule
+class PerWordIntLoop(Rule):
+    """RS008: no per-word Python-int loops outside the word layer.
+
+    The vectorized two-stage hot path exists precisely so stage 2 never
+    lifts bitmap words to Python ints one at a time; ``int(words[i])``
+    inside a ``for``/``while`` is the word-at-a-time idiom and belongs
+    in ``repro/bits/words.py`` or the explicitly paper-faithful word
+    scanner (suppressed with a reason).  Anywhere else it silently
+    reintroduces the per-word interpreter overhead the position index
+    was built to remove.
+    """
+
+    code = "RS008"
+    name = "per-word-int-loop"
+    summary = "per-word int() loop outside the word layer"
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: FileContext, project: Project) -> None:
+        assert isinstance(node, ast.Call)
+        if not (isinstance(node.func, ast.Name) and node.func.id == "int" and node.args):
+            return
+        if ctx.in_packages("bits") and ctx.module_name == "words":
+            return
+        if not any(isinstance(anc, (ast.For, ast.While)) for anc in ctx.ancestors(node)):
+            return
+        if not self._references_words(node.args[0]):
+            return
+        project.add(self, ctx, node,
+                    "per-word int() inside a loop: word-at-a-time bit "
+                    "manipulation belongs in repro/bits/words.py (or the "
+                    "paper-faithful word path, with a suppression naming it); "
+                    "use the per-chunk position arrays instead")
+
+    @staticmethod
+    def _references_words(expr: ast.expr) -> bool:
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Name) and sub.id in ("word", "words"):
+                return True
+            if isinstance(sub, ast.Attribute) and sub.attr == "words":
+                return True
+        return False

@@ -34,6 +34,7 @@ class StreamBuffer:
         if isinstance(data, str):
             data = data.encode("utf-8")
         self.data = data
+        self.mode = mode
         # Vector mode reads only per-class positions, so it can use the
         # cheaper position-based index; word mode needs the mirrored word
         # bitmaps of Algorithm 3.
@@ -75,3 +76,27 @@ class StreamBuffer:
         while end > start and data[end - 1] in _WS:
             end -= 1
         return end
+
+
+def as_stream_buffer(
+    data,
+    mode: str = "vector",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    cache_chunks: int | None = 4,
+) -> StreamBuffer:
+    """Coerce engine input to a :class:`StreamBuffer` — the one place all
+    engines share.
+
+    Accepts raw ``bytes``/``str`` (a fresh buffer is built with the given
+    index parameters), an existing :class:`StreamBuffer` (used as-is, its
+    already-built index intact), or anything carrying one in a ``buffer``
+    attribute — i.e. a reusable
+    :class:`~repro.engine.prepared.IndexedBuffer` (duck-typed here to
+    keep this low-level module free of engine imports).
+    """
+    if isinstance(data, StreamBuffer):
+        return data
+    inner = getattr(data, "buffer", None)
+    if isinstance(inner, StreamBuffer):
+        return inner
+    return StreamBuffer(data, mode=mode, chunk_size=chunk_size, cache_chunks=cache_chunks)

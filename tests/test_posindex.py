@@ -80,3 +80,40 @@ class TestEquivalenceWithWordIndex:
             assert wc.carry_out == pc.carry_out, (cid, data)
             for cls in _CLASSES:
                 assert list(wc.positions_list(cls)) == list(pc.positions_list(cls)), (cid, cls, data)
+
+
+class TestSingleDecode:
+    """Regression: ``positions()`` used to re-filter the keep array on
+    every call — one decode per class per chunk is the contract (the
+    two-stage story depends on stage-1 artifacts being built once)."""
+
+    DATA = b'{"a": [1, 2], "b": {"c": [3]}}'
+
+    def test_positions_decodes_once(self):
+        import numpy as np
+
+        chunk = build_position_chunk(self.DATA, 0)
+        counter = {"eq": 0}
+
+        class Counting(np.ndarray):
+            def __eq__(self, other):  # each decode compares keep_vals once per byte value
+                counter["eq"] += 1
+                return np.ndarray.__eq__(self, other)
+
+        chunk.keep_vals = chunk.keep_vals.view(Counting)
+        for _ in range(5):
+            chunk.positions(CharClass.COLON)
+        assert counter["eq"] == 1, f"COLON decoded {counter['eq']} times"
+
+    def test_positions_and_lists_are_memoized(self):
+        chunk = build_position_chunk(self.DATA, 0)
+        for cls in (CharClass.COMMA, CharClass.LBRACE, CharClass.OPEN):
+            assert chunk.positions(cls) is chunk.positions(cls)
+            assert chunk.positions_list(cls) is chunk.positions_list(cls)
+        assert chunk.depth_tables() is chunk.depth_tables()
+
+    def test_memoized_positions_still_correct(self):
+        chunk = build_position_chunk(self.DATA, 0)
+        first = list(chunk.positions_list(CharClass.COMMA))
+        again = list(chunk.positions_list(CharClass.COMMA))
+        assert first == again == [8, 12]

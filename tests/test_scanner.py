@@ -132,3 +132,100 @@ class TestPairClose:
     def test_unclosed_returns_not_found(self):
         _, vector = _scanners(b'{"a": {')
         assert vector.pair_close(CharClass.LBRACE, CharClass.RBRACE, 1, 1) == NOT_FOUND
+
+
+class TestLeveledQueries:
+    """The leveled G1/G5 lookups behind VectorFastForwarder (this is the
+    vectorized stage-2 hot path; boundary semantics are pinned here and
+    cross-checked against word mode by the equivalence suite)."""
+
+    DATA = b'{"a": 1, "b": {"x": [9]}, "c": [10, {"d": 2}, [3], 11], "e": 4}'
+    #       0123456789...
+    _LBRACE, _LBRACKET = 0x7B, 0x5B
+
+    def _vector(self, data=None, chunk_size=64):
+        data = self.DATA if data is None else data
+        return VectorScanner(PositionBufferIndex(data, chunk_size=chunk_size, cache_chunks=None))
+
+    def test_leveled_obj_attr_finds_object_value(self):
+        sc = self._vector()
+        # from just inside the root object, next object-typed value is $.b's
+        end, found = sc.leveled_obj_attr(1, self._LBRACE)
+        assert self.DATA[found] == self._LBRACE
+        assert found == self.DATA.index(b'{"x"')
+        assert self.DATA[end] == 0x7D and end == len(self.DATA) - 1
+
+    def test_leveled_obj_attr_skips_nested_opens(self):
+        sc = self._vector()
+        # array-typed value of the root: $.c's '[' — not the nested
+        # '[9]' inside $.b (deeper) and not '[3]' inside $.c
+        end, found = sc.leveled_obj_attr(1, self._LBRACKET)
+        assert found == self.DATA.index(b'[10')
+
+    def test_leveled_obj_attr_not_found(self):
+        sc = self._vector(b'{"a": 1, "b": 2}')
+        end, found = sc.leveled_obj_attr(1, self._LBRACE)
+        assert found == NOT_FOUND
+        assert end == 15  # the closing '}'
+
+    def test_leveled_ary_elem_counts_commas(self):
+        sc = self._vector()
+        start = self.DATA.index(b'10')
+        end, found, commas = sc.leveled_ary_elem(start, self._LBRACE)
+        assert found == self.DATA.index(b'{"d"')
+        assert commas == 1  # one top-level comma crossed before it
+        end2, found2, commas2 = sc.leveled_ary_elem(start, self._LBRACKET)
+        assert found2 == self.DATA.index(b'[3]')
+        assert commas2 == 2
+
+    def test_leveled_ary_elem_exhausted(self):
+        sc = self._vector(b'[1, 2, 3]')
+        end, found, commas = sc.leveled_ary_elem(1, self._LBRACE)
+        assert found == NOT_FOUND
+        assert end == 8 and commas == 2
+
+    def test_close_at_combined_depth(self):
+        sc = self._vector()
+        # first depth-0 close at/after position 1 is the final '}'
+        assert sc.close_at_combined_depth(0, 1) == len(self.DATA) - 1
+        # inside $.c, depth-1 close is $.c's ']'
+        start = self.DATA.index(b'10')
+        assert sc.close_at_combined_depth(1, start) == self.DATA.index(b'], "e"')
+
+    def test_count_commas_at_depth(self):
+        sc = self._vector()
+        start = self.DATA.index(b'[10') + 1
+        stop = self.DATA.index(b'], "e"')
+        # $.c has 3 element-separating commas; nested containers' commas
+        # (none here) would sit deeper
+        assert sc.count_commas_at_depth(2, start, stop) == 3
+
+    def test_open_at_depth_bounded(self):
+        sc = self._vector()
+        lo = self.DATA.index(b'[10') + 1
+        hi = self.DATA.index(b'], "e"')
+        assert sc.open_at_depth(self._LBRACE, 3, lo, hi) == self.DATA.index(b'{"d"')
+        # no object open in ["d"'s value .. hi) at that depth
+        assert sc.open_at_depth(self._LBRACE, 3, self.DATA.index(b'{"d"') + 1, hi) == NOT_FOUND
+
+    def test_prev_quote_pair(self):
+        sc = self._vector()
+        vstart = self.DATA.index(b'{"x"')
+        opening, closing = sc.prev_quote_pair(vstart - 1)
+        assert self.DATA[opening + 1 : closing] == b"b"
+
+    def test_prev_quote_pair_cross_chunk_fallback(self):
+        data = b'{"' + b"k" * 100 + b'": {"x": 1}}'
+        sc = self._vector(data, chunk_size=64)
+        vstart = data.index(b'{"x"')
+        opening, closing = sc.prev_quote_pair(vstart - 1)
+        assert data[opening + 1 : closing] == b"k" * 100
+
+    def test_leveled_queries_cross_chunk(self):
+        # force the container end and the wanted open into later chunks
+        pad = b'"' + b"p" * 200 + b'", '
+        data = b'{"a": ' + pad + b'"b": {"x": 1}, "c": 2}'
+        sc = self._vector(data, chunk_size=64)
+        end, found = sc.leveled_obj_attr(1, self._LBRACE)
+        assert found == data.index(b'{"x"')
+        assert end == len(data) - 1

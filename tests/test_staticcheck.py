@@ -325,6 +325,60 @@ class TestRS007:
 
 
 # ---------------------------------------------------------------------------
+# RS008 — per-word Python-int loops outside repro/bits/words.py
+
+
+class TestRS008:
+    LOOPING = (
+        "def f(words):\n"
+        "    total = 0\n"
+        "    for wid in range(len(words)):\n"
+        "        total += int(words[wid])\n"
+        "    return total\n"
+    )
+
+    def test_per_word_loop_fails(self):
+        findings = check_one(BITS, self.LOOPING, select=["RS008"])
+        assert codes(findings) == ["RS008"]
+        assert findings[0].line == 4
+
+    def test_while_loop_fails(self):
+        src = (
+            "def f(chunk, n):\n"
+            "    wid = 0\n"
+            "    while wid < n:\n"
+            "        w = int(chunk.words[wid])\n"
+            "        wid += 1\n"
+        )
+        assert codes(check_one(ENGINE, src, select=["RS008"])) == ["RS008"]
+
+    def test_words_module_exempt(self):
+        assert check_one("src/repro/bits/words.py", self.LOOPING, select=["RS008"]) == []
+
+    def test_int_outside_loop_passes(self):
+        src = "def f(words):\n    return int(words[0])\n"
+        assert check_one(BITS, src, select=["RS008"]) == []
+
+    def test_unrelated_int_in_loop_passes(self):
+        src = (
+            "def f(values):\n"
+            "    out = []\n"
+            "    for v in values:\n"
+            "        out.append(int(v))\n"
+            "    return out\n"
+        )
+        assert check_one(BITS, src, select=["RS008"]) == []
+
+    def test_suppression_honored(self):
+        src = (
+            "def f(words):\n"
+            "    for wid in range(len(words)):\n"
+            "        w = int(words[wid])  # repro: ignore[RS008] -- fixture\n"
+        )
+        assert check_one(BITS, src, select=["RS008"]) == []
+
+
+# ---------------------------------------------------------------------------
 # Suppressions
 
 

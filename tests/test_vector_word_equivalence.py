@@ -1,0 +1,135 @@
+"""Property-based vector-vs-word equivalence (tier-1, ``fuzz_smoke``).
+
+The vectorized two-stage hot path (leveled G1/G5 seeks as searchsorted
+lookups — see ``docs/two-stage.md``) must be observationally equivalent
+to the paper-faithful word-at-a-time mode on well-formed input: same
+matches, same per-group :class:`~repro.engine.stats.FastForwardStats`,
+same checkpoint/resume trajectory.  On *malformed* input both modes
+tolerate skip-region damage (the paper's Section 3.3: skipped regions
+are not validated), and the leveled lookups may diverge from the word
+walk — that is a documented validation gap, classified and bounded here
+rather than hidden.
+
+The corpus is the differential fuzzer's seeded mutation corpus
+(:func:`repro.resilience.corpus`), so every failure replays locally from
+its seed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro.engine.stats import GROUPS
+from repro.errors import ReproError
+from repro.resilience import corpus
+
+BASE_RECORDS = [
+    json.dumps({"a": {"b": 1, "k": [1, 2]}, "x": "s"}).encode(),
+    json.dumps([{"x": 1}, {"x": "two", "k": None}]).encode(),
+    json.dumps({"a": [0, 1, 2, 3, 4], "k": {"k": True}}).encode(),
+    json.dumps({"a": [{"b": {"c": 1}}, {"b": 2}, 3, {"b": [4]}]}).encode(),
+]
+
+QUERIES = ("$.a", "$.a.b", "$[*].x", "$.a[1:3]", "$..k", "$.a[*].b")
+
+N_MUTATIONS = 120
+
+
+def _is_valid_json(data: bytes) -> bool:
+    try:
+        json.loads(data)
+    except Exception:
+        return False
+    return True
+
+
+def _outcome(query: str, data: bytes, mode: str):
+    """One run's full observable outcome: matches + stats, or the error."""
+    engine = repro.JsonSki(query, mode=mode, collect_stats=True)
+    try:
+        matches = engine.run(data)
+    except ReproError as exc:
+        return ("error", type(exc).__name__)
+    except ValueError:
+        # tolerated skip-region damage surfacing as an undecodable match
+        return ("error", "ValueError")
+    stats = engine.last_stats
+    spans = [(m.start, m.end) for m in matches]
+    chars = {g: stats.chars[g] for g in GROUPS}
+    return ("ok", spans, chars, stats.total_length)
+
+
+@pytest.mark.fuzz_smoke
+def test_vector_word_equivalence_on_base_records():
+    """On well-formed input the two modes must agree exactly —
+    matches, per-group stats, and total length."""
+    for query in QUERIES:
+        for data in BASE_RECORDS:
+            word = _outcome(query, data, "word")
+            vector = _outcome(query, data, "vector")
+            assert vector == word, (
+                f"vector/word divergence on valid input: query={query!r} "
+                f"data={data!r}\n  word={word}\n  vector={vector}"
+            )
+
+
+@pytest.mark.fuzz_smoke
+def test_vector_word_equivalence_over_fuzz_corpus():
+    """Across the mutation corpus: exact equivalence on every mutation
+    that is still valid JSON; bounded, classified divergence otherwise."""
+    mutations = corpus(BASE_RECORDS, N_MUTATIONS, seed=11)
+    gaps = []
+    cases = 0
+    for mutation in mutations:
+        valid = _is_valid_json(mutation.data)
+        for query in QUERIES:
+            cases += 1
+            word = _outcome(query, mutation.data, "word")
+            vector = _outcome(query, mutation.data, "vector")
+            if vector == word:
+                continue
+            if word[0] == "error" and vector[0] == "error":
+                # Both diagnosed the damage; the exact class may differ
+                # by mode (they traverse different bytes before hitting
+                # it).  Both raising ReproError is the contract.
+                continue
+            assert not valid, (
+                f"vector/word divergence on VALID JSON: query={query!r} "
+                f"seed={mutation.seed} kind={mutation.kind}\n"
+                f"  data={mutation.data!r}\n  word={word}\n  vector={vector}"
+            )
+            gaps.append((mutation.kind, mutation.seed, query, word[0], vector[0]))
+    # The Section-3.3 validation gap exists but must stay a small
+    # minority of malformed cases, not the norm.
+    assert len(gaps) < cases * 0.10, (
+        f"{len(gaps)}/{cases} divergent cases — validation gap exploded:\n"
+        + "\n".join(map(str, gaps[:20]))
+    )
+
+
+@pytest.mark.fuzz_smoke
+def test_checkpoint_resume_equivalence_vector_vs_word():
+    """Suspend/serialize/resume at tight byte budgets in both modes; the
+    final matches must agree with each other and with the straight run
+    (carry bits + array cursors round-trip through the dict form)."""
+    from repro.checkpoint import SuspendableRun
+
+    for query in ("$.a", "$[*].x", "$.a[1:3]", "$.a.b"):
+        for data in BASE_RECORDS:
+            per_mode = {}
+            for mode in ("vector", "word"):
+                run = SuspendableRun.begin(query, data, mode=mode, chunk_size=64)
+                while not run.step(max_bytes=7):
+                    state = run.suspend().to_dict()
+                    state = json.loads(json.dumps(state))  # full serialization
+                    run = SuspendableRun.resume(data, state)
+                per_mode[mode] = [(m.start, m.end) for m in run.matches()]
+            straight = [(m.start, m.end) for m in repro.JsonSki(query).run(data)]
+            assert per_mode["vector"] == per_mode["word"] == straight, (
+                f"checkpoint equivalence broke: query={query!r} data={data!r} "
+                f"vector={per_mode['vector']} word={per_mode['word']} "
+                f"straight={straight}"
+            )
