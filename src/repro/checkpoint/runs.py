@@ -351,8 +351,11 @@ def checkpointed_pool(
     max_retries: int = 2,
     timeout: float | None = None,
     backoff: float = 0.05,
+    backoff_jitter: float = 1.0,
+    backoff_rng=None,
     metrics=None,
     inject_faults: bool = False,
+    limits=None,
 ):
     """:func:`~repro.parallel.run_records_pool_resilient` with a durable cursor.
 
@@ -362,12 +365,23 @@ def checkpointed_pool(
     counters are committed.  ``stop`` is consulted between segments —
     segment granularity is the pool's natural commit unit, since records
     within a segment complete out of order across workers.
+
+    ``limits`` with an already-expired absolute deadline fails fast with
+    :class:`~repro.errors.DeadlineExceededError` before any segment (and
+    before restoring a checkpoint) — a resumed run must convert its
+    remaining budget into a *fresh* deadline rather than inherit an
+    expired one; see :meth:`repro.resilience.Limits.remaining`.
     """
-    from repro.parallel.real_pool import PoolResult, run_records_pool_resilient
+    from repro.parallel.real_pool import (
+        PoolResult,
+        check_dispatch_deadline,
+        run_records_pool_resilient,
+    )
     from repro.resilience.recovery import RecordFailure
 
     if checkpoint_every < 1:
         raise ConfigurationError("checkpoint_every must be at least 1")
+    check_dispatch_deadline(limits)
     ck = _Checkpointer(
         POOL_KIND, as_store(checkpoint), stream, query, emitter, metrics, resume
     )
@@ -391,8 +405,11 @@ def checkpointed_pool(
                 max_retries=max_retries,
                 timeout=timeout,
                 backoff=backoff,
+                backoff_jitter=backoff_jitter,
+                backoff_rng=backoff_rng,
                 metrics=metrics,
                 inject_faults=inject_faults,
+                limits=limits,
             )
             for offset, per_record in enumerate(segment.values):
                 idx = window.start + offset

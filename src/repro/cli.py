@@ -399,6 +399,13 @@ def _run_checkpointed_single(args, data, limits, info, registry, trace_sink, out
 def main(argv: list[str] | None = None, out=None, err=None) -> int:
     out = out if out is not None else sys.stdout
     err = err if err is not None else sys.stderr
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "serve":
+        # Subcommand dispatch: the query service front door has its own
+        # parser and lifecycle (docs/serving.md).
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(argv[1:], out=out, err=err)
     args = build_parser().parse_args(argv)
 
     if args.explain:

@@ -15,6 +15,7 @@ in-process engines when byte offsets are needed.
 
 from __future__ import annotations
 
+import random
 import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeoutError
@@ -22,7 +23,53 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.errors import DeadlineExceededError
 from repro.stream.records import RecordStream
+
+#: Upper bound on one retry backoff sleep, jittered or not.
+_BACKOFF_CAP = 1.0
+
+
+def retry_delay(
+    backoff: float,
+    attempts: int,
+    jitter: float = 1.0,
+    rng: random.Random | None = None,
+) -> float:
+    """One restart-backoff sleep: capped exponential, with *full jitter*.
+
+    The deterministic ``backoff * 2**attempts`` schedule retries every
+    worker replaced by the same fault at the same instant — a thundering
+    herd against whatever resource killed them.  ``jitter`` is the
+    randomized fraction of the delay (AWS-style full jitter at the
+    default ``1.0``: uniform in ``[0, delay]``; ``0.0`` reproduces the
+    legacy deterministic schedule).  Pass a seeded ``rng`` for
+    reproducible tests.
+    """
+    delay = min(backoff * (2 ** attempts), _BACKOFF_CAP)
+    if jitter <= 0.0 or delay <= 0.0:
+        return delay
+    jitter = min(jitter, 1.0)
+    if rng is None:
+        rng = random
+    return delay * (1.0 - jitter) + rng.uniform(0.0, delay * jitter)
+
+
+def check_dispatch_deadline(limits) -> None:
+    """Fail fast when ``limits`` carries an already-expired deadline.
+
+    Fanning work out to a pool (or a new retry/resume segment) under an
+    expired absolute deadline means every worker compiles, starts, and
+    immediately aborts — pure overhead with a foregone conclusion.  The
+    dispatchers call this before creating any worker; callers that want
+    the work to run must convert the remaining budget into a fresh
+    deadline first (``Limits.remaining()`` / ``Limits.with_deadline``).
+    """
+    if limits is not None and limits.deadline is not None and limits.deadline.expired():
+        raise DeadlineExceededError(
+            "deadline already expired at pool dispatch; refusing to fan out "
+            "(rebuild a fresh deadline from the remaining budget instead)"
+        )
 
 # Per-process engine cache: (query text) -> engine, built lazily in the
 # worker so the compiled automaton is reused across batches.
@@ -111,7 +158,7 @@ def run_records_pool(
 
 
 def _run_batch_resilient(
-    query: str, records: list[bytes], inject_faults: bool = False
+    query: str, records: list[bytes], inject_faults: bool = False, limits=None
 ) -> list[tuple]:
     """Worker: evaluate each record, capturing per-record failures.
 
@@ -120,6 +167,12 @@ def _run_batch_resilient(
     merely raises stays a data point instead of a process casualty — only
     genuine interpreter/OS death (or the injected fault sentinels used by
     the tests) takes the worker down.
+
+    ``limits`` (a :class:`repro.resilience.Limits`, pickled across the
+    process boundary; ``Deadline`` anchors to ``CLOCK_MONOTONIC``, which
+    is machine-wide, so an absolute budget survives the hop) is baked
+    into the worker's engine so depth/size/deadline guards hold inside
+    the pool exactly as they would in-process.
     """
     global _WORKER_ENGINE, _WORKER_QUERY
     if inject_faults:
@@ -133,16 +186,21 @@ def _run_batch_resilient(
             if record == HANG_SENTINEL:
                 time.sleep(HANG_SECONDS)
     from repro.errors import ReproError
+    from repro.registry import compile as compile_engine
 
-    if _WORKER_QUERY != query:
-        from repro.registry import compile as compile_engine
-
-        _WORKER_ENGINE = compile_engine(query)
-        _WORKER_QUERY = query
+    if limits is not None:
+        # Guarded runs skip the per-process cache: the deadline differs
+        # per dispatch and compilation is microseconds against a batch.
+        engine = compile_engine(query, limits=limits)
+    else:
+        if _WORKER_QUERY != query:
+            _WORKER_ENGINE = compile_engine(query)
+            _WORKER_QUERY = query
+        engine = _WORKER_ENGINE
     out: list[tuple] = []
     for record in records:
         try:
-            out.append(("ok", _WORKER_ENGINE.run(record).values()))
+            out.append(("ok", engine.run(record).values()))
         except ReproError as exc:
             out.append(("err", type(exc).__name__, str(exc), getattr(exc, "position", None)))
         except ValueError as exc:
@@ -216,6 +274,8 @@ def run_records_pool_resilient(
     max_retries: int = 2,
     timeout: float | None = None,
     backoff: float = 0.05,
+    backoff_jitter: float = 1.0,
+    backoff_rng: random.Random | None = None,
     metrics=None,
     inject_faults: bool = False,
     checkpoint=None,
@@ -223,6 +283,7 @@ def run_records_pool_resilient(
     resume: bool = False,
     emitter=None,
     stop=None,
+    limits=None,
 ) -> PoolResult:
     """Pool execution that survives crashing workers and poison records.
 
@@ -248,6 +309,19 @@ def run_records_pool_resilient(
     ``pool.poison_records``, ``pool.records_ok`` and
     ``pool.records_failed`` counters.
 
+    ``backoff_jitter`` randomizes each restart sleep with full jitter
+    (see :func:`retry_delay`) so simultaneously-replaced workers do not
+    retry in lockstep; ``0.0`` restores the deterministic schedule and a
+    seeded ``backoff_rng`` makes the jittered schedule reproducible.
+
+    ``limits`` threads the uniform resource guards into every worker's
+    engine.  A ``limits.deadline`` that is *already expired* fails the
+    dispatch immediately with
+    :class:`~repro.errors.DeadlineExceededError` — no pool is created,
+    no batch is pickled; a deadline that expires mid-run stops further
+    batch scheduling and quarantines the unprocessed records instead of
+    fanning out work every worker would abort.
+
     ``checkpoint`` (a path or :class:`~repro.checkpoint.CheckpointStore`)
     makes the run resumable in segments of ``checkpoint_every`` records;
     see :func:`repro.checkpoint.runs.checkpointed_pool` for the
@@ -255,6 +329,7 @@ def run_records_pool_resilient(
     """
     from repro.resilience.recovery import RecordFailure
 
+    check_dispatch_deadline(limits)
     if checkpoint is not None:
         from repro.checkpoint.runs import checkpointed_pool
 
@@ -271,8 +346,11 @@ def run_records_pool_resilient(
             max_retries=max_retries,
             timeout=timeout,
             backoff=backoff,
+            backoff_jitter=backoff_jitter,
+            backoff_rng=backoff_rng,
             metrics=metrics,
             inject_faults=inject_faults,
+            limits=limits,
         )
 
     records = [stream.record(i) for i in range(len(stream))]
@@ -291,7 +369,7 @@ def run_records_pool_resilient(
 
     use_pool = inject_faults or n_workers > 1
     if not use_pool:
-        harvest(0, _run_batch_resilient(query, records))
+        harvest(0, _run_batch_resilient(query, records, limits=limits))
     else:
         pending: deque[_Batch] = deque(
             _Batch(i, records[i : i + batch_size])
@@ -300,12 +378,32 @@ def run_records_pool_resilient(
         pool: ProcessPoolExecutor | None = None
         try:
             while pending:
+                if limits is not None and limits.deadline is not None and limits.deadline.expired():
+                    # Budget spent mid-run: quarantine what's left instead of
+                    # dispatching batches every worker would abort anyway.
+                    for batch in pending:
+                        for offset in range(len(batch.records)):
+                            result.failures.append(
+                                RecordFailure(
+                                    batch.start + offset,
+                                    "error",
+                                    "DeadlineExceededError",
+                                    "deadline expired before batch dispatch",
+                                )
+                            )
+                    pending.clear()
+                    break
                 if pool is None:
                     pool = ProcessPoolExecutor(max_workers=max(1, n_workers))
                 # Submit every pending batch so healthy workers stay busy;
                 # collect in order so a broken pool is noticed deterministically.
                 inflight = [
-                    (batch, pool.submit(_run_batch_resilient, query, batch.records, inject_faults))
+                    (
+                        batch,
+                        pool.submit(
+                            _run_batch_resilient, query, batch.records, inject_faults, limits
+                        ),
+                    )
                     for batch in pending
                 ]
                 pending.clear()
@@ -319,7 +417,9 @@ def run_records_pool_resilient(
                             _kill_pool(pool)
                             pool = None
                         if backoff:
-                            time.sleep(min(backoff * (2 ** batch.attempts), 1.0))
+                            time.sleep(
+                                retry_delay(backoff, batch.attempts, backoff_jitter, backoff_rng)
+                            )
                         if len(batch.records) > 1:
                             # Bisect: isolate the culprit, free the innocents.
                             mid = len(batch.records) // 2
@@ -335,7 +435,7 @@ def run_records_pool_resilient(
                                 _Batch(batch.start, batch.records, batch.attempts + 1)
                             )
                             result.batch_retries += 1
-                        elif _isolated_trial(query, batch, timeout, inject_faults, harvest):
+                        elif _isolated_trial(query, batch, timeout, inject_faults, harvest, limits):
                             # Exonerated: every attempt so far may have been
                             # collateral damage — BrokenProcessPool fails all
                             # in-flight futures, so an innocent record can
@@ -375,7 +475,7 @@ def run_records_pool_resilient(
     return result
 
 
-def _isolated_trial(query: str, batch: _Batch, timeout, inject_faults, harvest) -> bool:
+def _isolated_trial(query: str, batch: _Batch, timeout, inject_faults, harvest, limits=None) -> bool:
     """Final verdict for a suspect record: run it alone in a fresh
     single-worker pool, where no sibling can take the worker down.
     Harvests the result and returns True if the record survives; returns
@@ -383,7 +483,7 @@ def _isolated_trial(query: str, batch: _Batch, timeout, inject_faults, harvest) 
     """
     trial = ProcessPoolExecutor(max_workers=1)
     try:
-        future = trial.submit(_run_batch_resilient, query, batch.records, inject_faults)
+        future = trial.submit(_run_batch_resilient, query, batch.records, inject_faults, limits)
         out = future.result(timeout=timeout)
     except (BrokenProcessPool, FutureTimeoutError, OSError):
         return False

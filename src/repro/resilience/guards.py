@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
+from typing import Callable
 
 from repro.errors import DeadlineExceededError, DepthLimitError, RecordTooLargeError
 
@@ -41,28 +42,33 @@ class Deadline:
     monotonic-clock read and a compare.  A ``Deadline`` is *absolute*
     (anchored when created), so one instance threads an end-to-end budget
     through compile, scan, and pool retries alike.
+
+    ``clock`` defaults to :func:`time.monotonic`; the query service and
+    its tests inject a fake so queue-wait and budget arithmetic can be
+    asserted without real sleeping.
     """
 
-    __slots__ = ("expires_at",)
+    __slots__ = ("expires_at", "clock")
 
-    def __init__(self, expires_at: float) -> None:
+    def __init__(self, expires_at: float, clock: Callable[[], float] = time.monotonic) -> None:
         self.expires_at = expires_at
+        self.clock = clock
 
     @classmethod
-    def after(cls, seconds: float) -> "Deadline":
-        """Deadline ``seconds`` from now."""
-        return cls(time.monotonic() + seconds)
+    def after(cls, seconds: float, clock: Callable[[], float] = time.monotonic) -> "Deadline":
+        """Deadline ``seconds`` from now (on ``clock``)."""
+        return cls(clock() + seconds, clock)
 
     def expired(self) -> bool:
-        return time.monotonic() >= self.expires_at
+        return self.clock() >= self.expires_at
 
     def remaining(self) -> float:
         """Seconds left (negative once expired)."""
-        return self.expires_at - time.monotonic()
+        return self.expires_at - self.clock()
 
     def check(self, position: int = -1) -> None:
         """Raise :class:`DeadlineExceededError` if the budget is spent."""
-        if time.monotonic() >= self.expires_at:
+        if self.clock() >= self.expires_at:
             raise DeadlineExceededError("deadline exceeded while streaming", position)
 
 
@@ -84,9 +90,19 @@ class Limits:
         """No guards at all (trusted input, benchmarking)."""
         return cls(max_depth=None, max_record_bytes=None, deadline=None)
 
-    def with_deadline(self, seconds: float) -> "Limits":
-        """Copy with a fresh deadline ``seconds`` from now."""
-        return replace(self, deadline=Deadline.after(seconds))
+    def with_deadline(
+        self, seconds: float, clock: Callable[[], float] = time.monotonic
+    ) -> "Limits":
+        """Copy with a fresh deadline ``seconds`` from now (on ``clock``)."""
+        return replace(self, deadline=Deadline.after(seconds, clock))
+
+    def remaining(self) -> float | None:
+        """Seconds left on the deadline, or ``None`` when no deadline is
+        configured.  The query service uses this to convert an absolute
+        per-request budget into the fresh relative budget a dispatched
+        (or retried/resumed) run should receive — work must never
+        inherit an already-expired absolute deadline."""
+        return None if self.deadline is None else self.deadline.remaining()
 
     # -- enforcement helpers (shared by the engines) -------------------
 

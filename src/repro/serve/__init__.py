@@ -1,0 +1,66 @@
+"""``repro.serve``: the hardened query service front door.
+
+An asyncio HTTP service (stdlib only — no framework dependency) that
+serves JSONPath queries over registered corpora with production
+robustness as the core design:
+
+- **bounded admission** — at most N running + M queued; everything
+  beyond that is shed with 429 + ``Retry-After``
+  (:mod:`~repro.serve.admission`);
+- **deadline propagation** — each request's wall-clock budget becomes a
+  :class:`~repro.resilience.Limits` deadline; queue time is charged to
+  the budget and the engine runs under exactly what remains
+  (:meth:`~repro.serve.app.QueryService.rebudget`);
+- **per-corpus circuit breakers** — repeated engine errors degrade a
+  corpus to lenient-resync mode, then open fully with cooldown
+  (:mod:`~repro.serve.breaker`);
+- **graceful drain** — SIGTERM stops admissions, lets in-flight streams
+  finish within a grace window, then interrupts them at batch
+  boundaries with a resumable terminator (:mod:`~repro.serve.drain`);
+- **streamed NDJSON** with a mandatory terminator line, so a truncated
+  response is always detectable (:mod:`~repro.serve.protocol`).
+
+Boot it with ``python -m repro serve --corpus name=path.jsonl``; drive
+it under faults with ``benchmarks/serve_chaos.py``.  See
+``docs/serving.md``.
+"""
+
+from repro.serve.admission import AdmissionQueue
+from repro.serve.app import QueryService, ServeConfig
+from repro.serve.breaker import CLOSED, DEGRADED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.serve.drain import DrainCoordinator
+from repro.serve.errors import (
+    BadRequestError,
+    BreakerOpenError,
+    BudgetExpiredError,
+    DrainingError,
+    QueueFullError,
+    ServiceError,
+    ShedError,
+    UnavailableError,
+    UnknownCorpusError,
+)
+from repro.serve.registry import Corpus, CorpusRegistry
+
+__all__ = [
+    "AdmissionQueue",
+    "BadRequestError",
+    "BreakerOpenError",
+    "BudgetExpiredError",
+    "CLOSED",
+    "CircuitBreaker",
+    "Corpus",
+    "CorpusRegistry",
+    "DEGRADED",
+    "DrainCoordinator",
+    "DrainingError",
+    "HALF_OPEN",
+    "OPEN",
+    "QueryService",
+    "QueueFullError",
+    "ServeConfig",
+    "ServiceError",
+    "ShedError",
+    "UnavailableError",
+    "UnknownCorpusError",
+]

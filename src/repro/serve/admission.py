@@ -1,0 +1,120 @@
+"""Bounded admission: at most N running, at most M waiting, shed the rest.
+
+The service's overload contract is *shed, don't stall*: a request either
+gets a slot promptly, waits in a **bounded** FIFO, or is rejected with
+429 + ``Retry-After`` immediately.  There is deliberately no unbounded
+queue anywhere (RS009 enforces this package-wide) — an unbounded queue
+converts overload into latency, which converts into client timeouts,
+which converts into retries, which is how services melt.
+
+Waiting is budget-aware: a waiter sleeps at most its remaining
+wall-clock budget, so a request that queues past its own deadline sheds
+as ``budget_expired`` without ever touching an engine.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Callable
+
+from repro.serve.errors import BudgetExpiredError, QueueFullError
+
+
+class AdmissionQueue:
+    """FIFO admission with ``max_active`` slots and ``max_queued`` waiters.
+
+    Not thread-safe: touch it only from the event loop (the service's
+    single-threaded control plane; engine work happens in executors
+    *after* admission).
+    """
+
+    def __init__(
+        self,
+        max_active: int,
+        max_queued: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_active < 1:
+            raise ValueError("max_active must be at least 1")
+        if max_queued < 0:
+            raise ValueError("max_queued cannot be negative")
+        self.max_active = max_active
+        self.max_queued = max_queued
+        self.clock = clock
+        self.active = 0
+        self._waiters: deque[asyncio.Future] = deque()
+        #: Cumulative outcomes, mirrored into /metrics by the service.
+        self.admitted = 0
+        self.shed_full = 0
+        self.shed_expired = 0
+
+    def __len__(self) -> int:
+        return len(self._waiters)
+
+    def retry_after_hint(self) -> float:
+        """Crude ``Retry-After``: assume one slot frees per second."""
+        backlog = len(self._waiters) + max(0, self.active - self.max_active + 1)
+        return max(1.0, float(backlog))
+
+    async def acquire(self, budget: float | None = None) -> None:
+        """Take a slot, waiting at most ``budget`` seconds in the queue.
+
+        Raises :class:`QueueFullError` when the waiting line is full and
+        :class:`BudgetExpiredError` when the budget runs out first (or
+        was already spent on arrival).
+        """
+        if budget is not None and budget <= 0:
+            self.shed_expired += 1
+            raise BudgetExpiredError(
+                "request budget expired before admission", retry_after=1.0
+            )
+        if self.active < self.max_active and not self._waiters:
+            self.active += 1
+            self.admitted += 1
+            return
+        if len(self._waiters) >= self.max_queued:
+            self.shed_full += 1
+            raise QueueFullError(
+                f"admission queue full ({self.active} active, "
+                f"{len(self._waiters)} queued)",
+                retry_after=self.retry_after_hint(),
+            )
+        waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters.append(waiter)
+        try:
+            await asyncio.wait_for(waiter, budget)
+        except asyncio.TimeoutError:
+            # wait_for cancelled the waiter; but if release() granted the
+            # slot in the same tick, hand it back so it isn't leaked.
+            if waiter.done() and not waiter.cancelled():
+                self.release()
+            else:
+                try:
+                    self._waiters.remove(waiter)
+                except ValueError:  # already popped by release()
+                    pass
+            self.shed_expired += 1
+            raise BudgetExpiredError(
+                "request budget expired while queued", retry_after=1.0
+            ) from None
+        except asyncio.CancelledError:
+            if waiter.done() and not waiter.cancelled():
+                self.release()
+            else:
+                try:
+                    self._waiters.remove(waiter)
+                except ValueError:
+                    pass
+            raise
+        self.admitted += 1
+
+    def release(self) -> None:
+        """Free a slot; hands it to the oldest live waiter if any."""
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)  # slot transfers: active unchanged
+                return
+        self.active = max(0, self.active - 1)

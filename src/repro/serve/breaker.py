@@ -1,0 +1,120 @@
+"""Per-corpus circuit breaker with a lenient-degrade middle state.
+
+A corpus that keeps producing engine errors (malformed records, depth
+bombs, poison quarantines) should stop costing full-price work — but
+the repo already has a cheaper failure mode than refusing outright:
+lenient resync (skip the bad record, keep streaming, report it).  So
+the breaker has *four* states instead of the classic three:
+
+    CLOSED ──(``degrade_after`` consecutive failed requests)──▶ DEGRADED
+    DEGRADED ──(``open_after`` total consecutive failures)────▶ OPEN
+    OPEN ──(``cooldown`` elapsed)─────────────────────────────▶ HALF_OPEN
+    HALF_OPEN ──probe ok──▶ CLOSED          ──probe fails──▶ OPEN
+
+- **CLOSED**: requests run strict; per-record engine errors terminate
+  the stream with an ``error`` line.
+- **DEGRADED**: requests run lenient — bad records are skipped and
+  counted in the terminator instead of failing the request.  A request
+  that *still* fails (e.g. every record is poison) keeps counting
+  toward OPEN.
+- **OPEN**: requests are rejected instantly with 503
+  ``breaker_open`` + ``Retry-After`` = remaining cooldown.
+- **HALF_OPEN**: exactly one probe request is admitted (lenient); its
+  outcome decides re-close vs. re-open.
+
+The clock is injectable so tests drive cooldowns without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.serve.errors import BreakerOpenError
+
+CLOSED = "closed"
+DEGRADED = "degraded"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    def __init__(
+        self,
+        name: str,
+        degrade_after: int = 3,
+        open_after: int = 6,
+        cooldown: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not (1 <= degrade_after <= open_after):
+            raise ValueError("need 1 <= degrade_after <= open_after")
+        self.name = name
+        self.degrade_after = degrade_after
+        self.open_after = open_after
+        self.cooldown = cooldown
+        self.clock = clock
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self._probe_inflight = False
+        #: state-transition count per target state (metrics fodder).
+        self.transitions: dict[str, int] = {}
+
+    def _move(self, state: str) -> None:
+        if state != self.state:
+            self.state = state
+            self.transitions[state] = self.transitions.get(state, 0) + 1
+
+    # -- admission ----------------------------------------------------
+
+    def admit(self) -> str:
+        """Gate one request; returns the mode it should run in.
+
+        ``"strict"`` or ``"lenient"``; raises :class:`BreakerOpenError`
+        when the corpus is sitting out its cooldown.
+        """
+        if self.state == OPEN:
+            remaining = self.cooldown - (self.clock() - self.opened_at)
+            if remaining > 0:
+                raise BreakerOpenError(
+                    f"circuit breaker open for corpus {self.name!r}",
+                    retry_after=remaining,
+                )
+            self._move(HALF_OPEN)
+            self._probe_inflight = False
+        if self.state == HALF_OPEN:
+            if self._probe_inflight:
+                raise BreakerOpenError(
+                    f"corpus {self.name!r} is half-open with a probe in flight",
+                    retry_after=max(1.0, self.cooldown / 2),
+                )
+            self._probe_inflight = True
+            return "lenient"
+        return "lenient" if self.state == DEGRADED else "strict"
+
+    # -- outcome reporting --------------------------------------------
+
+    def abandon(self) -> None:
+        """The admitted request never produced a verdict (client vanished,
+        handler crashed): release a half-open probe slot without voting."""
+        self._probe_inflight = False
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self._probe_inflight = False
+        self._move(CLOSED)
+
+    def record_failure(self) -> None:
+        """One request-terminating engine failure against this corpus."""
+        self._probe_inflight = False
+        if self.state == HALF_OPEN:
+            self.opened_at = self.clock()
+            self._move(OPEN)
+            return
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= self.open_after:
+            self.opened_at = self.clock()
+            self._move(OPEN)
+        elif self.consecutive_failures >= self.degrade_after:
+            self._move(DEGRADED)

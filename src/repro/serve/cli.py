@@ -1,0 +1,126 @@
+"""``python -m repro serve``: boot the query service front door.
+
+Corpora are registered at startup with repeated ``--corpus`` flags::
+
+    python -m repro serve --port 8765 \
+        --corpus twitter=data/twitter.jsonl \
+        --corpus doc=data/single.json:json
+
+Runs until SIGTERM/SIGINT, then drains gracefully (finish or interrupt
+in-flight streams, flush metrics) and exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.errors import ReproError
+from repro.serve.app import QueryService, ServeConfig
+from repro.serve.registry import CorpusRegistry
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve registered corpora over HTTP (see docs/serving.md).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8765,
+                        help="TCP port (0 picks a free one, printed at boot)")
+    parser.add_argument(
+        "--corpus", action="append", default=[], metavar="NAME=PATH[:FORMAT]",
+        help="register a corpus (FORMAT: jsonl, json, concatenated; "
+             "default jsonl); repeatable",
+    )
+    parser.add_argument("--max-active", type=int, default=4,
+                        help="concurrent requests allowed to run")
+    parser.add_argument("--max-queued", type=int, default=16,
+                        help="requests allowed to wait; beyond this, shed 429")
+    parser.add_argument("--default-budget", type=float, default=30.0,
+                        help="wall-clock budget (s) when the request names none")
+    parser.add_argument("--max-budget", type=float, default=300.0)
+    parser.add_argument("--client-timeout", type=float, default=10.0,
+                        help="bound on every client-paced read/write (s)")
+    parser.add_argument("--drain-grace", type=float, default=5.0,
+                        help="seconds in-flight streams get after SIGTERM")
+    parser.add_argument("--batch-size", type=int, default=256)
+    parser.add_argument("--degrade-after", type=int, default=3)
+    parser.add_argument("--open-after", type=int, default=6)
+    parser.add_argument("--breaker-cooldown", type=float, default=5.0)
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="enable checkpointed pool dispatch under this dir")
+    parser.add_argument("--metrics-file", default=None,
+                        help="flush final Prometheus text here on shutdown")
+    parser.add_argument("--engine", default="jsonski", dest="default_engine")
+    parser.add_argument("--allow-fault-injection", action="store_true",
+                        help="honor per-request 'inject_faults' (chaos testing only)")
+    return parser
+
+
+def parse_corpus_spec(spec: str) -> tuple[str, str, str]:
+    name, sep, rest = spec.partition("=")
+    if not sep or not name or not rest:
+        raise ValueError(f"--corpus expects NAME=PATH[:FORMAT], got {spec!r}")
+    path, sep, format = rest.rpartition(":")
+    if sep and format in ("jsonl", "json", "concatenated"):
+        return name, path, format
+    return name, rest, "jsonl"
+
+
+def main(argv: list[str] | None = None, out=None, err=None) -> int:
+    out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
+    args = build_parser().parse_args(argv)
+
+    registry = CorpusRegistry()
+    try:
+        for spec in args.corpus:
+            name, path, format = parse_corpus_spec(spec)
+            corpus = registry.register_file(name, path, format=format)
+            print(f"registered corpus {name!r}: {corpus.records} records "
+                  f"({format})", file=out)
+    except (OSError, ValueError, ReproError) as exc:
+        print(f"error: {exc}", file=err)
+        return 2
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_active=args.max_active,
+        max_queued=args.max_queued,
+        default_budget=args.default_budget,
+        max_budget=args.max_budget,
+        client_timeout=args.client_timeout,
+        drain_grace=args.drain_grace,
+        batch_size=args.batch_size,
+        degrade_after=args.degrade_after,
+        open_after=args.open_after,
+        breaker_cooldown=args.breaker_cooldown,
+        checkpoint_dir=args.checkpoint_dir,
+        metrics_path=args.metrics_file,
+        default_engine=args.default_engine,
+        allow_fault_injection=args.allow_fault_injection,
+    )
+    service = QueryService(registry, config)
+
+    async def boot() -> int:
+        await service.start()
+        print(f"serving on {config.host}:{service.port}", file=out, flush=True)
+        service.install_signal_handlers()
+        await service.drain.wait_begun()
+        print("draining...", file=out, flush=True)
+        await service.drain_and_stop()
+        return 0
+
+    try:
+        code = asyncio.run(boot())
+    except KeyboardInterrupt:  # signal handler not yet installed: still clean
+        return 0
+    print("drained, bye", file=out, flush=True)
+    return code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,91 @@
+"""Service-level errors: every rejection the front door can hand a client.
+
+Each error maps to exactly one HTTP status and a stable machine-readable
+``code`` — the chaos harness asserts the service *only* ever answers
+with one of these (or a complete 200 stream), so new rejection paths
+must be added here, not improvised inline.
+
+The hierarchy mirrors the overload story:
+
+- 400/404 — the request itself is wrong (``bad_request`` /
+  ``unknown_corpus``);
+- 429 — **shed**: the service is healthy but chose not to do the work
+  (admission queue full, or the request's budget expired while it
+  queued).  Always carries ``Retry-After``;
+- 503 — **unavailable**: draining for shutdown or a corpus breaker is
+  open.  Breaker rejections carry ``Retry-After`` equal to the
+  remaining cooldown.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class ServiceError(ReproError):
+    """Base for every client-visible service rejection."""
+
+    status: int = 500
+    code: str = "service_error"
+
+    def __init__(self, message: str, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        #: Seconds the client should wait before retrying (``Retry-After``).
+        self.retry_after = retry_after
+
+
+class BadRequestError(ServiceError):
+    """Malformed request body, unparseable query, bad parameters."""
+
+    status = 400
+    code = "bad_request"
+
+
+class UnknownCorpusError(ServiceError):
+    """The request names a corpus that was never registered."""
+
+    status = 404
+    code = "unknown_corpus"
+
+
+class ShedError(ServiceError):
+    """Load shedding: the service refused the work to protect itself."""
+
+    status = 429
+    code = "shed"
+
+
+class QueueFullError(ShedError):
+    """The bounded admission queue is at capacity."""
+
+    code = "queue_full"
+
+
+class BudgetExpiredError(ShedError):
+    """The request's wall-clock budget ran out while it was queued.
+
+    Shedding here is the deadline-propagation contract: a request whose
+    budget is already spent must never reach an engine — running it
+    would burn a worker on a foregone :class:`DeadlineExceededError`.
+    """
+
+    code = "budget_expired"
+
+
+class UnavailableError(ServiceError):
+    """The service (or one corpus) is temporarily not taking work."""
+
+    status = 503
+    code = "unavailable"
+
+
+class DrainingError(UnavailableError):
+    """SIGTERM received: finishing in-flight work, accepting nothing new."""
+
+    code = "draining"
+
+
+class BreakerOpenError(UnavailableError):
+    """The per-corpus circuit breaker is open (repeated engine errors)."""
+
+    code = "breaker_open"

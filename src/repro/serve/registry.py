@@ -1,0 +1,163 @@
+"""Corpus registration and per-request compile with shared artifacts.
+
+The compile-once/run-many split for a *service*:
+
+- **Per corpus (expensive, shared)** — the payload bytes, the strict and
+  lenient :class:`~repro.stream.records.RecordStream` views, and for
+  single-document corpora the stage-1
+  :class:`~repro.engine.prepared.IndexedBuffer` (all chunks retained via
+  ``cache_chunks=None``), keyed by engine mode so a second query over
+  the same corpus pays zero index cost.
+- **Per query text (cheap, shared)** — the parsed
+  :class:`~repro.jsonpath.ast.Path` (``registry.compile`` accepts a
+  pre-parsed ``Path``), cached in a small LRU.
+- **Per request (cheap, private)** — the engine itself.  Engines bake
+  ``limits=`` (the request's deadline) at construction and mutate
+  ``last_stats`` per run, so a compiled engine is *never* shared across
+  concurrent requests; compilation from a cached ``Path`` is
+  microseconds against any real stream.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path as FsPath
+from threading import Lock
+
+from repro.engine.prepared import IndexedBuffer, PreparedQuery
+from repro.errors import JsonPathSyntaxError, ReproError
+from repro.jsonpath.ast import Path
+from repro.jsonpath.parser import parse_path
+from repro.serve.errors import BadRequestError, UnknownCorpusError
+from repro.stream.records import RecordStream
+
+#: Parsed-query LRU size: a service sees a small working set of hot
+#: query texts; 256 parsed ASTs are a few hundred KB at most.
+QUERY_CACHE_SIZE = 256
+
+FORMATS = ("jsonl", "json", "concatenated")
+
+
+@dataclass
+class Corpus:
+    """One registered corpus and its shared, reusable artifacts."""
+
+    name: str
+    payload: bytes
+    format: str = "jsonl"
+    #: Strict record view (raises on malformed framing at registration).
+    stream: RecordStream | None = None
+    #: Lenient view: bad framing skipped, count recorded (DEGRADED mode).
+    lenient_stream: RecordStream | None = None
+    lenient_skipped: int = 0
+    #: ``mode`` -> stage-1 index for single-document corpora.
+    _indexes: dict[str, IndexedBuffer] = field(default_factory=dict)
+    _index_lock: Lock = field(default_factory=Lock)
+
+    def __post_init__(self) -> None:
+        if self.format not in FORMATS:
+            raise BadRequestError(
+                f"unknown corpus format {self.format!r} (expected one of {FORMATS})"
+            )
+        if self.format == "jsonl":
+            self.stream = RecordStream.from_jsonl(self.payload)
+            self.lenient_stream = self.stream
+        elif self.format == "concatenated":
+            self.stream = RecordStream.from_concatenated(self.payload)
+            self.lenient_stream, self.lenient_skipped = (
+                RecordStream.from_concatenated_lenient(self.payload)
+            )
+        # "json": one document, no record stream — served via the cached
+        # IndexedBuffer below.
+
+    @property
+    def records(self) -> int:
+        return 1 if self.format == "json" else len(self.stream)
+
+    def records_for(self, mode: str) -> RecordStream:
+        """The record view a request running in ``mode`` should stream."""
+        return self.lenient_stream if mode == "lenient" else self.stream
+
+    def indexed(self, prepared: PreparedQuery) -> IndexedBuffer:
+        """The shared stage-1 index for a single-document corpus.
+
+        Built on first use per engine mode and reused by every later
+        query with a matching mode — this is the jXBW-style reusable
+        structural index the service exists to amortize.
+        """
+        mode = getattr(prepared, "mode", "vector")
+        with self._index_lock:
+            cached = self._indexes.get(mode)
+            if cached is None:
+                cached = prepared.index(self.payload)
+                self._indexes[mode] = cached
+            return cached
+
+
+class CorpusRegistry:
+    """Named corpora + the parsed-query LRU (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._corpora: dict[str, Corpus] = {}
+        self._queries: OrderedDict[str, Path] = OrderedDict()
+        self._lock = Lock()
+
+    # -- corpora ------------------------------------------------------
+
+    def register(self, name: str, payload: bytes, format: str = "jsonl") -> Corpus:
+        corpus = Corpus(name=name, payload=payload, format=format)
+        with self._lock:
+            self._corpora[name] = corpus
+        return corpus
+
+    def register_file(self, name: str, path: str | FsPath, format: str = "jsonl") -> Corpus:
+        return self.register(name, FsPath(path).read_bytes(), format=format)
+
+    def get(self, name: str) -> Corpus:
+        with self._lock:
+            corpus = self._corpora.get(name)
+        if corpus is None:
+            raise UnknownCorpusError(f"no corpus registered under {name!r}")
+        return corpus
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._corpora)
+
+    # -- queries ------------------------------------------------------
+
+    def parse(self, query: str) -> Path:
+        """Parse ``query`` through the LRU; syntax errors become 400s."""
+        with self._lock:
+            cached = self._queries.get(query)
+            if cached is not None:
+                self._queries.move_to_end(query)
+                return cached
+        try:
+            path = parse_path(query)
+        except JsonPathSyntaxError as exc:
+            raise BadRequestError(f"bad query: {exc}") from exc
+        with self._lock:
+            self._queries[query] = path
+            while len(self._queries) > QUERY_CACHE_SIZE:
+                self._queries.popitem(last=False)
+        return path
+
+    def compile(self, query: str, engine: str, limits) -> PreparedQuery:
+        """Per-request engine: cached parse, fresh construction.
+
+        ``limits`` is mandatory here by design (and by RS003): every
+        request must carry its own deadline into the engine.
+        """
+        from repro.registry import ENGINES, compile as compile_engine
+
+        if engine not in ENGINES:
+            raise BadRequestError(
+                f"unknown engine {engine!r} (expected one of {sorted(ENGINES)})"
+            )
+        path = self.parse(query)
+        try:
+            return compile_engine(path, engine=engine, limits=limits)
+        except ReproError as exc:
+            raise BadRequestError(f"query not runnable on {engine!r}: {exc}") from exc

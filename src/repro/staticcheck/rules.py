@@ -310,6 +310,12 @@ class LimitsThreading(Rule):
     ``repro/baselines/``: every public engine class's ``__init__`` must
     accept ``limits`` (directly or via ``**kwargs``), and every call to
     an engine constructor must pass ``limits=`` or forward ``**kwargs``.
+
+    Also checked in ``repro/serve/``: every service dispatch site that
+    compiles an engine (``compile`` / ``compile_engine``) must pass
+    ``limits=`` explicitly — a request that reaches an engine without
+    its own deadline has silently escaped the budget-propagation
+    contract.
     """
 
     code = "RS003"
@@ -317,12 +323,18 @@ class LimitsThreading(Rule):
     summary = "'limits=' not accepted or not forwarded to a nested engine"
     node_types = (ast.ClassDef, ast.Call)
 
+    #: serve-side compile entry points that must carry the request limits.
+    _SERVE_COMPILE_NAMES = frozenset({"compile", "compile_engine"})
+
     def __init__(self) -> None:
         self._engine_classes: set[str] = set()
         self._calls: list[tuple[str, ast.Call, bool]] = []
         self._missing_init: list[tuple[str, ast.ClassDef]] = []
 
     def visit(self, node: ast.AST, ctx: FileContext, project: Project) -> None:
+        if ctx.in_packages("serve"):
+            self._visit_serve(node, ctx, project)
+            return
         if not ctx.in_packages("engine", "baselines"):
             return
         if isinstance(node, ast.ClassDef):
@@ -343,6 +355,24 @@ class LimitsThreading(Rule):
                 any(kw.arg == "limits" or kw.arg is None for kw in node.keywords)
             )
             self._calls.append((ctx.path, node, threads))
+
+    def _visit_serve(self, node: ast.AST, ctx: FileContext, project: Project) -> None:
+        if not isinstance(node, ast.Call):
+            return
+        name = _call_name(node)
+        if name not in self._SERVE_COMPILE_NAMES:
+            return
+        if (
+            isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "re"
+        ):
+            return  # re.compile is not an engine
+        if not any(kw.arg == "limits" or kw.arg is None for kw in node.keywords):
+            project.add(self, ctx, node,
+                        f"service dispatch {name}(...) without 'limits=': "
+                        "every request must carry its own deadline into the "
+                        "engine (pass the rebudgeted request limits)")
 
     def end_project(self, project: Project) -> None:
         for path, class_node in self._missing_init:
@@ -676,3 +706,68 @@ class PerWordIntLoop(Rule):
             if isinstance(sub, ast.Attribute) and sub.attr == "words":
                 return True
         return False
+
+
+#: ``await obj.ATTR(...)`` on one of these attributes paces the handler
+#: on a remote party — a client socket, a queue peer, a lock holder —
+#: and must therefore be bounded by ``asyncio.wait_for``.
+_CLIENT_IO_ATTRS = frozenset({
+    "read", "readline", "readexactly", "readuntil", "drain", "sendall",
+    "recv", "accept", "connect", "wait_closed", "get", "put", "join",
+    "wait", "acquire",
+})
+
+#: Queue constructors that default to unbounded capacity.
+_QUEUE_NAMES = frozenset({"Queue", "LifoQueue", "PriorityQueue", "SimpleQueue"})
+
+
+@register_rule
+class BoundedServeIO(Rule):
+    """RS009: serve never waits on a client without a timeout, never
+    queues without a bound.
+
+    The service's overload contract is *shed, don't stall*.  Two code
+    shapes silently break it:
+
+    - an ``await`` on client-paced I/O (``reader.read*``,
+      ``writer.drain``, ``queue.get`` …) without ``asyncio.wait_for``
+      is a hang vector — one slow-loris client parks a handler forever;
+    - an unbounded ``Queue()`` converts overload into unbounded latency
+      instead of a 429.
+
+    Checked only inside ``src/repro/serve/``.  A deliberately
+    indefinite wait (e.g. sleeping until SIGTERM) takes a reasoned
+    ``# repro: ignore[RS009]`` suppression.
+    """
+
+    code = "RS009"
+    name = "bounded-serve-io"
+    summary = "unbounded queue or wait_for-less await on client I/O in repro/serve"
+    node_types = (ast.Await, ast.Call)
+
+    def visit(self, node: ast.AST, ctx: FileContext, project: Project) -> None:
+        if not ctx.in_packages("serve"):
+            return
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name in _QUEUE_NAMES and not (
+                node.args
+                or any(kw.arg == "maxsize" for kw in node.keywords)
+            ):
+                project.add(self, ctx, node,
+                            f"{name}() without a maxsize bound: an unbounded "
+                            "queue converts overload into latency — bound it "
+                            "and shed (429) when full")
+            return
+        assert isinstance(node, ast.Await)
+        value = node.value
+        if not isinstance(value, ast.Call):
+            return
+        if _call_name(value) in ("wait_for", "timeout_at"):
+            return  # the bounding construct itself
+        func = value.func
+        if isinstance(func, ast.Attribute) and func.attr in _CLIENT_IO_ATTRS:
+            project.add(self, ctx, node,
+                        f"await on .{func.attr}(...) without asyncio.wait_for: "
+                        "a client that never completes this I/O hangs the "
+                        "handler — wrap it with the request's client_timeout")

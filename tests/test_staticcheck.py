@@ -25,6 +25,7 @@ BITS = "src/repro/bits/snippet.py"
 ENGINE = "src/repro/engine/snippet.py"
 CHECKPOINT = "src/repro/checkpoint/snippet.py"
 FUZZ = "src/repro/resilience/fuzz.py"
+SERVE = "src/repro/serve/snippet.py"
 ELSEWHERE = "src/repro/harness/snippet.py"
 
 
@@ -376,6 +377,111 @@ class TestRS008:
             "        w = int(words[wid])  # repro: ignore[RS008] -- fixture\n"
         )
         assert check_one(BITS, src, select=["RS008"]) == []
+
+
+# ---------------------------------------------------------------------------
+# RS003 (serve extension) — dispatch sites must pass limits=
+
+
+class TestRS003Serve:
+    def test_compile_without_limits_fails(self):
+        src = (
+            "def dispatch(registry, query):\n"
+            "    return registry.compile(query, engine='jsonski')\n"
+        )
+        findings = check_one(SERVE, src, select=["RS003"])
+        assert codes(findings) == ["RS003"]
+        assert "limits" in findings[0].message
+
+    def test_compile_engine_without_limits_fails(self):
+        src = (
+            "from repro.registry import compile as compile_engine\n"
+            "def dispatch(query):\n"
+            "    return compile_engine(query)\n"
+        )
+        assert codes(check_one(SERVE, src, select=["RS003"])) == ["RS003"]
+
+    def test_compile_with_limits_passes(self):
+        src = (
+            "def dispatch(registry, query, limits):\n"
+            "    return registry.compile(query, engine='jsonski', limits=limits)\n"
+        )
+        assert check_one(SERVE, src, select=["RS003"]) == []
+
+    def test_kwargs_forwarding_passes(self):
+        src = (
+            "def dispatch(registry, query, **opts):\n"
+            "    return registry.compile(query, **opts)\n"
+        )
+        assert check_one(SERVE, src, select=["RS003"]) == []
+
+    def test_re_compile_is_exempt(self):
+        src = "import re\nPATTERN = re.compile(r'x+')\n"
+        assert check_one(SERVE, src, select=["RS003"]) == []
+
+    def test_outside_serve_not_checked(self):
+        src = "def f(registry, q):\n    return registry.compile(q)\n"
+        assert check_one(ELSEWHERE, src, select=["RS003"]) == []
+
+
+# ---------------------------------------------------------------------------
+# RS009 — bounded queues and timed client I/O in repro/serve/
+
+
+class TestRS009:
+    def test_untimed_readline_fails(self):
+        src = (
+            "async def handle(reader):\n"
+            "    line = await reader.readline()\n"
+        )
+        findings = check_one(SERVE, src, select=["RS009"])
+        assert codes(findings) == ["RS009"]
+        assert "readline" in findings[0].message
+
+    def test_untimed_drain_fails(self):
+        src = (
+            "async def push(writer, data):\n"
+            "    writer.write(data)\n"
+            "    await writer.drain()\n"
+        )
+        assert codes(check_one(SERVE, src, select=["RS009"])) == ["RS009"]
+
+    def test_wait_for_wrapped_passes(self):
+        src = (
+            "import asyncio\n"
+            "async def handle(reader, timeout):\n"
+            "    return await asyncio.wait_for(reader.readline(), timeout)\n"
+        )
+        assert check_one(SERVE, src, select=["RS009"]) == []
+
+    def test_unbounded_queue_fails(self):
+        src = "import asyncio\nq = asyncio.Queue()\n"
+        findings = check_one(SERVE, src, select=["RS009"])
+        assert codes(findings) == ["RS009"]
+        assert "maxsize" in findings[0].message
+
+    def test_bounded_queue_passes(self):
+        src = "import asyncio\nq = asyncio.Queue(maxsize=16)\n"
+        assert check_one(SERVE, src, select=["RS009"]) == []
+
+    def test_non_client_await_passes(self):
+        src = (
+            "async def work(loop, pool, fn):\n"
+            "    return await loop.run_in_executor(pool, fn)\n"
+        )
+        assert check_one(SERVE, src, select=["RS009"]) == []
+
+    def test_outside_serve_not_checked(self):
+        src = "async def f(reader):\n    return await reader.readline()\n"
+        assert check_one(ELSEWHERE, src, select=["RS009"]) == []
+
+    def test_suppression_honored(self):
+        src = (
+            "async def wait_forever(event):\n"
+            "    # repro: ignore[RS009] -- fixture: sleeps until SIGTERM\n"
+            "    await event.wait()\n"
+        )
+        assert check_one(SERVE, src, select=["RS009"]) == []
 
 
 # ---------------------------------------------------------------------------
