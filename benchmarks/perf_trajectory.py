@@ -21,6 +21,20 @@ Usage::
 geometric-mean vector speedup of either figure regresses more than
 ``--tolerance`` (default 10%) against the most recent committed record,
 or if any fig10 large-record flagship query falls below parity.
+
+Two further scenario families ride in each record:
+
+- **emission** — the output-heavy query pair (NSPL2, GMD2) timed over
+  the *emission phase only* (the scan runs untimed, fresh per rep): the
+  eager column decodes every match and re-encodes it (the pre-lazy emit
+  path), the lazy column splices the raw slices
+  (``MatchList.to_jsonl``).  The ratio is the on-demand-materialization
+  win in isolation; ``--check`` requires it stays >=
+  ``--emission-floor`` (default 1.3x).
+- **warm_index** (fig10 only) — stage-1 cost with a cold build vs a
+  sidecar load (:meth:`repro.engine.prepared.IndexedBuffer.load`);
+  ``--check`` requires the warm load cost at most ``--warm-fraction``
+  (default 35%) of the cold build.
 """
 
 from __future__ import annotations
@@ -111,9 +125,96 @@ def measure_fig11(size: int, repeat: int) -> dict:
     return queries
 
 
+#: Low-skip, match-dense queries where serializing the output dominates
+#: the scan — the scenario on-demand materialization targets.
+EMISSION_QUERIES = ("NSPL2", "GMD2")
+
+
+def _best_of(fn, repeat: int):
+    best, result = float("inf"), None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _encode_values(matches) -> bytes:
+    # The pre-lazy emission path: decode every match, re-encode compactly.
+    return b"\n".join(
+        json.dumps(v, separators=(",", ":")).encode() for v in matches.values()
+    )
+
+
+def measure_emission(fig: int, size: int, repeat: int) -> dict:
+    """Eager (decode + re-encode) vs lazy (raw splice) emission cost.
+
+    The scan itself runs *outside* the timer — a fresh (unmemoized)
+    :class:`~repro.engine.output.MatchList` per rep — so the cell
+    isolates the match-extraction phase the lazy views optimize, not the
+    fast-forward win fig10/fig11 already track.
+    """
+    out = {}
+    for name, q in (all_queries() if fig == 10 else small_queries()):
+        if q.qid not in EMISSION_QUERIES:
+            continue
+        if fig == 10:
+            data = get_large(name, size)
+            engine = make_engine(VECTOR, q.large)
+            fresh_run = lambda: engine.run(data)  # noqa: E731
+        else:
+            stream = get_records(name, size)
+            engine = make_engine(VECTOR, q.small)
+            fresh_run = lambda: engine.run_records(stream)  # noqa: E731
+        eager_s = lazy_s = float("inf")
+        n = 0
+        for _ in range(repeat):
+            matches = fresh_run()
+            t0 = time.perf_counter()
+            eager_out = _encode_values(matches)
+            eager_s = min(eager_s, time.perf_counter() - t0)
+            matches = fresh_run()
+            t0 = time.perf_counter()
+            lazy_out = matches.to_jsonl()
+            lazy_s = min(lazy_s, time.perf_counter() - t0)
+            n = matches.count()
+            if len(eager_out.splitlines()) != len(lazy_out.splitlines()):
+                raise AssertionError(
+                    f"{q.qid}: eager and lazy emitted different line counts"
+                )
+        out[q.qid] = {
+            "eager_s": round(eager_s, 6),
+            "lazy_s": round(lazy_s, 6),
+            "ratio": round(eager_s / lazy_s, 4),
+            "matches": n,
+        }
+    return out
+
+
+def measure_warm_index(size: int, repeat: int) -> dict:
+    """Cold stage-1 build vs sidecar-backed warm load (same corpus)."""
+    import tempfile
+
+    from repro.engine.prepared import IndexedBuffer
+
+    data = get_large("TT", size)
+    cold_s, built = _best_of(lambda: IndexedBuffer(data).warm(), repeat)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = built.save(Path(tmp) / "tt.ridx")
+        warm_s, loaded = _best_of(lambda: IndexedBuffer.load(path, data), repeat)
+        if loaded.buffer.index.chunks_built:
+            raise AssertionError("sidecar load built chunks — cache not warm")
+    return {
+        "cold_s": round(cold_s, 6),
+        "warm_s": round(warm_s, 6),
+        "warm_fraction": round(warm_s / cold_s, 4),
+    }
+
+
 def build_record(fig: int, size: int, repeat: int) -> dict:
     queries = measure_fig10(size, repeat) if fig == 10 else measure_fig11(size, repeat)
-    return {
+    emission = measure_emission(fig, size, repeat)
+    record = {
         "figure": fig,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "commit": _git_head(),
@@ -122,7 +223,12 @@ def build_record(fig: int, size: int, repeat: int) -> dict:
         "modes": {"word": WORD, "vector": VECTOR},
         "queries": queries,
         "geomean_ratio": round(_geomean([q["ratio"] for q in queries.values()]), 4),
+        "emission": emission,
+        "emission_geomean": round(_geomean([q["ratio"] for q in emission.values()]), 4),
     }
+    if fig == 10:
+        record["warm_index"] = measure_warm_index(size, repeat)
+    return record
 
 
 def load_trajectory(fig: int) -> list[dict]:
@@ -146,9 +252,28 @@ def print_record(record: dict) -> None:
             f"  ratio {cell['ratio']:.2f}x  ({cell['matches']} matches)"
         )
     print(f"  geomean vector speedup: {record['geomean_ratio']:.2f}x")
+    for qid, cell in record.get("emission", {}).items():
+        print(
+            f"  {qid:7s} emit: eager {cell['eager_s']:.4f}s  lazy {cell['lazy_s']:.4f}s"
+            f"  ratio {cell['ratio']:.2f}x  ({cell['matches']} matches)"
+        )
+    if record.get("emission"):
+        print(f"  geomean lazy-emission speedup: {record['emission_geomean']:.2f}x")
+    warm = record.get("warm_index")
+    if warm:
+        print(
+            f"  warm index: cold {warm['cold_s']:.4f}s  warm {warm['warm_s']:.4f}s"
+            f"  ({warm['warm_fraction']:.1%} of cold)"
+        )
 
 
-def check_record(fig: int, record: dict, tolerance: float) -> list[str]:
+def check_record(
+    fig: int,
+    record: dict,
+    tolerance: float,
+    emission_floor: float = 1.3,
+    warm_fraction: float = 0.35,
+) -> list[str]:
     """Compare a fresh measurement against the last committed record."""
     failures = []
     history = load_trajectory(fig)
@@ -170,6 +295,17 @@ def check_record(fig: int, record: dict, tolerance: float) -> list[str]:
                 failures.append(
                     f"fig10: flagship {qid} vector slower than word ({ratio:.2f}x)"
                 )
+    if record.get("emission") and record["emission_geomean"] < emission_floor:
+        failures.append(
+            f"fig{fig}: lazy emission speedup {record['emission_geomean']:.2f}x"
+            f" below the {emission_floor:.2f}x floor on the low-skip pair"
+        )
+    warm = record.get("warm_index")
+    if warm and warm["warm_fraction"] > warm_fraction:
+        failures.append(
+            f"fig{fig}: warm sidecar load costs {warm['warm_fraction']:.1%} of the"
+            f" cold stage-1 build (gate: <= {warm_fraction:.0%})"
+        )
     return failures
 
 
@@ -191,6 +327,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--tolerance", type=float, default=0.10, help="allowed geomean regression (fraction)"
     )
+    parser.add_argument(
+        "--emission-floor", type=float, default=1.3,
+        help="minimum lazy-vs-eager emission speedup on the low-skip pair",
+    )
+    parser.add_argument(
+        "--warm-fraction", type=float, default=0.35,
+        help="maximum warm sidecar load cost as a fraction of the cold build",
+    )
     args = parser.parse_args(argv)
 
     figures = (args.figure,) if args.figure else (10, 11)
@@ -199,7 +343,11 @@ def main(argv: list[str] | None = None) -> int:
         record = build_record(fig, args.size, args.repeat)
         print_record(record)
         if args.check:
-            failures.extend(check_record(fig, record, args.tolerance))
+            failures.extend(
+                check_record(fig, record, args.tolerance,
+                             emission_floor=args.emission_floor,
+                             warm_fraction=args.warm_fraction)
+            )
         if args.record:
             append_record(fig, record)
             print(f"  appended to {BENCH_FILES[fig].name}")

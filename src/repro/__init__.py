@@ -45,8 +45,10 @@ from repro.errors import (
     CheckpointError,
     DeadlineExceededError,
     DepthLimitError,
+    IndexSidecarError,
     JsonPathSyntaxError,
     JsonSyntaxError,
+    MatchTypeError,
     RecordTooLargeError,
     ReproError,
     ResourceLimitError,
@@ -132,10 +134,12 @@ __all__ = [
     "JsonSki",
     "JsonSkiMulti",
     "JsonSyntaxError",
+    "IndexSidecarError",
     "MappedFile",
     "Match",
     "MatchList",
     "MatchStatus",
+    "MatchTypeError",
     "Path",
     "PisonLike",
     "PreparedQuery",

@@ -22,7 +22,7 @@ from repro.engine.base import EngineBase
 from repro.engine.names import decode_name as _decode_name
 from repro.engine.output import MatchList
 from repro.jsonpath.ast import Path
-from repro.query.automaton import QueryAutomaton, compile_query
+from repro.query.automaton import QueryAutomaton
 
 _LBRACE, _RBRACE = 0x7B, 0x7D
 _LBRACKET, _RBRACKET = 0x5B, 0x5D
@@ -56,7 +56,9 @@ class JPStream(EngineBase):
 
         path = parse_path(query) if isinstance(query, str) else query
         ensure_query_supported(path, engine="jpstream", filters=False)
-        self.automaton: QueryAutomaton = compile_query(path)
+        from repro.engine.prepared import cached_automaton
+
+        self.automaton: QueryAutomaton = cached_automaton(path)
         # Uniform constructor surface: accepted everywhere, a no-op here
         # (this engine never fast-forwards, so ``last_stats`` stays None).
         self.collect_stats = collect_stats

@@ -36,6 +36,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Callable
 
 from repro.checkpoint.store import CheckpointStore, as_store, fingerprint
+from repro.engine.output import Match
 from repro.errors import (
     CheckpointError,
     ConfigurationError,
@@ -79,9 +80,21 @@ class JsonlEmitter:
             self._seekable = False
 
     def emit(self, index: int, values: list[Any]) -> None:
+        """Write one line per value.
+
+        A lazy :class:`~repro.engine.output.Match` view is spliced out
+        verbatim — its slice is already one valid JSON value, so the
+        line needs no parse and no re-encode (the emission-bound win of
+        on-demand materialization).  Anything else (a pool worker's
+        already-parsed value, a plain Python object) is serialized
+        compactly as before.
+        """
         write = self.handle.write
         for value in values:
-            write(json.dumps(value, separators=(",", ":")).encode("utf-8"))
+            if isinstance(value, Match):
+                write(value.text)
+            else:
+                write(json.dumps(value, separators=(",", ":")).encode("utf-8"))
             write(b"\n")
 
     def flush(self) -> None:
@@ -260,6 +273,7 @@ def checkpointed_recovery(
     max_failures: int | None = None,
     metrics=None,
     query: str | None = None,
+    materialize: bool = True,
 ):
     """:func:`~repro.resilience.run_with_recovery` with a durable cursor.
 
@@ -275,6 +289,16 @@ def checkpointed_recovery(
     records completed before a resume are ``None`` (their output already
     lives in the emitter's sink); ``result.checkpoint.resumed_at`` marks
     the boundary.
+
+    ``materialize=False`` keeps the run zero-parse end to end: each
+    ``values`` entry is the record's lazy
+    :class:`~repro.engine.output.MatchList`, staged matches are byte
+    ranges, and the emitter splices raw slices instead of re-encoding
+    parsed values.  Exactly-once is unchanged — pending lazy matches are
+    plain ranges over the input, so nothing parse-dependent sits in the
+    crash window — but undecodable match slices are no longer diagnosed
+    (nothing decodes them); leave the default when you need the
+    ``UndecodableMatch`` failure class.
     """
     from repro.resilience.recovery import RecordFailure, RecoveryResult
 
@@ -300,7 +324,10 @@ def checkpointed_recovery(
                 break
             skipped_counter = None
             try:
-                values[i] = engine.run(stream.record(i)).values()
+                matches = engine.run(stream.record(i))
+                # The eager path decodes here (and can fail per record);
+                # the lazy path carries views straight to the emitter.
+                values[i] = matches.values() if materialize else matches
             except ReproError as exc:
                 failure = RecordFailure.from_exception(i, exc)
                 ck.failures.append(failure)
@@ -317,7 +344,10 @@ def checkpointed_recovery(
                     ck.aborted = True
             if metrics is not None and skipped_counter is not None:
                 metrics.counter("stream.records_skipped", error=skipped_counter).add(1)
-            ck.stage(i, values[i])
+            staged = values[i]
+            if staged is not None and not materialize:
+                staged = list(staged)
+            ck.stage(i, staged)
             ck.cursor = i + 1
             since_commit += 1
             if ck.aborted:

@@ -55,7 +55,8 @@ from repro.errors import (
     JsonSyntaxError,
     UnsupportedQueryError,
 )
-from repro.query.automaton import ACCEPT, ALIVE, QueryAutomaton, compile_query
+from repro.engine.prepared import cached_automaton
+from repro.query.automaton import ACCEPT, ALIVE, QueryAutomaton
 from repro.resilience.guards import Limits, effective_limits
 from repro.stream.buffer import StreamBuffer
 
@@ -219,7 +220,7 @@ class SuspendableRun:
                 "filter queries evaluate by engine composition and cannot "
                 "be suspended; use JsonSki without --checkpoint"
             )
-        automaton = compile_query(path)
+        automaton = cached_automaton(path)
         buffer = StreamBuffer(data, mode=mode, chunk_size=chunk_size, cache_chunks=cache_chunks)
         run = cls(automaton, buffer, query, mode, limits)
         run.limits.check_record_size(run.size)
@@ -249,7 +250,7 @@ class SuspendableRun:
                 "refusing to resume: the input does not match the suspended "
                 f"run ({len(data)} bytes vs {state.size} at suspension)"
             )
-        automaton = compile_query(state.query)
+        automaton = cached_automaton(state.query)
         buffer = StreamBuffer(
             data, mode=state.mode, chunk_size=state.chunk_size, cache_chunks=state.cache_chunks
         )

@@ -105,6 +105,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="probe the input and report measured fast-forward behaviour")
     parser.add_argument("--cross-check", action="store_true",
                         help="run every engine and the oracle; fail on any disagreement")
+    parser.add_argument("--index-cache", default=None, metavar="DIR",
+                        help="persist the stage-1 structural index as a sidecar under "
+                             "DIR: the next run over the same bytes skips indexing "
+                             "entirely (two-stage engines, single-document input)")
     robust = parser.add_argument_group("robustness")
     robust.add_argument("--strict", dest="lenient", action="store_false", default=False,
                         help="fail on the first malformed record (the default)")
@@ -247,8 +251,15 @@ class _CliEmitter:
         self.stream = stream
 
     def emit(self, index: int, values: list) -> None:
+        from repro.engine.output import Match
+
         for value in values:
-            print(json.dumps(value, ensure_ascii=False), file=self.stream)
+            if isinstance(value, Match):
+                # Lazy view: splice the raw slice (already one JSON
+                # value) — the checkpointed path never parses matches.
+                print(value.text.decode("utf-8", "replace"), file=self.stream)
+            else:
+                print(json.dumps(value, ensure_ascii=False), file=self.stream)
 
     def flush(self) -> None:
         self.stream.flush()
@@ -312,6 +323,9 @@ def _run_checkpointed_records(args, engine, data, info, registry, trace_sink, ou
         resume=args.resume,
         emitter=emitter,
         stop=stop,
+        # The CLI only ever streams raw slices (or counts); decoding
+        # every match before re-encoding it was the emission bottleneck.
+        materialize=False,
     )
     ck = recovery.checkpoint
     if ck.resumed_at:
@@ -531,7 +545,12 @@ def main(argv: list[str] | None = None, out=None, err=None) -> int:
 
         # Two-stage engines: build the reusable stage-1 index once, so
         # every view below (first / run / run_with_paths) is stage 2 only.
-        record = engine.index(data) if info.two_stage and not args.jsonl else data
+        # --index-cache routes stage 1 through the persistent sidecar:
+        # a warm cache makes this line a load, not a build.
+        if info.two_stage and not args.jsonl:
+            record = engine.index(data, cache_dir=args.index_cache)
+        else:
+            record = data
 
         if args.first and info.early_terminating and not args.jsonl and not args.paths:
             match = engine.first(record)

@@ -19,23 +19,25 @@ and the hot streaming paths stay completely unaware of predicates.
 
 from __future__ import annotations
 
-import json
 from typing import Any
 
 from repro.engine.base import EngineBase
 from repro.errors import InvariantError
-from repro.engine.output import MatchList
+from repro.engine.output import Match, MatchList
 from repro.jsonpath.ast import Filter, Path, WildcardIndex
 from repro.jsonpath.filter import And, Comparison, Exists, FilterExpr, Not, Or, RelPath
 
 
 class SlicePredicate:
-    """Evaluate a :class:`FilterExpr` against a raw JSON slice.
+    """Evaluate a :class:`FilterExpr` against a candidate match view.
 
     Each distinct ``@``-path is compiled once into a fast-forwarding
     sub-engine; existence and first-value extraction then stream the
     candidate element instead of parsing it wholesale.  An empty
-    ``@``-path (the element itself) falls back to ``json.loads``.
+    ``@``-path (the element itself) materializes the candidate's lazy
+    view — memoized on the :class:`~repro.engine.output.Match`, so when
+    the consumer later touches the same element it does not parse the
+    byte range a second time.
     """
 
     def __init__(self, expr: FilterExpr, limits: Any = None) -> None:
@@ -60,37 +62,47 @@ class SlicePredicate:
             self._collect(expr.left)
             self._collect(expr.right)
 
-    def _resolve(self, path: RelPath, slice_: bytes) -> tuple[bool, Any]:
+    def _resolve(self, path: RelPath, candidate: Match) -> tuple[bool, Any]:
         if not path.steps:
             try:
-                return True, json.loads(slice_)
+                # The predicate is this value's consumer; the memoized
+                # parse is shared with any later consumer of the view.
+                # repro: ignore[RS010] -- first touch of the lazy view, not an eager re-parse
+                return True, candidate.value()
             except ValueError:
+                # Undecodable element: the predicate fails; resource
+                # guards (DepthLimitError) propagate as ever.
                 return False, None
-        match = self._engines[path].first(slice_)
+        match = self._engines[path].first(candidate.text)
         if match is None:
             return False, None
+        # repro: ignore[RS010] -- predicate comparison consumes the sub-match value
         return True, match.value()
 
-    def matches(self, slice_: bytes) -> bool:
-        return self._eval(self.expr, slice_)
+    def matches(self, candidate: Match | bytes) -> bool:
+        """Whether ``candidate`` (a lazy view, or raw bytes) passes."""
+        if not isinstance(candidate, Match):
+            data = bytes(candidate)
+            candidate = Match(data, 0, len(data))
+        return self._eval(self.expr, candidate)
 
-    def _eval(self, expr: FilterExpr, slice_: bytes) -> bool:
+    def _eval(self, expr: FilterExpr, candidate: Match) -> bool:
         if isinstance(expr, Exists):
-            found, _ = self._resolve(expr.path, slice_)
+            found, _ = self._resolve(expr.path, candidate)
             return found
         if isinstance(expr, Comparison):
-            found, value = self._resolve(expr.path, slice_)
+            found, value = self._resolve(expr.path, candidate)
             if not found:
                 return False
             # Reuse the value-level comparison semantics.
             probe = Comparison(RelPath(()), expr.op, expr.literal)
             return probe.matches(value)
         if isinstance(expr, Not):
-            return not self._eval(expr.operand, slice_)
+            return not self._eval(expr.operand, candidate)
         if isinstance(expr, And):
-            return self._eval(expr.left, slice_) and self._eval(expr.right, slice_)
+            return self._eval(expr.left, candidate) and self._eval(expr.right, candidate)
         if isinstance(expr, Or):
-            return self._eval(expr.left, slice_) or self._eval(expr.right, slice_)
+            return self._eval(expr.left, candidate) or self._eval(expr.right, candidate)
         raise InvariantError(f"unknown filter node {expr!r}")  # pragma: no cover
 
 
@@ -124,12 +136,14 @@ class FilteredJsonSki(EngineBase):
         self.last_stats = self.outer.last_stats
         matches = MatchList()
         for candidate in candidates:
-            slice_ = candidate.text
-            if not self.predicate.matches(slice_):
+            if not self.predicate.matches(candidate):
                 continue
             if self.inner is None:
-                matches.add(data, candidate.start, candidate.end)
+                # Adopt the predicate-touched view: if the empty-@-path
+                # predicate already parsed this element, the consumer
+                # reuses that memoized value instead of parsing again.
+                matches.add_match(candidate)
                 continue
-            for inner_match in self.inner.run(slice_):
+            for inner_match in self.inner.run(candidate.text):
                 matches.add(data, candidate.start + inner_match.start, candidate.start + inner_match.end)
         return matches

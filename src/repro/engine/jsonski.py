@@ -41,7 +41,8 @@ from repro.errors import JsonSyntaxError
 from repro.observe import NOOP_TRACER, MetricsRegistry
 from repro.jsonpath.ast import Path
 from repro.resilience.guards import Limits, depth_error_from_recursion, effective_limits
-from repro.query.automaton import ACCEPT, ALIVE, QueryAutomaton, compile_query
+from repro.engine.prepared import cached_automaton
+from repro.query.automaton import ACCEPT, ALIVE, QueryAutomaton
 from repro.stream.buffer import StreamBuffer, as_stream_buffer
 from repro.stream.records import RecordStream
 
@@ -140,7 +141,9 @@ class JsonSki(EngineBase):
                 )
                 self.automaton = None
             else:
-                self.automaton = compile_query(path)
+                # Process-wide LRU: every engine compiled from the same
+                # path shares one automaton (repro.engine.prepared).
+                self.automaton = cached_automaton(path)
         self.path = path
         self.mode = mode
         self.chunk_size = chunk_size

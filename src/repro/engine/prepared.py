@@ -31,10 +31,116 @@ without notice (see ``docs/api.md``).
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from pathlib import Path as FsPath
+from threading import Lock
 from typing import Any
 
 from repro.bits.index import DEFAULT_CHUNK_SIZE
 from repro.stream.buffer import StreamBuffer
+
+#: Default size of the process-wide compiled-query LRU.  A workload sees
+#: a small working set of hot query texts; 256 parsed ASTs plus their
+#: automata are a few MB at most.
+QUERY_CACHE_SIZE = 256
+
+
+class CompiledQueryCache:
+    """Process-wide LRU of parsed paths and compiled automata.
+
+    Two layers, because the two artifacts have different keys and
+    costs: query *text* → parsed :class:`~repro.jsonpath.ast.Path`
+    (parse is regex-free but allocation-heavy), and canonical path text
+    → :class:`~repro.query.automaton.QueryAutomaton` (compilation
+    interns frontier states).  Automata are safe to share across engines
+    and threads — their memo tables only ever grow with idempotent
+    entries — so every engine compiled from the same path reuses one
+    automaton object.
+
+    Failures are never cached: a query that does not parse (or cannot
+    compile, e.g. a filter path fed to :func:`compile_query`) raises
+    exactly as before and leaves the cache untouched.
+    """
+
+    def __init__(self, maxsize: int = QUERY_CACHE_SIZE) -> None:
+        self.maxsize = maxsize
+        self._paths: OrderedDict[str, Any] = OrderedDict()
+        self._automata: OrderedDict[str, Any] = OrderedDict()
+        self._lock = Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def _get(self, table: OrderedDict, key: str) -> Any:
+        with self._lock:
+            cached = table.get(key)
+            if cached is not None:
+                table.move_to_end(key)
+                self.hits += 1
+            else:
+                self.misses += 1
+            return cached
+
+    def _put(self, table: OrderedDict, key: str, value: Any) -> None:
+        with self._lock:
+            table[key] = value
+            table.move_to_end(key)
+            while len(table) > self.maxsize:
+                table.popitem(last=False)
+
+    def parse(self, query: str) -> Any:
+        """Parsed :class:`~repro.jsonpath.ast.Path` for ``query`` text."""
+        cached = self._get(self._paths, query)
+        if cached is None:
+            from repro.jsonpath.parser import parse_path
+
+            cached = parse_path(query)
+            self._put(self._paths, query, cached)
+        return cached
+
+    def automaton(self, path: Any) -> Any:
+        """Compiled automaton for ``path`` (text or parsed ``Path``)."""
+        if isinstance(path, str):
+            path = self.parse(path)
+        key = path.unparse()
+        cached = self._get(self._automata, key)
+        if cached is None:
+            from repro.query.automaton import compile_query
+
+            cached = compile_query(path)
+            self._put(self._automata, key, cached)
+        return cached
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "paths": len(self._paths),
+                "automata": len(self._automata),
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._paths.clear()
+            self._automata.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+#: The process-wide cache.  Tests swap this attribute to observe
+#: eviction; call sites go through the module functions below so the
+#: swap takes effect everywhere at once.
+QUERY_CACHE = CompiledQueryCache()
+
+
+def cached_parse(query: str) -> Any:
+    """Parse JSONPath text through the process-wide LRU."""
+    return QUERY_CACHE.parse(query)
+
+
+def cached_automaton(path: Any) -> Any:
+    """Compile a path through the process-wide LRU (shared automata)."""
+    return QUERY_CACHE.automaton(path)
 
 
 class IndexedBuffer:
@@ -59,6 +165,8 @@ class IndexedBuffer:
             self.buffer = data
         else:
             self.buffer = StreamBuffer(data, mode=mode, chunk_size=chunk_size, cache_chunks=None)
+        #: Path of the sidecar this index was loaded from, if any.
+        self.sidecar: FsPath | None = None
 
     @property
     def data(self) -> bytes:
@@ -79,6 +187,73 @@ class IndexedBuffer:
         for chunk_id in range(index.n_chunks):
             index.get(chunk_id)
         return self
+
+    # -- persistence (structural-index sidecar) -------------------------
+
+    def save(self, path: str | FsPath) -> FsPath:
+        """Persist the stage-1 index as a sidecar file (vector mode only).
+
+        Warms every chunk first, then writes atomically; see
+        :mod:`repro.engine.sidecar` for the format.  Raises
+        :class:`~repro.errors.IndexSidecarError` for word-mode buffers.
+        """
+        from repro.engine import sidecar
+
+        return sidecar.save_buffer(self.buffer, path)
+
+    @classmethod
+    def load(cls, path: str | FsPath, data: bytes | str, chunk_size: int | None = None) -> "IndexedBuffer":
+        """Reconstruct a fully-warm index for ``data`` from a sidecar.
+
+        Any validation failure — magic, format version, corpus
+        fingerprint, truncation, checksum — raises
+        :class:`~repro.errors.IndexSidecarError`; callers that hold the
+        bytes should fall back to building (:meth:`load_or_build`).
+        """
+        from repro.engine import sidecar
+
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        indexed = cls(sidecar.load_buffer(path, data, chunk_size=chunk_size))
+        indexed.sidecar = FsPath(path)
+        return indexed
+
+    @classmethod
+    def load_or_build(
+        cls,
+        data: bytes | str,
+        cache_dir: str | FsPath,
+        mode: str = "vector",
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> "IndexedBuffer":
+        """The caching entry point: reuse a valid sidecar under
+        ``cache_dir`` or build (and best-effort persist) a fresh index.
+
+        A missing, stale, corrupt, or version-mismatched sidecar is never
+        fatal — the index is rebuilt from the bytes and the sidecar
+        rewritten.  Word-mode indexes build directly (the sidecar format
+        covers vector mode only).
+        """
+        from repro.engine import sidecar
+        from repro.errors import IndexSidecarError
+
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        if mode != "vector":
+            return cls(data, mode=mode, chunk_size=chunk_size)
+        path = sidecar.sidecar_path(cache_dir, data, chunk_size)
+        try:
+            return cls.load(path, data, chunk_size=chunk_size)
+        except IndexSidecarError:
+            pass
+        built = cls(data, mode=mode, chunk_size=chunk_size).warm()
+        try:
+            built.save(path)
+            built.sidecar = FsPath(path)
+        except OSError:
+            # Read-only or full cache dir: serve the built index anyway.
+            pass
+        return built
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"IndexedBuffer({len(self)} bytes, mode={self.mode!r})"
@@ -106,16 +281,27 @@ class PreparedQuery:
 
     # -- two-stage verbs ------------------------------------------------
 
-    def index(self, data: bytes | str | StreamBuffer, chunk_size: int | None = None) -> IndexedBuffer:
+    def index(
+        self,
+        data: bytes | str | StreamBuffer,
+        chunk_size: int | None = None,
+        cache_dir: str | FsPath | None = None,
+    ) -> IndexedBuffer:
         """Stage 1: build a reusable :class:`IndexedBuffer` for ``data``
-        in this engine's scanner mode."""
+        in this engine's scanner mode.
+
+        With ``cache_dir``, stage 1 goes through the persistent sidecar
+        cache (:meth:`IndexedBuffer.load_or_build`): a valid sidecar for
+        these bytes skips indexing entirely; otherwise the index is
+        built and persisted for the next run.
+        """
         if isinstance(data, StreamBuffer):
             return IndexedBuffer(data)
-        return IndexedBuffer(
-            data,
-            mode=getattr(self.engine, "mode", "vector"),
-            chunk_size=chunk_size if chunk_size is not None else getattr(self.engine, "chunk_size", DEFAULT_CHUNK_SIZE),
-        )
+        mode = getattr(self.engine, "mode", "vector")
+        size = chunk_size if chunk_size is not None else getattr(self.engine, "chunk_size", DEFAULT_CHUNK_SIZE)
+        if cache_dir is not None:
+            return IndexedBuffer.load_or_build(data, cache_dir, mode=mode, chunk_size=size)
+        return IndexedBuffer(data, mode=mode, chunk_size=size)
 
     @staticmethod
     def _coerce(data: Any) -> Any:
@@ -168,7 +354,11 @@ def index(
     data: bytes | str | StreamBuffer,
     mode: str = "vector",
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    cache_dir: str | FsPath | None = None,
 ) -> IndexedBuffer:
     """Build a reusable stage-1 index over ``data`` (module-level verb;
-    see :class:`IndexedBuffer`)."""
+    see :class:`IndexedBuffer`).  ``cache_dir`` routes through the
+    persistent sidecar cache (:meth:`IndexedBuffer.load_or_build`)."""
+    if cache_dir is not None and not isinstance(data, StreamBuffer):
+        return IndexedBuffer.load_or_build(data, cache_dir, mode=mode, chunk_size=chunk_size)
     return IndexedBuffer(data, mode=mode, chunk_size=chunk_size)

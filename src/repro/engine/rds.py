@@ -20,7 +20,7 @@ from repro.engine.names import decode_name as _decode_name
 from repro.engine.output import MatchList
 from repro.jsonpath.ast import Path
 from repro.observe import NOOP_TRACER
-from repro.query.automaton import QueryAutomaton, compile_query
+from repro.query.automaton import QueryAutomaton
 
 _LBRACE, _RBRACE = 0x7B, 0x7D
 _LBRACKET, _RBRACKET = 0x5B, 0x5D
@@ -57,7 +57,9 @@ class RecursiveDescentStreamer(EngineBase):
         path = parse_path(query) if isinstance(query, str) else query
         ensure_query_supported(path, engine="rds", filters=False)
         with self._tracer.span("compile", engine="rds"):
-            self.automaton: QueryAutomaton = compile_query(path)
+            from repro.engine.prepared import cached_automaton
+
+            self.automaton: QueryAutomaton = cached_automaton(path)
         self.last_stats: FastForwardStats | None = None
 
     def run(self, data: bytes | str) -> MatchList:

@@ -106,6 +106,28 @@ class InvariantError(ReproError, ValueError):
     """
 
 
+class MatchTypeError(ReproError, TypeError):
+    """A typed match accessor was used on a value of another type.
+
+    Raised by :meth:`repro.engine.Match.as_int` and friends when the
+    matched token is not of the requested type.  Also a
+    :class:`TypeError` so it reads naturally at call sites that treat it
+    as a conversion failure.
+    """
+
+
+class IndexSidecarError(ReproError):
+    """A structural-index sidecar could not be used.
+
+    Raised when a sidecar file fails validation — bad magic, format
+    version mismatch, corpus content-hash mismatch, truncation, payload
+    checksum mismatch, or an engine mode the format does not cover.
+    Callers that hold the corpus bytes should treat this as "rebuild the
+    index", never as fatal (see
+    :meth:`repro.engine.prepared.IndexedBuffer.load_or_build`).
+    """
+
+
 class CheckpointError(ReproError):
     """A checkpoint could not be used.
 

@@ -25,9 +25,8 @@ from typing import Any, Callable
 from repro.baselines import JPStream, PisonLike, RapidJsonLike, SimdJsonLike, StdlibJson
 from repro.engine import JsonSki, RecursiveDescentStreamer
 from repro.engine.base import ensure_query_supported
-from repro.engine.prepared import PreparedQuery
+from repro.engine.prepared import PreparedQuery, cached_parse
 from repro.jsonpath.ast import Path
-from repro.jsonpath.parser import parse_path
 
 
 @dataclass(frozen=True)
@@ -175,7 +174,7 @@ def compile(query: str | Path, engine: str = "jsonski", **opts: Any) -> Prepared
     [7]
     """
     info = ENGINES.info(engine)
-    path = parse_path(query) if isinstance(query, str) else query
+    path = cached_parse(query) if isinstance(query, str) else query
     info.check_query(path)
     return PreparedQuery(info(path, **opts), info)
 

@@ -102,6 +102,7 @@ def run_with_recovery(
     resume: bool = False,
     emitter=None,
     stop=None,
+    materialize: bool = True,
 ) -> RecoveryResult:
     """Evaluate ``engine`` over every record, surviving malformed ones.
 
@@ -128,6 +129,13 @@ def run_with_recovery(
     :class:`~repro.jsonpath.ast.Path`), which is compiled through the
     registry into a :class:`~repro.engine.prepared.PreparedQuery` — the
     recommended spelling for new code.
+
+    ``materialize=False`` returns each record's lazy
+    :class:`~repro.engine.output.MatchList` in ``values`` instead of
+    decoded lists (and, with a checkpoint, stages/emits raw byte ranges)
+    — zero ``json.loads`` unless a consumer touches a value.  The
+    ``UndecodableMatch`` failure class disappears in this mode, since
+    nothing decodes the matched slices.
     """
     from repro.errors import DeadlineExceededError
     from repro.jsonpath.ast import Path
@@ -150,6 +158,7 @@ def run_with_recovery(
             stop=stop,
             max_failures=max_failures,
             metrics=metrics,
+            materialize=materialize,
         )
 
     values: list[list[Any] | None] = []
@@ -160,7 +169,8 @@ def run_with_recovery(
             values.append(None)
             continue
         try:
-            values.append(engine.run(stream.record(i)).values())
+            matches = engine.run(stream.record(i))
+            values.append(matches.values() if materialize else matches)
         except ReproError as exc:
             failure = RecordFailure.from_exception(i, exc)
             failures.append(failure)

@@ -51,6 +51,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--breaker-cooldown", type=float, default=5.0)
     parser.add_argument("--checkpoint-dir", default=None,
                         help="enable checkpointed pool dispatch under this dir")
+    parser.add_argument("--index-cache", default=None, metavar="DIR",
+                        help="persist structural-index sidecars here so "
+                             "restarts (and sibling processes) skip stage 1")
     parser.add_argument("--metrics-file", default=None,
                         help="flush final Prometheus text here on shutdown")
     parser.add_argument("--engine", default="jsonski", dest="default_engine")
@@ -74,7 +77,7 @@ def main(argv: list[str] | None = None, out=None, err=None) -> int:
     err = err if err is not None else sys.stderr
     args = build_parser().parse_args(argv)
 
-    registry = CorpusRegistry()
+    registry = CorpusRegistry(index_cache=args.index_cache)
     try:
         for spec in args.corpus:
             name, path, format = parse_corpus_spec(spec)

@@ -20,21 +20,17 @@ The compile-once/run-many split for a *service*:
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path as FsPath
 from threading import Lock
 
+from repro.engine import prepared as prepared_mod
+from repro.engine.prepared import QUERY_CACHE_SIZE as QUERY_CACHE_SIZE  # re-export (compat)
 from repro.engine.prepared import IndexedBuffer, PreparedQuery
 from repro.errors import JsonPathSyntaxError, ReproError
 from repro.jsonpath.ast import Path
-from repro.jsonpath.parser import parse_path
 from repro.serve.errors import BadRequestError, UnknownCorpusError
 from repro.stream.records import RecordStream
-
-#: Parsed-query LRU size: a service sees a small working set of hot
-#: query texts; 256 parsed ASTs are a few hundred KB at most.
-QUERY_CACHE_SIZE = 256
 
 FORMATS = ("jsonl", "json", "concatenated")
 
@@ -51,6 +47,9 @@ class Corpus:
     #: Lenient view: bad framing skipped, count recorded (DEGRADED mode).
     lenient_stream: RecordStream | None = None
     lenient_skipped: int = 0
+    #: Directory for persistent structural-index sidecars; ``None``
+    #: keeps indexes in-memory only (rebuilt per process).
+    index_cache: FsPath | None = None
     #: ``mode`` -> stage-1 index for single-document corpora.
     _indexes: dict[str, IndexedBuffer] = field(default_factory=dict)
     _index_lock: Lock = field(default_factory=Lock)
@@ -85,28 +84,44 @@ class Corpus:
         Built on first use per engine mode and reused by every later
         query with a matching mode — this is the jXBW-style reusable
         structural index the service exists to amortize.
+
+        With ``index_cache`` set, the index additionally persists as an
+        mmap-shareable sidecar: the *next process* serving this corpus
+        loads stage-1 arrays instead of rebuilding them (and concurrent
+        processes share the mapped pages).
         """
         mode = getattr(prepared, "mode", "vector")
         with self._index_lock:
             cached = self._indexes.get(mode)
             if cached is None:
-                cached = prepared.index(self.payload)
+                if self.index_cache is not None:
+                    cached = prepared.index(self.payload, cache_dir=self.index_cache)
+                else:
+                    cached = prepared.index(self.payload)
                 self._indexes[mode] = cached
             return cached
 
 
 class CorpusRegistry:
-    """Named corpora + the parsed-query LRU (thread-safe)."""
+    """Named corpora + the shared compiled-query LRU (thread-safe).
 
-    def __init__(self) -> None:
+    Query parsing delegates to the process-wide
+    :data:`repro.engine.prepared.QUERY_CACHE`, so the service, the CLI
+    and library callers in one process share a single LRU of parsed
+    paths and compiled automata.  ``index_cache`` (a directory) makes
+    every registered single-document corpus persist its stage-1 index
+    as a sidecar (see :mod:`repro.engine.sidecar`).
+    """
+
+    def __init__(self, index_cache: str | FsPath | None = None) -> None:
         self._corpora: dict[str, Corpus] = {}
-        self._queries: OrderedDict[str, Path] = OrderedDict()
         self._lock = Lock()
+        self.index_cache = FsPath(index_cache) if index_cache is not None else None
 
     # -- corpora ------------------------------------------------------
 
     def register(self, name: str, payload: bytes, format: str = "jsonl") -> Corpus:
-        corpus = Corpus(name=name, payload=payload, format=format)
+        corpus = Corpus(name=name, payload=payload, format=format, index_cache=self.index_cache)
         with self._lock:
             self._corpora[name] = corpus
         return corpus
@@ -128,21 +143,15 @@ class CorpusRegistry:
     # -- queries ------------------------------------------------------
 
     def parse(self, query: str) -> Path:
-        """Parse ``query`` through the LRU; syntax errors become 400s."""
-        with self._lock:
-            cached = self._queries.get(query)
-            if cached is not None:
-                self._queries.move_to_end(query)
-                return cached
+        """Parse ``query`` through the shared LRU; syntax errors are 400s.
+
+        Looked up through the module so a test that swaps
+        ``repro.engine.prepared.QUERY_CACHE`` observes this path too.
+        """
         try:
-            path = parse_path(query)
+            return prepared_mod.QUERY_CACHE.parse(query)
         except JsonPathSyntaxError as exc:
             raise BadRequestError(f"bad query: {exc}") from exc
-        with self._lock:
-            self._queries[query] = path
-            while len(self._queries) > QUERY_CACHE_SIZE:
-                self._queries.popitem(last=False)
-        return path
 
     def compile(self, query: str, engine: str, limits) -> PreparedQuery:
         """Per-request engine: cached parse, fresh construction.

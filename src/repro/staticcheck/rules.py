@@ -1,4 +1,4 @@
-"""The engine-contract rules (RS001-RS008).
+"""The engine-contract rules (RS001-RS010).
 
 Each rule is documented in ``docs/static-analysis.md`` with its
 rationale and the exact exemptions it grants; the docstrings here are
@@ -771,3 +771,60 @@ class BoundedServeIO(Rule):
                         f"await on .{func.attr}(...) without asyncio.wait_for: "
                         "a client that never completes this I/O hangs the "
                         "handler — wrap it with the request's client_timeout")
+
+
+#: Receiver names that conventionally denote a match view in engine
+#: code, so a zero-arg ``.value()``/``.values()`` on them is a parse
+#: (dict ``.values()`` receivers are attributes or differently named).
+_MATCH_VIEW_NAMES = frozenset({"match", "matches", "candidate", "inner_match"})
+
+
+@register_rule
+class EagerMaterialization(Rule):
+    """RS010: engine hot paths do not eagerly materialize matched byte
+    ranges.
+
+    Matches are lazy views (:mod:`repro.engine.output`): decoding
+    happens at most once, on first touch, on the consumer's side.  A
+    ``json.loads`` — or a ``.value()`` / ``run(...).values()`` — inside
+    the scan path re-introduces exactly the per-match decode cost the
+    on-demand model removed, and it is invisible in correctness tests
+    because the decoded value is equal either way.  ``engine/output.py``
+    (the one legitimate materialization point) is exempt; the reference
+    oracle and the baselines, whose measured contract *is* to parse,
+    carry reasoned ``# repro: ignore[RS010]`` suppressions.
+    """
+
+    code = "RS010"
+    name = "eager-materialization"
+    summary = "eager json.loads/.value() in an engine hot path"
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: FileContext, project: Project) -> None:
+        assert isinstance(node, ast.Call)
+        if not ctx.in_packages("engine", "reference", "baselines"):
+            return
+        if ctx.in_packages("engine") and ctx.module_name == "output":
+            return
+        func = node.func
+        if (isinstance(func, ast.Attribute) and func.attr == "loads"
+                and isinstance(func.value, ast.Name) and func.value.id == "json"):
+            project.add(self, ctx, node,
+                        "json.loads in a hot path: return the lazy Match view "
+                        "and let the consumer pay for decoding on first touch")
+            return
+        # Zero-arg .value()/.values() where the receiver is plainly a
+        # match view: chained off a call (run(...).values()) or bound to
+        # a conventional name.  Dict .values() on attribute receivers
+        # (self._counters.values()) stays legal.
+        if (isinstance(func, ast.Attribute)
+                and func.attr in ("value", "values")
+                and not node.args and not node.keywords):
+            recv = func.value
+            if isinstance(recv, ast.Call) or (
+                isinstance(recv, ast.Name) and recv.id in _MATCH_VIEW_NAMES
+            ):
+                project.add(self, ctx, node,
+                            f".{func.attr}() materializes matches inside the "
+                            "engine; keep the lazy view (count()/spans()/"
+                            "texts()) and let the consumer decide to decode")

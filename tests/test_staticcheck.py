@@ -26,6 +26,9 @@ ENGINE = "src/repro/engine/snippet.py"
 CHECKPOINT = "src/repro/checkpoint/snippet.py"
 FUZZ = "src/repro/resilience/fuzz.py"
 SERVE = "src/repro/serve/snippet.py"
+REFERENCE = "src/repro/reference/snippet.py"
+BASELINE = "src/repro/baselines/snippet.py"
+OUTPUT = "src/repro/engine/output.py"
 ELSEWHERE = "src/repro/harness/snippet.py"
 
 
@@ -482,6 +485,59 @@ class TestRS009:
             "    await event.wait()\n"
         )
         assert check_one(SERVE, src, select=["RS009"]) == []
+
+
+# ---------------------------------------------------------------------------
+# RS010 — no eager materialization in engine hot paths
+
+
+class TestRS010:
+    def test_json_loads_in_engine_fails(self):
+        src = "import json\ndef f(raw):\n    return json.loads(raw)\n"
+        findings = check_one(ENGINE, src, select=["RS010"])
+        assert codes(findings) == ["RS010"]
+        assert "lazy" in findings[0].message
+
+    def test_json_loads_in_reference_flagged(self):
+        src = "import json\ndef oracle(data):\n    return json.loads(data)\n"
+        assert codes(check_one(REFERENCE, src, select=["RS010"])) == ["RS010"]
+
+    def test_json_loads_in_baselines_flagged(self):
+        src = "import json\ndef run(text):\n    return json.loads(text)\n"
+        assert codes(check_one(BASELINE, src, select=["RS010"])) == ["RS010"]
+
+    def test_output_module_exempt(self):
+        src = "import json\ndef _decode(text):\n    return json.loads(text)\n"
+        assert check_one(OUTPUT, src, select=["RS010"]) == []
+
+    def test_chained_values_fails(self):
+        src = "def f(engine, data):\n    return engine.run(data).values()\n"
+        assert codes(check_one(ENGINE, src, select=["RS010"])) == ["RS010"]
+
+    def test_match_value_fails(self):
+        src = "def f(match):\n    return match.value()\n"
+        assert codes(check_one(ENGINE, src, select=["RS010"])) == ["RS010"]
+
+    def test_dict_values_on_attribute_passes(self):
+        src = "def f(self):\n    return sum(self._counters.values())\n"
+        assert check_one(ENGINE, src, select=["RS010"]) == []
+
+    def test_lazy_count_passes(self):
+        src = "def f(engine, data):\n    return engine.run(data).count()\n"
+        assert check_one(ENGINE, src, select=["RS010"]) == []
+
+    def test_outside_scope_not_checked(self):
+        src = "import json\ndef f(raw):\n    return json.loads(raw)\n"
+        assert check_one(ELSEWHERE, src, select=["RS010"]) == []
+
+    def test_suppression_honored(self):
+        src = (
+            "import json\n"
+            "def f(raw):\n"
+            "    # repro: ignore[RS010] -- fixture: consumer-side decode\n"
+            "    return json.loads(raw)\n"
+        )
+        assert check_one(ENGINE, src, select=["RS010"]) == []
 
 
 # ---------------------------------------------------------------------------
