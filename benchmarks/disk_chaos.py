@@ -1,0 +1,516 @@
+"""Crash-consistency differential harness for the durable storage layer.
+
+The same simulate-every-failure discipline ``serve_chaos.py`` applies
+to the network applied to the disk.  Every persistent writer in the
+project — index sidecars (:mod:`repro.engine.sidecar`) and checkpoint
+generations (:mod:`repro.checkpoint.store`) — runs against
+:class:`repro.storage.FaultFS`, which can fail (``ENOSPC``, torn short
+write) or kill the writer at **every** syscall boundary its journal
+exposes (``open``/``write``/``fsync``/``replace``/``unlink``/
+``fsync_dir``), in both before- and after- positions.  Kill coverage is
+two-tier: an in-process frozen-disk simulation for the exhaustive
+sweep, plus real ``os._exit`` subprocess writers at every boundary
+(``--child`` re-entry) where no simulation artifact is possible.
+
+The contract asserted after every injection:
+
+- **atomicity** — a subsequent load observes the complete old state or
+  the complete new state: a sidecar path is absent or fully valid; the
+  newest valid checkpoint generation is the pre-save payload or the
+  post-save payload, never ``None``, never garbage;
+- **no leaked tmp** — a *failed* write cleans its ``.tmp<pid>`` up
+  immediately; a *killed* write may orphan one, and the stale-tmp sweep
+  reclaims it;
+- **no lost lock** — after a writer dies at any boundary (including
+  while holding the single-flight build lock), a fresh process acquires
+  the advisory lock promptly;
+- **recovery** — the next writer/reader on the same path succeeds and
+  leaves fully-valid state.
+
+Plus the cross-process single-flight contract: two concurrent
+``load_or_build`` callers on a cold cache produce exactly one stage-1
+build, the loser reusing the winner's sidecar; and the quarantine
+policy: a corrupt sidecar is renamed ``*.corrupt`` with a reason note
+and counted, never silently overwritten.
+
+Exit status 0 when the contract held everywhere, 1 otherwise::
+
+    PYTHONPATH=src python benchmarks/disk_chaos.py --quick
+    PYTHONPATH=src python benchmarks/disk_chaos.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.checkpoint.store import CheckpointStore  # noqa: E402
+from repro.engine import sidecar  # noqa: E402
+from repro.engine.prepared import IndexedBuffer  # noqa: E402
+from repro.errors import IndexSidecarError, LockTimeoutError  # noqa: E402
+from repro.storage import (  # noqa: E402
+    FaultFS,
+    FaultPlan,
+    SimulatedCrash,
+    advisory_lock,
+    fault_plans,
+    reset_storage_metrics,
+    sweep_stale_tmp,
+    trace,
+)
+
+EXIT_KILL = 137
+
+#: Chunk size small enough that even the quick corpus spans chunks.
+CHUNK = 1 << 12
+
+
+def make_corpus(records: int) -> bytes:
+    """Deterministic single-document corpus with nested structure."""
+    rows = ",".join(
+        '{"id":%d,"tags":["a","b{"],"geo":{"lat":%d.5,"lon":-%d.25}}' % (i, i, i)
+        for i in range(records)
+    )
+    return ('{"meta":{"count":%d},"rows":[%s]}' % (records, rows)).encode()
+
+
+def sidecar_valid(path: Path, corpus: bytes) -> bool:
+    """Complete-new check: the file at ``path`` passes full validation."""
+    try:
+        sidecar.load_buffer(path, corpus, chunk_size=CHUNK)
+    except IndexSidecarError:
+        return False
+    return True
+
+
+def tmp_residue(directory: Path) -> list[str]:
+    return sorted(
+        e.name for e in directory.iterdir()
+        if ".tmp" in e.name and e.name.rpartition(".tmp")[2].isdigit()
+    )
+
+
+def lock_free(path: Path) -> bool:
+    try:
+        with advisory_lock(path, timeout=2.0):
+            return True
+    except LockTimeoutError:
+        return False
+
+
+class Report:
+    def __init__(self) -> None:
+        self.cases = 0
+        self.violations: list[str] = []
+
+    def check(self, ok: bool, label: str) -> None:
+        self.cases += 1
+        if not ok:
+            self.violations.append(label)
+
+    def section(self, name: str, start_cases: int, start_bad: int) -> None:
+        print(f"  {name}: {self.cases - start_cases} checks, "
+              f"{len(self.violations) - start_bad} violations")
+
+
+# ---------------------------------------------------------------------------
+# scenario 1: sidecar writer, every boundary, fail + kill variants
+# ---------------------------------------------------------------------------
+
+def run_sidecar_sweep(report: Report, corpus: bytes, warm_start: bool) -> None:
+    """Fault ``load_or_build``'s save at every boundary; ``warm_start``
+    pre-populates a valid sidecar so the old state is non-empty."""
+    c0, v0 = report.cases, len(report.violations)
+
+    def drive(fs: FaultFS, root: Path) -> None:
+        IndexedBuffer.load_or_build(corpus, root, chunk_size=CHUNK, fs=fs, lock_timeout=5.0)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        traced = trace(lambda fs: drive(fs, Path(tmp) / "cache"))
+    # The traced journal covers atomic_write's boundaries (the sidecar
+    # was cold, so no unlink/quarantine steps appear).
+    plans = list(fault_plans(traced.ops))
+
+    for plan in plans:
+        with tempfile.TemporaryDirectory() as tmpdir:
+            root = Path(tmpdir) / "cache"
+            if warm_start:
+                IndexedBuffer.load_or_build(corpus, root, chunk_size=CHUNK)
+            path = sidecar.sidecar_path(root, corpus, CHUNK)
+            label = plan.describe(traced.ops[plan.step - 1][0])
+            fs = FaultFS(plan)
+            crashed = False
+            try:
+                # In warm starts the sidecar loads without touching the
+                # journal, so re-fault a direct save over the old file.
+                if warm_start:
+                    IndexedBuffer(corpus, chunk_size=CHUNK).warm().save(path, fs=fs)
+                else:
+                    drive(fs, root)
+            except OSError:
+                pass
+            except SimulatedCrash:
+                crashed = True
+
+            # Atomicity: absent (old, cold case) or fully valid.
+            if path.exists():
+                report.check(sidecar_valid(path, corpus),
+                             f"sidecar[{label}]: torn file at final path")
+            else:
+                report.check(not warm_start,
+                             f"sidecar[{label}]: old sidecar lost")
+            # Tmp hygiene: failed writes clean up now; kills leave an
+            # orphan the sweep reclaims.
+            if crashed:
+                sweep_stale_tmp(root, max_age=0.0)
+            report.check(not tmp_residue(root),
+                         f"sidecar[{label}]: leaked tmp {tmp_residue(root)}")
+            # The build lock died with the writer.
+            report.check(lock_free(path), f"sidecar[{label}]: stuck lock")
+            # Recovery: a fresh process loads-or-rebuilds to valid state.
+            rebuilt = IndexedBuffer.load_or_build(corpus, root, chunk_size=CHUNK)
+            report.check(
+                rebuilt.buffer.data == corpus and sidecar_valid(path, corpus),
+                f"sidecar[{label}]: recovery left invalid state",
+            )
+    report.section(
+        f"sidecar save sweep ({'warm' if warm_start else 'cold'}, "
+        f"{len(plans)} plans)", c0, v0)
+
+
+# ---------------------------------------------------------------------------
+# scenario 2: checkpoint writer, every boundary, fail + kill variants
+# ---------------------------------------------------------------------------
+
+OLD_PAYLOAD = {"cursor": 1, "note": "old"}
+NEW_PAYLOAD = {"cursor": 2, "note": "new"}
+
+
+def run_checkpoint_sweep(report: Report) -> None:
+    c0, v0 = report.cases, len(report.violations)
+
+    def seed(root: Path) -> Path:
+        base = root / "run.ckpt"
+        CheckpointStore(base, keep=1).save(OLD_PAYLOAD)
+        return base
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        base = seed(Path(tmpdir))
+        traced = trace(
+            lambda fs: CheckpointStore(base, keep=1, fs=fs).save(NEW_PAYLOAD)
+        )
+    plans = list(fault_plans(traced.ops))
+
+    for plan in plans:
+        with tempfile.TemporaryDirectory() as tmpdir:
+            base = seed(Path(tmpdir))
+            label = plan.describe(traced.ops[plan.step - 1][0])
+            fs = FaultFS(plan)
+            crashed = False
+            try:
+                CheckpointStore(base, keep=1, fs=fs).save(NEW_PAYLOAD)
+            except OSError:
+                pass
+            except SimulatedCrash:
+                crashed = True
+
+            fresh = CheckpointStore(base, keep=1)
+            record = fresh.load_latest()
+            report.check(
+                record is not None and record.payload in (OLD_PAYLOAD, NEW_PAYLOAD),
+                f"checkpoint[{label}]: load saw "
+                f"{record.payload if record else None}",
+            )
+            if crashed:
+                sweep_stale_tmp(base.parent, max_age=0.0)
+            report.check(not tmp_residue(base.parent),
+                         f"checkpoint[{label}]: leaked tmp")
+            # Recovery: the next saver proceeds and wins.
+            CheckpointStore(base, keep=1).save({"cursor": 3})
+            after = CheckpointStore(base, keep=1).load_latest()
+            report.check(
+                after is not None and after.payload["cursor"] == 3,
+                f"checkpoint[{label}]: post-fault save failed",
+            )
+    report.section(f"checkpoint save sweep ({len(plans)} plans)", c0, v0)
+
+
+# ---------------------------------------------------------------------------
+# scenario 3: real process kills (os._exit at the boundary)
+# ---------------------------------------------------------------------------
+
+def child_kill(kind: str, root: Path, step: int, corpus: bytes) -> int:
+    """``--child`` re-entry: run one writer with an exit-at-boundary
+    plan.  Exits 137 at the boundary, 0 if the plan never fires."""
+    fs = FaultFS(FaultPlan(step=step, mode="exit", when="after"), exit_code=EXIT_KILL)
+    if kind == "sidecar":
+        IndexedBuffer.load_or_build(corpus, root, chunk_size=CHUNK, fs=fs)
+    else:
+        CheckpointStore(root / "run.ckpt", keep=1, fs=fs).save(NEW_PAYLOAD)
+    return 0
+
+
+def run_kill_sweep(report: Report, corpus: bytes, corpus_path: Path) -> None:
+    c0, v0 = report.cases, len(report.violations)
+
+    # Discover each writer's journal length from scenario traces.
+    with tempfile.TemporaryDirectory() as tmpdir:
+        root = Path(tmpdir)
+        n_sidecar = len(trace(
+            lambda fs: IndexedBuffer.load_or_build(
+                corpus, root / "cache", chunk_size=CHUNK, fs=fs)
+        ).ops)
+    with tempfile.TemporaryDirectory() as tmpdir:
+        base = Path(tmpdir) / "run.ckpt"
+        CheckpointStore(base, keep=1).save(OLD_PAYLOAD)
+        n_ckpt = len(trace(
+            lambda fs: CheckpointStore(base, keep=1, fs=fs).save(NEW_PAYLOAD)
+        ).ops)
+
+    for kind, steps in (("sidecar", n_sidecar), ("checkpoint", n_ckpt)):
+        for step in range(1, steps + 1):
+            with tempfile.TemporaryDirectory() as tmpdir:
+                root = Path(tmpdir)
+                if kind == "checkpoint":
+                    CheckpointStore(root / "run.ckpt", keep=1).save(OLD_PAYLOAD)
+                proc = subprocess.run(
+                    [sys.executable, __file__, "--child", "kill",
+                     "--kind", kind, "--dir", str(root),
+                     "--step", str(step), "--corpus", str(corpus_path)],
+                    capture_output=True, timeout=120,
+                )
+                label = f"{kind} kill@{step}"
+                report.check(
+                    proc.returncode == EXIT_KILL,
+                    f"{label}: child exited {proc.returncode} "
+                    f"({proc.stderr.decode(errors='replace')[-200:]})",
+                )
+                if kind == "sidecar":
+                    path = sidecar.sidecar_path(root, corpus, CHUNK)
+                    if path.exists():
+                        report.check(sidecar_valid(path, corpus),
+                                     f"{label}: torn sidecar")
+                    report.check(lock_free(path), f"{label}: stuck lock")
+                    sweep_stale_tmp(root, max_age=0.0)
+                    report.check(not tmp_residue(root), f"{label}: leaked tmp")
+                    rebuilt = IndexedBuffer.load_or_build(corpus, root, chunk_size=CHUNK)
+                    report.check(rebuilt.buffer.data == corpus,
+                                 f"{label}: recovery failed")
+                else:
+                    base = root / "run.ckpt"
+                    record = CheckpointStore(base, keep=1).load_latest()
+                    report.check(
+                        record is not None
+                        and record.payload in (OLD_PAYLOAD, NEW_PAYLOAD),
+                        f"{label}: load saw "
+                        f"{record.payload if record else None}",
+                    )
+                    sweep_stale_tmp(base.parent, max_age=0.0)
+                    report.check(not tmp_residue(base.parent),
+                                 f"{label}: leaked tmp")
+    report.section(f"real-kill sweep ({n_sidecar}+{n_ckpt} boundaries)", c0, v0)
+
+
+# ---------------------------------------------------------------------------
+# scenario 4: cross-process single-flight build
+# ---------------------------------------------------------------------------
+
+def child_race(root: Path, role: str, corpus: bytes) -> int:
+    """``--child race``: one ``load_or_build`` caller.  The ``slow``
+    role stalls mid-build (after the marker file appears) so the peer
+    provably overlaps; both print a JSON verdict."""
+    from repro.storage.metrics import storage_metrics
+
+    if role == "slow":
+        marker = root / "building.marker"
+        original_warm = IndexedBuffer.warm
+
+        def slow_warm(self):
+            result = original_warm(self)
+            marker.touch()
+            time.sleep(1.5)
+            return result
+
+        IndexedBuffer.warm = slow_warm  # type: ignore[method-assign]
+    indexed = IndexedBuffer.load_or_build(corpus, root / "cache", chunk_size=CHUNK)
+    registry = storage_metrics()
+    print(json.dumps({
+        "role": role,
+        "chunks_built": indexed.buffer.index.chunks_built,
+        "rebuilds": registry.value("storage.rebuilds"),
+        "reuse": registry.value("storage.single_flight_reuse"),
+        "waits": registry.value("storage.lock_waits"),
+    }))
+    return 0
+
+
+def run_single_flight(report: Report, corpus_path: Path) -> None:
+    c0, v0 = report.cases, len(report.violations)
+    with tempfile.TemporaryDirectory() as tmpdir:
+        root = Path(tmpdir)
+        marker = root / "building.marker"
+
+        def spawn(role: str) -> subprocess.Popen:
+            return subprocess.Popen(
+                [sys.executable, __file__, "--child", "race",
+                 "--role", role, "--dir", str(root),
+                 "--corpus", str(corpus_path)],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            )
+
+        slow = spawn("slow")
+        deadline = time.monotonic() + 30
+        while not marker.exists() and time.monotonic() < deadline:
+            if slow.poll() is not None:
+                break
+            time.sleep(0.02)
+        report.check(marker.exists(), "single-flight: slow builder never started")
+        fast = spawn("fast")
+        outs = {}
+        for proc in (slow, fast):
+            out, err = proc.communicate(timeout=60)
+            report.check(proc.returncode == 0,
+                         f"single-flight: child failed: {err.decode(errors='replace')[-200:]}")
+            try:
+                verdict = json.loads(out.decode().strip().splitlines()[-1])
+                outs[verdict["role"]] = verdict
+            except (ValueError, IndexError):
+                report.check(False, f"single-flight: unparseable child output {out!r}")
+        if {"slow", "fast"} <= outs.keys():
+            report.check(outs["slow"]["chunks_built"] > 0 and outs["slow"]["rebuilds"] == 1,
+                         f"single-flight: slow child did not build ({outs['slow']})")
+            report.check(outs["fast"]["chunks_built"] == 0 and outs["fast"]["rebuilds"] == 0,
+                         f"single-flight: fast child rebuilt instead of reusing ({outs['fast']})")
+            report.check(outs["fast"]["reuse"] == 1 and outs["fast"]["waits"] >= 1,
+                         f"single-flight: fast child did not wait+reuse ({outs['fast']})")
+    report.section("single-flight build race", c0, v0)
+
+
+# ---------------------------------------------------------------------------
+# scenario 5: quarantine policy
+# ---------------------------------------------------------------------------
+
+def run_quarantine(report: Report, corpus: bytes) -> None:
+    c0, v0 = report.cases, len(report.violations)
+    registry = reset_storage_metrics()
+    with tempfile.TemporaryDirectory() as tmpdir:
+        root = Path(tmpdir)
+        IndexedBuffer.load_or_build(corpus, root, chunk_size=CHUNK)
+        path = sidecar.sidecar_path(root, corpus, CHUNK)
+        blob = bytearray(path.read_bytes())
+        blob[-3] ^= 0xFF  # flip a payload byte: checksum mismatch
+        path.write_bytes(bytes(blob))
+
+        rebuilt = IndexedBuffer.load_or_build(corpus, root, chunk_size=CHUNK)
+        report.check(rebuilt.buffer.data == corpus, "quarantine: rebuild failed")
+        corrupt = path.with_name(path.name + ".corrupt")
+        report.check(corrupt.exists(), "quarantine: corrupt file not preserved")
+        reason_file = corrupt.with_name(corrupt.name + ".reason")
+        report.check(
+            reason_file.exists() and b"checksum" in reason_file.read_bytes(),
+            "quarantine: reason note missing",
+        )
+        report.check(sidecar_valid(path, corpus),
+                     "quarantine: fresh sidecar not rebuilt in place")
+        report.check(
+            registry.value("storage.sidecar_rejects", reason="checksum") == 1
+            and registry.value("storage.quarantines", reason="checksum") == 1,
+            "quarantine: counters not recorded",
+        )
+    reset_storage_metrics()
+    report.section("quarantine policy", c0, v0)
+
+
+# ---------------------------------------------------------------------------
+# scenario 6: lock death while held
+# ---------------------------------------------------------------------------
+
+def child_lockhold(root: Path) -> int:
+    """``--child lockhold``: take the lock, then die holding it."""
+    with advisory_lock(root / "artifact"):
+        (root / "locked.marker").touch()
+        time.sleep(30)
+    return 0  # pragma: no cover - killed before reaching this
+
+
+def run_lock_death(report: Report, corpus_path: Path) -> None:
+    c0, v0 = report.cases, len(report.violations)
+    with tempfile.TemporaryDirectory() as tmpdir:
+        root = Path(tmpdir)
+        proc = subprocess.Popen(
+            [sys.executable, __file__, "--child", "lockhold",
+             "--dir", str(root), "--corpus", str(corpus_path)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        )
+        deadline = time.monotonic() + 20
+        while not (root / "locked.marker").exists() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        report.check((root / "locked.marker").exists(),
+                     "lock-death: holder never acquired")
+        # While held, the lock must actually exclude us ...
+        report.check(not lock_free(root / "artifact"),
+                     "lock-death: lock not exclusive across processes")
+        proc.kill()
+        proc.wait(timeout=30)
+        # ... and the kill must release it promptly.
+        report.check(lock_free(root / "artifact"),
+                     "lock-death: lock survived its holder")
+    report.section("lock released on holder death", c0, v0)
+
+
+# ---------------------------------------------------------------------------
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller corpus (CI mode); same boundary coverage")
+    parser.add_argument("--child", default=None,
+                        choices=("kill", "race", "lockhold"),
+                        help="internal: re-entry for subprocess scenarios")
+    parser.add_argument("--kind", default="sidecar")
+    parser.add_argument("--dir", default=None)
+    parser.add_argument("--step", type=int, default=1)
+    parser.add_argument("--role", default="fast")
+    parser.add_argument("--corpus", default=None,
+                        help="internal: corpus file for child processes")
+    args = parser.parse_args()
+
+    if args.child is not None:
+        root = Path(args.dir)
+        corpus = Path(args.corpus).read_bytes() if args.corpus else b""
+        if args.child == "kill":
+            return child_kill(args.kind, root, args.step, corpus)
+        if args.child == "race":
+            return child_race(root, args.role, corpus)
+        return child_lockhold(root)
+
+    corpus = make_corpus(40 if args.quick else 400)
+    print(f"disk_chaos: corpus {len(corpus)} bytes, chunk {CHUNK}")
+    report = Report()
+    with tempfile.TemporaryDirectory() as corpdir:
+        corpus_path = Path(corpdir) / "corpus.json"
+        corpus_path.write_bytes(corpus)
+        run_sidecar_sweep(report, corpus, warm_start=False)
+        run_sidecar_sweep(report, corpus, warm_start=True)
+        run_checkpoint_sweep(report)
+        run_kill_sweep(report, corpus, corpus_path)
+        run_single_flight(report, corpus_path)
+        run_quarantine(report, corpus)
+        run_lock_death(report, corpus_path)
+
+    print(f"disk_chaos: {report.cases} checks, {len(report.violations)} violations")
+    for violation in report.violations:
+        print(f"  VIOLATION: {violation}")
+    return 1 if report.violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,11 @@ writes a **new generation**:
 4. the directory entry is fsync'd (best effort) and generations older
    than the newest ``keep`` are pruned.
 
+Steps 2–4 are :func:`repro.storage.atomic_write` — the same durable-
+write substrate the index sidecars use, with the same injectable
+syscall shim, so ``benchmarks/disk_chaos.py`` can kill a saver at every
+boundary and assert a reader only ever observes complete generations.
+
 :meth:`~CheckpointStore.load_latest` walks generations newest-first and
 returns the first one that validates — magic, format version, payload
 length, and CRC32 all have to match.  A truncated or bit-rotted newest
@@ -27,12 +32,13 @@ silently produces wrong output.
 from __future__ import annotations
 
 import json
-import os
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import CheckpointError, ConfigurationError
+from repro.storage.atomic import atomic_write, sweep_stale_tmp
+from repro.storage.fs import REAL_FS, RealFS
 
 #: First line of every checkpoint file.
 MAGIC = "repro-ckpt"
@@ -92,11 +98,16 @@ class CheckpointStore:
     10
     """
 
-    def __init__(self, path: str | Path, keep: int = DEFAULT_KEEP) -> None:
+    def __init__(
+        self, path: str | Path, keep: int = DEFAULT_KEEP, fs: RealFS = REAL_FS
+    ) -> None:
         if keep < 1:
             raise ConfigurationError("keep must be at least 1")
         self.base = Path(path)
         self.keep = keep
+        #: Injectable syscall shim (``repro.storage``); the disk-chaos
+        #: harness swaps in a :class:`~repro.storage.FaultFS` here.
+        self.fs = fs
         #: ``(path, reason)`` pairs for generations skipped as invalid by
         #: the most recent :meth:`load_latest` call.
         self.skipped: list[tuple[Path, str]] = []
@@ -112,7 +123,7 @@ class CheckpointStore:
             return found
         for entry in parent.iterdir():
             name = entry.name
-            if not name.startswith(prefix) or name.endswith(".tmp"):
+            if not name.startswith(prefix) or ".tmp" in name:
                 continue
             suffix = name[len(prefix) :]
             if suffix.isdigit():
@@ -144,37 +155,16 @@ class CheckpointStore:
             sort_keys=True,
         ).encode("ascii")
 
-        tmp = target.with_name(target.name + ".tmp")
-        with open(tmp, "wb") as handle:
-            handle.write(header + b"\n" + body)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, target)
-        self._fsync_dir(target.parent)
+        atomic_write(target, header + b"\n" + body, fs=self.fs, kind="checkpoint")
 
         # After this save there are len(existing) + 1 generations; drop the
         # oldest ones beyond ``keep``.
         for _, old_path in existing[: max(0, len(existing) + 1 - self.keep)]:
             try:
-                old_path.unlink()
+                self.fs.unlink(old_path)
             except OSError:  # pragma: no cover - best effort
                 pass
         return target
-
-    @staticmethod
-    def _fsync_dir(directory: Path) -> None:
-        """Persist the rename itself (best effort — not all filesystems
-        support fsync on a directory handle)."""
-        try:
-            fd = os.open(directory, os.O_RDONLY)
-        except OSError:  # pragma: no cover - platform dependent
-            return
-        try:
-            os.fsync(fd)
-        except OSError:  # pragma: no cover - platform dependent
-            pass
-        finally:
-            os.close(fd)
 
     # -- read -----------------------------------------------------------
 
@@ -219,9 +209,11 @@ class CheckpointStore:
 
         Invalid generations encountered on the way are recorded in
         :attr:`skipped` so callers can report the fallback instead of
-        resuming silently from older state.
+        resuming silently from older state.  Stale ``.tmp<pid>`` files
+        orphaned by killed savers are swept on the way in.
         """
         self.skipped = []
+        sweep_stale_tmp(self.base.parent, fs=self.fs)
         for generation, path in reversed(self.generations()):
             try:
                 payload = self._read_validated(path)

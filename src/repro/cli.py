@@ -194,6 +194,13 @@ def _finish_observability(args, info, registry, trace_sink, data: bytes, n_match
         registry.counter("engine.bytes_consumed").add(len(data))
         registry.counter("ff.total_bytes").add(len(data))
     from repro.observe import metrics_document, render_prometheus
+    from repro.storage import storage_metrics
+
+    # Storage-substrate counters (sidecar rejects/quarantines, lock
+    # waits, rebuilds) accumulate process-globally below any one engine
+    # run; fold them in so a corrupt cache dir is visible, not a silent
+    # cold-start tax.
+    registry.merge(storage_metrics())
 
     try:
         if args.metrics != "-" and args.metrics.endswith(".prom"):

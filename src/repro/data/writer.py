@@ -9,12 +9,14 @@ per session, not once per engine.
 
 from __future__ import annotations
 
+import io
 import os
 from pathlib import Path
 
 import numpy as np
 
 from repro.data.datasets import large_record, record_stream
+from repro.storage import atomic_write
 from repro.stream.records import RecordStream
 
 
@@ -31,9 +33,7 @@ def materialize_large(name: str, target_bytes: int, seed: int = 0) -> Path:
     path."""
     path = cache_dir() / f"{name}-large-{target_bytes}-{seed}.json"
     if not path.exists():
-        tmp = path.with_suffix(".tmp")
-        tmp.write_bytes(large_record(name, target_bytes, seed))
-        tmp.rename(path)
+        atomic_write(path, large_record(name, target_bytes, seed), kind="dataset")
     return path
 
 
@@ -48,10 +48,11 @@ def materialize_records(name: str, target_bytes: int, seed: int = 0) -> tuple[Pa
     offsets_path = payload_path.with_suffix(".offsets.npy")
     if not (payload_path.exists() and offsets_path.exists()):
         stream = record_stream(name, target_bytes, seed)
-        tmp = payload_path.with_suffix(".tmp")
-        tmp.write_bytes(stream.payload)
-        np.save(str(offsets_path), stream.offsets)
-        tmp.rename(payload_path)
+        buffer = io.BytesIO()
+        np.save(buffer, stream.offsets)
+        atomic_write(offsets_path, buffer.getvalue(), kind="dataset")
+        # Payload lands last: its presence implies the offsets are ready.
+        atomic_write(payload_path, stream.payload, kind="dataset")
     return payload_path, offsets_path
 
 

@@ -190,16 +190,21 @@ class IndexedBuffer:
 
     # -- persistence (structural-index sidecar) -------------------------
 
-    def save(self, path: str | FsPath) -> FsPath:
+    def save(self, path: str | FsPath, fs: Any = None, metrics: Any = None) -> FsPath:
         """Persist the stage-1 index as a sidecar file (vector mode only).
 
-        Warms every chunk first, then writes atomically; see
-        :mod:`repro.engine.sidecar` for the format.  Raises
-        :class:`~repro.errors.IndexSidecarError` for word-mode buffers.
+        Warms every chunk first, then writes through
+        :func:`repro.storage.atomic_write` (``fs`` injects the syscall
+        shim for fault testing); see :mod:`repro.engine.sidecar` for the
+        format.  Raises :class:`~repro.errors.IndexSidecarError` for
+        word-mode buffers.
         """
         from repro.engine import sidecar
+        from repro.storage import REAL_FS
 
-        return sidecar.save_buffer(self.buffer, path)
+        return sidecar.save_buffer(
+            self.buffer, path, fs=fs if fs is not None else REAL_FS, metrics=metrics
+        )
 
     @classmethod
     def load(cls, path: str | FsPath, data: bytes | str, chunk_size: int | None = None) -> "IndexedBuffer":
@@ -225,35 +230,76 @@ class IndexedBuffer:
         cache_dir: str | FsPath,
         mode: str = "vector",
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        fs: Any = None,
+        metrics: Any = None,
+        lock_timeout: float = 30.0,
     ) -> "IndexedBuffer":
         """The caching entry point: reuse a valid sidecar under
         ``cache_dir`` or build (and best-effort persist) a fresh index.
 
-        A missing, stale, corrupt, or version-mismatched sidecar is never
-        fatal — the index is rebuilt from the bytes and the sidecar
-        rewritten.  Word-mode indexes build directly (the sidecar format
-        covers vector mode only).
+        A missing, stale, corrupt, or version-mismatched sidecar is
+        never fatal — the index is rebuilt from the bytes — but the
+        fallback is neither silent nor destructive:
+
+        - every rejection increments ``storage.sidecar_rejects`` with
+          the validation ``reason`` (surfaced in CLI ``--metrics`` and
+          serve ``/metrics``);
+        - a sidecar that *exists* but fails validation is quarantined
+          (renamed ``*.corrupt`` next to a reason note) instead of
+          being overwritten, preserving the evidence;
+        - rebuilds are **single-flight** across processes: concurrent
+          cold-cache callers serialize on an advisory lock and all but
+          the winner load the winner's sidecar
+          (:func:`repro.storage.build_once`);
+        - stale ``.tmp<pid>`` orphans from killed writers are swept on
+          cache-dir open.
+
+        Word-mode indexes build directly (the sidecar format covers
+        vector mode only).  ``fs``/``metrics`` inject the syscall shim
+        and counter registry (fault testing / isolation).
         """
         from repro.engine import sidecar
         from repro.errors import IndexSidecarError
+        from repro.storage import REAL_FS, build_once, quarantine, sweep_stale_tmp
+        from repro.storage.metrics import resolve
 
         if isinstance(data, str):
             data = data.encode("utf-8")
         if mode != "vector":
             return cls(data, mode=mode, chunk_size=chunk_size)
-        path = sidecar.sidecar_path(cache_dir, data, chunk_size)
-        try:
-            return cls.load(path, data, chunk_size=chunk_size)
-        except IndexSidecarError:
-            pass
-        built = cls(data, mode=mode, chunk_size=chunk_size).warm()
-        try:
-            built.save(path)
-            built.sidecar = FsPath(path)
-        except OSError:
-            # Read-only or full cache dir: serve the built index anyway.
-            pass
-        return built
+        if fs is None:
+            fs = REAL_FS
+        registry = resolve(metrics)
+        corpus: bytes = data
+        sweep_stale_tmp(FsPath(cache_dir), fs=fs, metrics=registry)
+        path = sidecar.sidecar_path(cache_dir, corpus, chunk_size)
+
+        def load() -> "IndexedBuffer | None":
+            try:
+                return cls.load(path, corpus, chunk_size=chunk_size)
+            except IndexSidecarError as exc:
+                reason = getattr(exc, "reason", "unspecified")
+                registry.counter("storage.sidecar_rejects", reason=reason).add(1)
+                if reason != "missing":
+                    quarantine(path, reason, detail=str(exc), fs=fs, metrics=registry)
+                return None
+
+        def build() -> "IndexedBuffer":
+            built = cls(corpus, mode=mode, chunk_size=chunk_size).warm()
+            try:
+                built.save(path, fs=fs, metrics=registry)
+                built.sidecar = FsPath(path)
+            except OSError:
+                # Read-only or full cache dir: serve the built index anyway.
+                pass
+            return built
+
+        result = build_once(
+            path, load, build, lock_timeout=lock_timeout, fs=fs, metrics=registry
+        )
+        value = result.value
+        assert isinstance(value, IndexedBuffer)
+        return value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"IndexedBuffer({len(self)} bytes, mode={self.mode!r})"

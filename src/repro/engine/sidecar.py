@@ -45,6 +45,7 @@ import numpy as np
 from repro.bits.posindex import DEPTH_ZERO, DepthCarry, PositionChunk
 from repro.bits.strings import StringCarry
 from repro.errors import IndexSidecarError
+from repro.storage import REAL_FS, RealFS, atomic_write
 from repro.stream.buffer import StreamBuffer
 
 MAGIC = b"REPRIDX\x01"
@@ -75,12 +76,22 @@ def sidecar_path(cache_dir: str | Path, data: bytes, chunk_size: int) -> Path:
     return Path(cache_dir) / name
 
 
-def save_buffer(buffer: StreamBuffer, path: str | Path) -> Path:
+def save_buffer(
+    buffer: StreamBuffer,
+    path: str | Path,
+    *,
+    fs: RealFS = REAL_FS,
+    metrics: Any = None,
+) -> Path:
     """Write ``buffer``'s fully-built stage-1 index to ``path``.
 
     Builds any not-yet-built chunk first (the sidecar is a snapshot of
-    the *complete* index), then writes atomically (temp file + rename)
-    so a killed writer never leaves a torn sidecar behind.
+    the *complete* index), then persists through
+    :func:`repro.storage.atomic_write`: temp-in-dir + fsync + rename +
+    parent-directory fsync, temp file unlinked on any failure.  A
+    killed or failed writer never leaves a torn sidecar — or a stranded
+    ``.tmp<pid>`` — behind.  ``fs`` is the injectable syscall shim the
+    disk-chaos harness uses to prove exactly that.
     """
     if buffer.mode != "vector":
         raise IndexSidecarError(
@@ -130,20 +141,11 @@ def save_buffer(buffer: StreamBuffer, path: str | Path) -> Path:
     prefix = MAGIC + struct.pack("<Q", len(header_bytes)) + header_bytes
     prefix += b"\x00" * (_align8(len(prefix)) - len(prefix))
 
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
-    with open(tmp, "wb") as handle:
-        handle.write(prefix)
-        handle.write(payload)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, path)
-    return path
+    return atomic_write(path, (prefix, payload), fs=fs, metrics=metrics, kind="sidecar")
 
 
-def _fail(reason: str) -> "IndexSidecarError":
-    return IndexSidecarError(f"index sidecar rejected: {reason}")
+def _fail(message: str, reason: str) -> "IndexSidecarError":
+    return IndexSidecarError(f"index sidecar rejected: {message}", reason=reason)
 
 
 def load_buffer(
@@ -163,14 +165,16 @@ def load_buffer(
     try:
         with open(path, "rb") as handle:
             mm = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    except FileNotFoundError as exc:
+        raise _fail(f"no sidecar at {path}", "missing") from exc
     except (OSError, ValueError) as exc:
-        raise _fail(f"unreadable file: {exc}") from exc
+        raise _fail(f"unreadable file: {exc}", "unreadable") from exc
 
     if len(mm) < 16 or mm[:8] != MAGIC:
-        raise _fail("bad magic (not a sidecar, or a future incompatible layout)")
+        raise _fail("bad magic (not a sidecar, or a future incompatible layout)", "magic")
     (header_len,) = struct.unpack_from("<Q", mm, 8)
     if header_len > len(mm) - 16:
-        raise _fail("truncated header")
+        raise _fail("truncated header", "truncated")
     try:
         # repro: ignore[RS010] -- parses the sidecar's own tiny metadata
         # header once per load, not matched corpus bytes.
@@ -184,35 +188,41 @@ def load_buffer(
         payload_crc = int(header["payload_crc32"])
         chunk_meta = header["chunks"]
     except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
-        raise _fail(f"unparseable header: {exc}") from exc
+        raise _fail(f"unparseable header: {exc}", "header") from exc
 
     if version != FORMAT_VERSION:
-        raise _fail(f"format version {version} (this build reads {FORMAT_VERSION})")
+        raise _fail(f"format version {version} (this build reads {FORMAT_VERSION})", "version")
     if mode != "vector":
-        raise _fail(f"mode {mode!r} (vector only)")
+        raise _fail(f"mode {mode!r} (vector only)", "mode")
     if chunk_size is not None and stored_chunk_size != chunk_size:
-        raise _fail(f"chunk size {stored_chunk_size} (caller needs {chunk_size})")
+        raise _fail(f"chunk size {stored_chunk_size} (caller needs {chunk_size})", "chunk_size")
     if corpus != fingerprint(data):
-        raise _fail("corpus fingerprint mismatch (data changed since the sidecar was written)")
+        raise _fail(
+            "corpus fingerprint mismatch (data changed since the sidecar was written)",
+            "fingerprint",
+        )
     if len(chunk_meta) != n_chunks:
-        raise _fail(f"{len(chunk_meta)} chunk entries for n_chunks={n_chunks}")
+        raise _fail(f"{len(chunk_meta)} chunk entries for n_chunks={n_chunks}", "layout")
 
     payload_start = _align8(16 + header_len)
     if payload_start + payload_len > len(mm):
-        raise _fail("truncated payload")
+        raise _fail("truncated payload", "truncated")
     if _crc(mm[payload_start : payload_start + payload_len]) != payload_crc:
-        raise _fail("payload checksum mismatch (corrupt sidecar)")
+        raise _fail("payload checksum mismatch (corrupt sidecar)", "checksum")
 
     def arr(meta: Any, dtype: Any, itemsize: int) -> np.ndarray:
         off, count = int(meta[0]), int(meta[1])
         if off < 0 or count < 0 or off + count * itemsize > payload_len:
-            raise _fail("array bounds outside payload")
+            raise _fail("array bounds outside payload", "layout")
         return np.frombuffer(mm, dtype=dtype, count=count, offset=payload_start + off)
 
     buffer = StreamBuffer(data, mode="vector", chunk_size=stored_chunk_size, cache_chunks=None)
     index = buffer.index
     if index.n_chunks != n_chunks:
-        raise _fail(f"n_chunks {n_chunks} for this corpus/chunk-size (expected {index.n_chunks})")
+        raise _fail(
+            f"n_chunks {n_chunks} for this corpus/chunk-size (expected {index.n_chunks})",
+            "layout",
+        )
 
     try:
         carries = [
@@ -229,7 +239,7 @@ def load_buffer(
         for cid, meta in enumerate(chunk_meta):
             start = int(meta["start"])
             if start != cid * stored_chunk_size:
-                raise _fail(f"chunk {cid} start {start} out of place")
+                raise _fail(f"chunk {cid} start {start} out of place", "layout")
             carry_in = StringCarry(0, 0) if cid == 0 else StringCarry(*carries[cid - 1][:2])
             depth_in = DEPTH_ZERO if cid == 0 else DepthCarry(*carries[cid - 1][2:])
             index._cache[cid] = PositionChunk(
@@ -246,7 +256,7 @@ def load_buffer(
     except (ValueError, KeyError, TypeError, IndexError) as exc:
         if isinstance(exc, IndexSidecarError):
             raise
-        raise _fail(f"malformed chunk table: {exc}") from exc
+        raise _fail(f"malformed chunk table: {exc}", "layout") from exc
 
     # The arrays' .base keeps the mmap alive; pin it on the buffer too so
     # introspection (and an empty-payload corpus) can't lose it early.

@@ -125,6 +125,30 @@ class IndexSidecarError(ReproError):
     Callers that hold the corpus bytes should treat this as "rebuild the
     index", never as fatal (see
     :meth:`repro.engine.prepared.IndexedBuffer.load_or_build`).
+
+    :attr:`reason` is the machine-readable rejection category
+    (``"missing"``, ``"checksum"``, ``"fingerprint"``, ...) that labels
+    the ``storage.sidecar_rejects`` counter and decides quarantine
+    (a ``"missing"`` sidecar is a cold start, not corruption).
+    """
+
+    def __init__(self, message: str, reason: str = "unspecified") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class StorageError(ReproError):
+    """A durable-storage operation failed in a way the shared substrate
+    (:mod:`repro.storage`) owns — as opposed to an ``OSError`` surfaced
+    verbatim from the filesystem."""
+
+
+class LockTimeoutError(StorageError):
+    """An advisory lock could not be acquired within its deadline.
+
+    Raised by :func:`repro.storage.advisory_lock` when the holder stayed
+    alive (a dead holder's lock is released by the kernel or stolen via
+    the stale-lock protocol, never waited out).
     """
 
 

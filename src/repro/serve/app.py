@@ -164,9 +164,20 @@ class QueryService:
             self.executor.shutdown(wait=False, cancel_futures=True)
         self._flush_metrics()
 
+    def merged_metrics(self) -> MetricsRegistry:
+        """Service counters plus the process-global ``storage.*`` ones
+        (sidecar rejects, quarantines, lock waits, rebuilds) — what
+        ``/metrics`` and the shutdown flush render."""
+        from repro.storage import storage_metrics
+
+        merged = MetricsRegistry()
+        merged.merge(self.metrics)
+        merged.merge(storage_metrics())
+        return merged
+
     def _flush_metrics(self) -> None:
         if self.config.metrics_path:
-            text = render_prometheus(self.metrics)
+            text = render_prometheus(self.merged_metrics())
             FsPath(self.config.metrics_path).write_text(text, encoding="utf-8")
 
     # -- plumbing -----------------------------------------------------
@@ -266,7 +277,7 @@ class QueryService:
             else:
                 await send_response(writer, 503, b'{"status":"draining"}', timeout)
         elif target == "/metrics":
-            body = render_prometheus(self.metrics).encode("utf-8")
+            body = render_prometheus(self.merged_metrics()).encode("utf-8")
             await send_response(
                 writer, 200, body, timeout, content_type="text/plain; version=0.0.4"
             )

@@ -88,7 +88,12 @@ class Corpus:
         With ``index_cache`` set, the index additionally persists as an
         mmap-shareable sidecar: the *next process* serving this corpus
         loads stage-1 arrays instead of rebuilding them (and concurrent
-        processes share the mapped pages).
+        processes share the mapped pages).  The sidecar path rides the
+        durable-storage substrate (:mod:`repro.storage`): writes are
+        atomic + fsync'd, concurrent processes racing a cold cache
+        resolve to a single-flight build behind an advisory lock, and a
+        corrupt sidecar is quarantined (``*.corrupt`` + reason note,
+        counted in ``/metrics``) instead of silently rebuilt over.
         """
         mode = getattr(prepared, "mode", "vector")
         with self._index_lock:

@@ -1,4 +1,4 @@
-"""The engine-contract rules (RS001-RS010).
+"""The engine-contract rules (RS001-RS011).
 
 Each rule is documented in ``docs/static-analysis.md`` with its
 rationale and the exact exemptions it grants; the docstrings here are
@@ -828,3 +828,59 @@ class EagerMaterialization(Rule):
                             f".{func.attr}() materializes matches inside the "
                             "engine; keep the lazy view (count()/spans()/"
                             "texts()) and let the consumer decide to decode")
+
+
+#: ``os.<attr>`` calls that are the tell-tale of a hand-rolled
+#: atomic-write protocol (the rename that publishes, the fsyncs that
+#: order it).
+_DURABLE_OS_ATTRS = frozenset({"replace", "rename", "fsync"})
+
+#: Path-object methods that publish or write a file when called on a
+#: temp-file name — the ``tmp.write_bytes(...); tmp.rename(path)`` idiom.
+_DURABLE_PATH_ATTRS = frozenset({"replace", "rename", "write_bytes"})
+
+
+@register_rule
+class HandRolledDurableWrite(Rule):
+    """RS011: persistent-path writes go through ``repro.storage``.
+
+    Crash consistency is a protocol, not a line of code: tmp-in-dir,
+    fsync, rename, parent-dir fsync, tmp cleanup on failure — and it is
+    only *proven* for writers the disk-chaos harness can reach through
+    the injectable filesystem shim.  A bare ``os.replace`` (or a
+    ``tmp.write_bytes(...) / tmp.rename(...)`` pair) outside
+    ``repro/storage`` is a second, unproven implementation of that
+    protocol: it will drift (the sidecar writer missed the parent-dir
+    fsync and leaked its temp file on a failed write until it was
+    migrated).  Everything durable routes through
+    :func:`repro.storage.atomic_write`; :mod:`repro.storage` itself is
+    the one place allowed to touch the raw syscalls.
+    """
+
+    code = "RS011"
+    name = "hand-rolled-durable-write"
+    summary = "durable-write syscalls outside repro.storage"
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: FileContext, project: Project) -> None:
+        assert isinstance(node, ast.Call)
+        if ctx.in_packages("storage"):
+            return
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        recv = func.value
+        if (isinstance(recv, ast.Name) and recv.id == "os"
+                and func.attr in _DURABLE_OS_ATTRS):
+            project.add(self, ctx, node,
+                        f"os.{func.attr} outside repro/storage: route the "
+                        "write through repro.storage.atomic_write so the "
+                        "full protocol (tmp + fsync + rename + dir fsync + "
+                        "cleanup) applies and fault injection can reach it")
+            return
+        if (isinstance(recv, ast.Name) and "tmp" in recv.id.lower()
+                and func.attr in _DURABLE_PATH_ATTRS):
+            project.add(self, ctx, node,
+                        f"{recv.id}.{func.attr}(...) looks like a hand-rolled "
+                        "tmp-file publish: use repro.storage.atomic_write "
+                        "instead of a private tmp+rename protocol")

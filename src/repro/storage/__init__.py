@@ -1,0 +1,71 @@
+"""``repro.storage``: the durable-write substrate.
+
+Every byte of persistent state this project writes — checkpoint
+generations (:mod:`repro.checkpoint.store`), structural-index sidecars
+(:mod:`repro.engine.sidecar`), materialized datasets
+(:mod:`repro.data.writer`) — goes through one hardened path:
+
+- :func:`atomic_write` — tmp-in-dir + fsync + rename + parent-dir
+  fsync, with guaranteed tmp cleanup on failure (and
+  :func:`sweep_stale_tmp` for the orphans a kill leaves behind);
+- :func:`quarantine` — corrupt files are renamed ``*.corrupt`` with a
+  reason note instead of silently overwritten;
+- :func:`advisory_lock` / :func:`build_once` — cross-process writer
+  serialization with stale-lock steal, and the single-flight
+  load-or-build pattern on top;
+- :class:`FaultFS` — the disk-fault-injection shim that can fail or
+  kill a writer at every syscall boundary, which is how
+  ``benchmarks/disk_chaos.py`` *proves* the crash-consistency claims
+  instead of asserting them;
+- :func:`storage_metrics` — the process-global ``storage.*`` counters
+  (saves, quarantines by reason, lock waits/steals, rebuilds) merged
+  into CLI ``--metrics`` and serve ``/metrics``.
+
+Direct ``open(path, "wb")`` + ``os.replace`` hand-rolls outside this
+package are rejected by staticcheck rule RS011.
+"""
+
+from repro.storage.atomic import (
+    CORRUPT_SUFFIX,
+    DEFAULT_TMP_MAX_AGE,
+    atomic_write,
+    quarantine,
+    sweep_stale_tmp,
+    tmp_path_for,
+)
+from repro.storage.faultfs import OPS, FaultFS, FaultPlan, SimulatedCrash, fault_plans, trace
+from repro.storage.fs import REAL_FS, RealFS
+from repro.storage.locking import (
+    LOCK_SUFFIX,
+    BuildOnceResult,
+    LockHandle,
+    advisory_lock,
+    build_once,
+    lock_path_for,
+)
+from repro.storage.metrics import reset_storage_metrics, storage_metrics
+
+__all__ = [
+    "CORRUPT_SUFFIX",
+    "DEFAULT_TMP_MAX_AGE",
+    "LOCK_SUFFIX",
+    "OPS",
+    "REAL_FS",
+    "BuildOnceResult",
+    "FaultFS",
+    "FaultPlan",
+    "LockHandle",
+    "RealFS",
+    "SimulatedCrash",
+    "advisory_lock",
+    "atomic_write",
+    "build_once",
+    "fault_plans",
+    "lock_path_for",
+    "quarantine",
+    "reset_storage_metrics",
+    "storage_metrics",
+    "sweep_stale_tmp",
+    "tmp_path_for",
+    "trace",
+]

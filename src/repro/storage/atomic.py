@@ -1,0 +1,169 @@
+"""Crash-safe writes, stale-tmp sweeps, and corruption quarantine.
+
+:func:`atomic_write` is the one durable-write protocol every
+persistent-state writer uses (checkpoint generations, index sidecars,
+dataset materialization — enforced by staticcheck rule RS011):
+
+1. write to ``<name>.tmp<pid>`` *in the target directory* (same
+   filesystem, so the rename is atomic; pid-suffixed, so two processes
+   writing the same path never collide on the tmp name);
+2. ``fsync`` the tmp file (its bytes are durable before the rename can
+   make them visible);
+3. ``os.replace`` onto the final name (readers see the complete old
+   file or the complete new file, never a prefix);
+4. ``fsync`` the parent directory, best effort (the rename itself
+   survives a power cut on filesystems that honour directory fsync);
+5. on *any* failure before the rename, unlink the tmp file — unless the
+   process "died" (``fs.crashed``), in which case the orphan is exactly
+   what a real kill leaves and :func:`sweep_stale_tmp` reclaims it.
+
+Every syscall goes through an injectable :class:`~repro.storage.fs`
+shim, which is how ``benchmarks/disk_chaos.py`` proves the protocol:
+fail or kill the writer at every boundary, then assert a reader only
+ever observes complete-old or complete-new state.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Iterable
+
+from repro.observe.metrics import MetricsRegistry
+from repro.storage.fs import REAL_FS, RealFS, StrPath, as_path
+from repro.storage.metrics import resolve
+
+#: Stale-tmp age bound: a ``.tmp<pid>`` older than this is an orphan of
+#: a dead writer (live writers hold theirs for milliseconds).
+DEFAULT_TMP_MAX_AGE = 3600.0
+
+#: Suffix quarantined files are renamed to.
+CORRUPT_SUFFIX = ".corrupt"
+
+
+def tmp_path_for(path: Path) -> Path:
+    """The pid-unique temporary name :func:`atomic_write` uses."""
+    return path.with_name(path.name + f".tmp{os.getpid()}")
+
+
+def atomic_write(
+    path: StrPath,
+    data: bytes | Iterable[bytes],
+    *,
+    fs: RealFS = REAL_FS,
+    metrics: MetricsRegistry | None = None,
+    kind: str = "file",
+) -> Path:
+    """Durably replace ``path`` with ``data`` (bytes or an iterable of
+    byte chunks); returns the final path.
+
+    Crash-safe at every boundary: a reader concurrent with — or after a
+    kill of — this writer sees the complete old file or the complete
+    new one.  A failed write never strands its temp file (``kind``
+    labels the ``storage.saves``/``storage.save_errors`` counters).
+    """
+    registry = resolve(metrics)
+    target = as_path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = tmp_path_for(target)
+    chunks: Iterable[bytes] = (data,) if isinstance(data, (bytes, bytearray)) else data
+    try:
+        handle = fs.open(tmp)
+        try:
+            for chunk in chunks:
+                fs.write(handle, bytes(chunk))
+            fs.fsync(handle)
+        finally:
+            fs.close(handle)
+        fs.replace(tmp, target)
+    except BaseException:
+        registry.counter("storage.save_errors", kind=kind).add(1)
+        if not fs.crashed:
+            try:
+                fs.unlink(tmp)
+            except OSError:
+                pass
+        raise
+    try:
+        fs.fsync_dir(target.parent)
+    except OSError:  # pragma: no cover - platform dependent
+        pass
+    registry.counter("storage.saves", kind=kind).add(1)
+    return target
+
+
+def sweep_stale_tmp(
+    directory: StrPath,
+    *,
+    max_age: float = DEFAULT_TMP_MAX_AGE,
+    fs: RealFS = REAL_FS,
+    metrics: MetricsRegistry | None = None,
+) -> list[Path]:
+    """Remove orphaned ``*.tmp<pid>`` files older than ``max_age``
+    seconds from ``directory``; returns the paths removed.
+
+    Run on cache-dir open: a writer killed mid-:func:`atomic_write`
+    leaves its temp file behind (by design — see the module docstring),
+    and the age bound keeps the sweep from racing a *live* writer's
+    seconds-old temp file.
+    """
+    registry = resolve(metrics)
+    root = as_path(directory)
+    removed: list[Path] = []
+    if not root.is_dir():
+        return removed
+    cutoff = time.time() - max_age
+    for entry in root.iterdir():
+        stem, dot_tmp, pid = entry.name.rpartition(".tmp")
+        if not dot_tmp or not stem or not pid.isdigit():
+            continue
+        try:
+            if entry.stat().st_mtime > cutoff:
+                continue
+            fs.unlink(entry)
+        except OSError:
+            continue  # vanished concurrently, or not ours to remove
+        removed.append(entry)
+    if removed:
+        registry.counter("storage.tmp_swept").add(len(removed))
+    return removed
+
+
+def quarantine(
+    path: StrPath,
+    reason: str,
+    *,
+    detail: str = "",
+    fs: RealFS = REAL_FS,
+    metrics: MetricsRegistry | None = None,
+) -> Path | None:
+    """Rename a corrupt file to ``<name>.corrupt`` and record why.
+
+    The evidence-preserving alternative to silently rebuilding over a
+    failed validation: the bad bytes stay on disk for a post-mortem, a
+    ``<name>.corrupt.reason`` file says what check failed and when, and
+    ``storage.quarantines{reason=...}`` counts it.  Returns the
+    quarantine path, or ``None`` when the file vanished concurrently.
+    """
+    registry = resolve(metrics)
+    source = as_path(path)
+    dest = source.with_name(source.name + CORRUPT_SUFFIX)
+    try:
+        fs.replace(source, dest)
+    except FileNotFoundError:
+        return None
+    registry.counter("storage.quarantines", reason=reason).add(1)
+    note = (
+        f"reason: {reason}\n"
+        f"detail: {detail}\n"
+        f"quarantined_at: {time.strftime('%Y-%m-%dT%H:%M:%S%z')}\n"
+        f"pid: {os.getpid()}\n"
+    )
+    try:
+        atomic_write(dest.with_name(dest.name + ".reason"),
+                     note.encode("utf-8"), fs=fs, metrics=registry,
+                     kind="quarantine_note")
+    except OSError:  # pragma: no cover - the rename already preserved evidence
+        pass
+    return dest

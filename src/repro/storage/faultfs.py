@@ -1,0 +1,208 @@
+"""Disk-fault injection at every syscall boundary.
+
+The same simulate-every-failure philosophy the parser applies to input
+bytes (:mod:`repro.resilience.fuzz`) applied to disk I/O: a
+:class:`FaultFS` wraps :class:`~repro.storage.fs.RealFS`, journals each
+crash-relevant operation (``open``/``write``/``fsync``/``replace``/
+``unlink``/``fsync_dir``), and can inject a fault at any 1-based step
+of that journal:
+
+``mode="fail"``
+    Raise ``OSError`` (default ``ENOSPC``) at the boundary.  The
+    writer's error handling runs — this is how the tmp-cleanup
+    guarantee of :func:`repro.storage.atomic.atomic_write` is tested.
+
+``mode="crash"``
+    Simulate ``SIGKILL``: raise :class:`SimulatedCrash` (a
+    ``BaseException``, so ordinary ``except OSError`` recovery code
+    cannot observe it), close every descriptor the shim opened (the
+    kernel would — this releases ``flock`` locks), and freeze the
+    disk: every later operation through the shim raises
+    :class:`SimulatedCrash` without touching the filesystem.  Cleanup
+    code that would have run in ``finally`` blocks therefore has no
+    effect on disk, exactly like a real kill.
+
+``mode="exit"``
+    Actually ``os._exit`` the process at the boundary — the strongest
+    variant, used by the chaos harness's subprocess writers where no
+    in-process simulation artifact is acceptable.
+
+``when="before"`` injects instead of performing the operation;
+``when="after"`` performs it first (the crash-after-rename-before-
+dirsync window).  ``torn=True`` additionally performs a short write of
+half the data before faulting a ``write`` step — the torn-page case.
+
+Run once with no ``step`` to trace a writer (``fs.ops`` lists every
+boundary), then re-run the writer once per ``(step, mode, when)``
+combination; :func:`fault_plans` enumerates the standard sweep.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+from dataclasses import dataclass
+from typing import BinaryIO, Callable, Iterator
+
+from repro.storage.fs import RealFS, StrPath
+
+#: Journaled operation names, in the vocabulary `fault_plans` speaks.
+OPS = ("open", "write", "fsync", "replace", "unlink", "fsync_dir")
+
+
+class SimulatedCrash(BaseException):
+    """The simulated process was killed at a syscall boundary.
+
+    Deliberately a ``BaseException``: recovery code written for real
+    failures (``except OSError``) must not be able to intercept a kill,
+    and ``finally`` cleanup that runs after it finds the disk frozen.
+    """
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One injection: fault at journal step ``step`` (1-based)."""
+
+    step: int
+    mode: str = "fail"  # "fail" | "crash" | "exit"
+    when: str = "before"  # "before" | "after"
+    torn: bool = False
+    errno_code: int = errno.ENOSPC
+
+    def describe(self, op: str = "?") -> str:
+        shape = f"{self.mode}-{self.when}"
+        if self.torn:
+            shape += "-torn"
+        return f"step {self.step} ({op}): {shape}"
+
+
+class FaultFS(RealFS):
+    """A :class:`RealFS` that performs real syscalls in a sandbox
+    directory but can fail or kill the writer at any journaled step."""
+
+    def __init__(self, plan: FaultPlan | None = None, exit_code: int = 137) -> None:
+        self.plan = plan
+        self.exit_code = exit_code
+        #: ``(op, target)`` journal of every boundary crossed.
+        self.ops: list[tuple[str, str]] = []
+        self.crashed = False
+        self._handles: list[BinaryIO] = []
+        self._tracked_fds: list[int] = []
+
+    # -- the gate -------------------------------------------------------
+
+    def _gate(
+        self,
+        op: str,
+        target: StrPath,
+        perform: Callable[[], object],
+        torn_perform: Callable[[], None] | None = None,
+    ) -> object:
+        if self.crashed:
+            raise SimulatedCrash(f"fs operation {op} after simulated kill")
+        self.ops.append((op, str(target)))
+        plan = self.plan
+        hit = plan is not None and len(self.ops) == plan.step
+        if hit and plan.when == "before":
+            if plan.torn and torn_perform is not None:
+                torn_perform()
+            self._fault(op)
+        result = perform()
+        if hit and plan.when == "after":
+            self._fault(op)
+        return result
+
+    def _fault(self, op: str) -> None:
+        plan = self.plan
+        assert plan is not None
+        if plan.mode == "fail":
+            raise OSError(plan.errno_code, os.strerror(plan.errno_code), op)
+        if plan.mode == "exit":
+            os._exit(self.exit_code)
+        # mode == "crash": kernel-side cleanup (close fds, which releases
+        # flock locks), then freeze the disk.
+        self.crashed = True
+        for handle in self._handles:
+            try:
+                os.close(handle.fileno())
+            except OSError:
+                pass
+        self._handles.clear()
+        for fd in self._tracked_fds:
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        self._tracked_fds.clear()
+        raise SimulatedCrash(f"simulated kill at step {len(self.ops)} ({op})")
+
+    # -- journaled boundary --------------------------------------------
+
+    def open(self, path: StrPath) -> BinaryIO:
+        def perform() -> BinaryIO:
+            handle = open(path, "wb", buffering=0)
+            self._handles.append(handle)
+            return handle
+
+        return self._gate("open", path, perform)  # type: ignore[return-value]
+
+    def write(self, handle: BinaryIO, data: bytes) -> None:
+        self._gate(
+            "write",
+            getattr(handle, "name", "<handle>"),
+            lambda: handle.write(data),
+            torn_perform=lambda: handle.write(data[: max(1, len(data) // 2)]),
+        )
+
+    def fsync(self, handle: BinaryIO) -> None:
+        self._gate("fsync", getattr(handle, "name", "<handle>"),
+                   lambda: os.fsync(handle.fileno()))
+
+    def replace(self, src: StrPath, dst: StrPath) -> None:
+        self._gate("replace", dst, lambda: os.replace(src, dst))
+
+    def unlink(self, path: StrPath) -> None:
+        self._gate("unlink", path, lambda: os.unlink(path))
+
+    def fsync_dir(self, path: StrPath) -> None:
+        self._gate("fsync_dir", path, lambda: RealFS.fsync_dir(self, path))
+
+    # -- unjournaled ----------------------------------------------------
+
+    def close(self, handle: BinaryIO) -> None:
+        if handle in self._handles:
+            self._handles.remove(handle)
+        if self.crashed:
+            return
+        try:
+            handle.close()
+        except OSError:
+            pass
+
+    def track_fd(self, fd: int) -> None:
+        self._tracked_fds.append(fd)
+
+    def untrack_fd(self, fd: int) -> None:
+        if fd in self._tracked_fds:
+            self._tracked_fds.remove(fd)
+
+
+def trace(writer: Callable[[FaultFS], object]) -> FaultFS:
+    """Run ``writer`` against a fault-free shim; returns it with the
+    journal populated (``fs.ops``)."""
+    fs = FaultFS()
+    writer(fs)
+    return fs
+
+
+def fault_plans(ops: list[tuple[str, str]], torn: bool = True) -> Iterator[FaultPlan]:
+    """The standard sweep over a traced journal: for every step, an
+    ``OSError`` before the op, a kill before it, and a kill right after
+    it; write steps additionally get torn-write variants."""
+    for step, (op, _target) in enumerate(ops, start=1):
+        yield FaultPlan(step, mode="fail", when="before")
+        yield FaultPlan(step, mode="crash", when="before")
+        yield FaultPlan(step, mode="crash", when="after")
+        if torn and op == "write":
+            yield FaultPlan(step, mode="fail", when="before", torn=True)
+            yield FaultPlan(step, mode="crash", when="before", torn=True)

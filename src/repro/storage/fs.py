@@ -1,0 +1,88 @@
+"""The syscall boundary every durable write goes through.
+
+:class:`RealFS` is a thin, stateless veneer over the handful of
+syscalls crash-consistency depends on — ``open``/``write``/``fsync``/
+``close``/``replace``/``unlink`` plus the directory fsync that makes a
+rename itself durable.  It exists so the fault-injection shim
+(:class:`repro.storage.faultfs.FaultFS`) can interpose on *exactly* the
+operations whose ordering the atomic-write protocol relies on: code
+that writes persistent state calls ``fs.replace(...)`` instead of
+``os.replace(...)``, and the chaos harness swaps the ``fs`` to fail or
+kill the writer at every one of those boundaries.
+
+Files are opened unbuffered (``buffering=0``): every ``fs.write`` is a
+real ``write(2)``, so a simulated kill observes the same on-disk bytes
+a real ``SIGKILL`` would — no user-space buffer silently flushed (or
+lost) by the wrapper.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import BinaryIO
+
+StrPath = str | os.PathLike[str]
+
+
+class RealFS:
+    """Direct passthrough to the OS.  Stateless; share the singleton
+    :data:`REAL_FS` instead of constructing new instances."""
+
+    #: A :class:`~repro.storage.faultfs.FaultFS` flips this once its
+    #: simulated process has been killed; cleanup code (tmp unlink, lock
+    #: release) checks it to avoid performing work a dead process could
+    #: not have performed.
+    crashed: bool = False
+
+    # -- journaled syscall boundary ------------------------------------
+
+    def open(self, path: StrPath) -> BinaryIO:
+        """Open ``path`` for writing (truncating), unbuffered."""
+        return open(path, "wb", buffering=0)
+
+    def write(self, handle: BinaryIO, data: bytes) -> None:
+        handle.write(data)
+
+    def fsync(self, handle: BinaryIO) -> None:
+        os.fsync(handle.fileno())
+
+    def replace(self, src: StrPath, dst: StrPath) -> None:
+        os.replace(src, dst)
+
+    def unlink(self, path: StrPath) -> None:
+        os.unlink(path)
+
+    def fsync_dir(self, path: StrPath) -> None:
+        """Persist a rename by fsyncing its directory.
+
+        Raises ``OSError`` where directories cannot be fsync'd; callers
+        for whom durability of the *entry* is best-effort catch it.
+        """
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # -- unjournaled helpers -------------------------------------------
+
+    def close(self, handle: BinaryIO) -> None:
+        handle.close()
+
+    def track_fd(self, fd: int) -> None:
+        """Register a raw descriptor (a lock file's) whose kernel state
+        should die with the simulated process.  No-op for the real OS —
+        the kernel already does this on exit."""
+
+    def untrack_fd(self, fd: int) -> None:
+        """Forget a descriptor registered with :meth:`track_fd`."""
+
+
+#: The default filesystem every storage helper uses unless a shim is
+#: injected.
+REAL_FS = RealFS()
+
+
+def as_path(path: StrPath) -> Path:
+    return path if isinstance(path, Path) else Path(path)

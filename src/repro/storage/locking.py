@@ -1,0 +1,259 @@
+"""Cross-process advisory locking and single-flight builds.
+
+:func:`advisory_lock` serializes writers of one persistent path across
+processes.  The protocol:
+
+- the lock file is ``<path>.lock``, created on demand and *never
+  unlinked* on release in ``flock`` mode (unlinking a locked file is
+  the classic three-process race: a waiter holding the old inode's lock
+  while a third locker creates a fresh inode);
+- where ``fcntl`` exists, ``flock(LOCK_EX)`` on that file is the lock —
+  the kernel releases it when the holder dies, so a killed builder can
+  never wedge the cache;
+- holder metadata (pid, acquired-at, host) is written into the lock
+  file for observability and for the fallback path;
+- where ``fcntl`` is missing (non-POSIX), acquisition is
+  ``O_CREAT|O_EXCL`` creation of the lock file itself.  Dead holders
+  *do* leave the file behind there, so waiters detect staleness (holder
+  pid dead, or metadata older than ``stale_after``) and **steal**: the
+  stale file is unlinked, ``storage.lock_steals`` counts it, and
+  acquisition retries.
+
+:func:`build_once` is the single-flight helper on top: check, lock,
+re-check, build.  Two cold processes racing to build the same sidecar
+resolve to exactly one stage-1 build — the loser blocks on the lock,
+then loads what the winner persisted (``storage.single_flight_reuse``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator, TypeVar
+
+from repro.errors import LockTimeoutError
+from repro.observe.metrics import MetricsRegistry
+from repro.storage.fs import REAL_FS, RealFS, StrPath, as_path
+from repro.storage.metrics import resolve
+
+try:  # non-POSIX platforms fall back to O_EXCL lock files
+    import fcntl
+except ImportError:  # pragma: no cover - exercised via _force_fallback
+    fcntl = None  # type: ignore[assignment]
+
+#: Suffix of the lock file guarding a persistent path.
+LOCK_SUFFIX = ".lock"
+
+#: After this many seconds without the holder being provably alive, a
+#: fallback-mode lock file may be stolen.
+DEFAULT_STALE_AFTER = 60.0
+
+T = TypeVar("T")
+
+
+def lock_path_for(path: StrPath) -> Path:
+    target = as_path(path)
+    return target.with_name(target.name + LOCK_SUFFIX)
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - alive, owned by another user
+        return True
+    except OSError:  # pragma: no cover - platform oddity: assume alive
+        return True
+    return True
+
+
+def _read_holder(lock_file: Path) -> dict | None:
+    """Best-effort parse of the holder metadata; ``None`` if unreadable."""
+    try:
+        raw = lock_file.read_bytes()
+        meta = json.loads(raw.decode("utf-8"))
+    except (OSError, ValueError, UnicodeDecodeError):
+        return None
+    return meta if isinstance(meta, dict) else None
+
+
+def _write_holder(fd: int) -> None:
+    meta = json.dumps(
+        {"pid": os.getpid(), "acquired_at": time.time(), "host": socket.gethostname()},
+        separators=(",", ":"),
+    ).encode("utf-8")
+    try:
+        os.ftruncate(fd, 0)
+        os.pwrite(fd, meta, 0)
+    except OSError:  # pragma: no cover - metadata is advisory
+        pass
+
+
+def _holder_is_stale(lock_file: Path, stale_after: float) -> bool:
+    """A lock file whose recorded holder is dead — or whose metadata is
+    unreadable/ancient — may be stolen (fallback mode)."""
+    meta = _read_holder(lock_file)
+    if meta is None:
+        # Unreadable metadata: fall back to the file's age.
+        try:
+            return time.time() - lock_file.stat().st_mtime > stale_after
+        except OSError:
+            return False  # vanished: the holder released it
+    pid = meta.get("pid")
+    if isinstance(pid, int) and not _pid_alive(pid):
+        return True
+    acquired = meta.get("acquired_at")
+    if isinstance(acquired, (int, float)):
+        return time.time() - acquired > stale_after
+    return False
+
+
+@dataclass
+class LockHandle:
+    """What the ``advisory_lock`` context manager yields."""
+
+    path: Path
+    waited: bool = False
+    stole: bool = False
+
+
+@contextmanager
+def advisory_lock(
+    path: StrPath,
+    *,
+    timeout: float = 30.0,
+    poll_interval: float = 0.05,
+    stale_after: float = DEFAULT_STALE_AFTER,
+    fs: RealFS = REAL_FS,
+    metrics: MetricsRegistry | None = None,
+    _force_fallback: bool = False,
+) -> Iterator[LockHandle]:
+    """Hold the cross-process advisory lock for ``path``.
+
+    Blocks up to ``timeout`` seconds (polling), stealing provably-stale
+    locks on the fallback path; raises
+    :class:`~repro.errors.LockTimeoutError` when the deadline passes
+    with the lock still held.  Counters: ``storage.lock_waits`` once
+    per acquisition that had to wait, ``storage.lock_steals`` per stale
+    lock broken, ``storage.lock_timeouts`` per give-up.
+    """
+    registry = resolve(metrics)
+    lock_file = lock_path_for(path)
+    lock_file.parent.mkdir(parents=True, exist_ok=True)
+    use_flock = fcntl is not None and not _force_fallback
+    deadline = time.monotonic() + timeout
+    handle = LockHandle(path=lock_file)
+    fd = -1
+
+    while True:
+        if use_flock:
+            if fd < 0:
+                fd = os.open(lock_file, os.O_RDWR | os.O_CREAT, 0o644)
+                fs.track_fd(fd)
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                break
+            except OSError:
+                pass  # held elsewhere
+        else:
+            try:
+                fd = os.open(lock_file, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+                fs.track_fd(fd)
+                break
+            except FileExistsError:
+                if _holder_is_stale(lock_file, stale_after):
+                    try:
+                        fs.unlink(lock_file)
+                    except OSError:
+                        pass  # raced another sweeper
+                    registry.counter("storage.lock_steals").add(1)
+                    handle.stole = True
+                    continue
+        if not handle.waited:
+            handle.waited = True
+            registry.counter("storage.lock_waits").add(1)
+        if time.monotonic() >= deadline:
+            if fd >= 0:
+                fs.untrack_fd(fd)
+                os.close(fd)
+            registry.counter("storage.lock_timeouts").add(1)
+            raise LockTimeoutError(
+                f"could not acquire {lock_file} within {timeout:.1f}s "
+                f"(holder: {_read_holder(lock_file)})"
+            )
+        time.sleep(poll_interval)
+
+    _write_holder(fd)
+    try:
+        yield handle
+    finally:
+        if not fs.crashed:
+            # A real (or simulated) kill skips all of this: flock dies
+            # with the fd; a fallback lock file goes stale and is stolen.
+            if not use_flock:
+                try:
+                    fs.unlink(lock_file)
+                except OSError:
+                    pass
+            fs.untrack_fd(fd)
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+
+
+@dataclass
+class BuildOnceResult:
+    """Outcome of a :func:`build_once` call."""
+
+    value: object
+    built: bool
+    waited: bool = False
+
+
+def build_once(
+    path: StrPath,
+    load: Callable[[], T | None],
+    build: Callable[[], T],
+    *,
+    lock_timeout: float = 30.0,
+    fs: RealFS = REAL_FS,
+    metrics: MetricsRegistry | None = None,
+    _force_fallback: bool = False,
+) -> BuildOnceResult:
+    """Single-flight load-or-build of the artifact at ``path``.
+
+    ``load`` returns the artifact or ``None`` (missing/invalid — the
+    caller owns quarantine and telemetry for the invalid case);
+    ``build`` constructs *and persists* it.  Concurrent callers on a
+    cold cache serialize on :func:`advisory_lock`; all but the winner
+    re-run ``load`` under the lock and reuse the winner's artifact.  If
+    the lock cannot be had within ``lock_timeout`` the caller builds
+    without persisting coordination — serving degraded beats deadlock.
+    """
+    registry = resolve(metrics)
+    value = load()
+    if value is not None:
+        return BuildOnceResult(value, built=False)
+    try:
+        with advisory_lock(
+            path, timeout=lock_timeout, fs=fs, metrics=registry,
+            _force_fallback=_force_fallback,
+        ) as lock:
+            value = load()  # the winner may have built while we waited
+            if value is not None:
+                registry.counter("storage.single_flight_reuse").add(1)
+                return BuildOnceResult(value, built=False, waited=lock.waited)
+            registry.counter("storage.rebuilds").add(1)
+            return BuildOnceResult(build(), built=True, waited=lock.waited)
+    except LockTimeoutError:
+        registry.counter("storage.rebuilds").add(1)
+        return BuildOnceResult(build(), built=True, waited=True)

@@ -1,0 +1,48 @@
+"""The process-wide ``storage.*`` counter registry.
+
+Storage operations happen below any one engine run — a sidecar
+quarantine during registry warm-up, a lock steal during a CLI cold
+start — so their counters accumulate in one process-global
+:class:`~repro.observe.metrics.MetricsRegistry` that the CLI merges
+into its ``--metrics`` document and the service merges into
+``/metrics`` at render time.  Helpers accept an explicit ``metrics=``
+registry for isolation (tests, per-run accounting); ``None`` routes to
+the global one.
+
+Counters::
+
+    storage.saves{kind}            atomic_write completions
+    storage.save_errors{kind}      atomic_write failures (tmp cleaned)
+    storage.tmp_swept              stale .tmp* files removed by sweeps
+    storage.quarantines{reason}    corrupt files renamed *.corrupt
+    storage.sidecar_rejects{reason} load_or_build validation fallbacks
+    storage.lock_waits             acquisitions that had to wait
+    storage.lock_steals            stale locks broken (dead holder)
+    storage.lock_timeouts          acquisitions that gave up
+    storage.rebuilds               build_once invocations that built
+    storage.single_flight_reuse    waiters that reused another's build
+"""
+
+from __future__ import annotations
+
+from repro.observe.metrics import MetricsRegistry
+
+_REGISTRY = MetricsRegistry()
+
+
+def storage_metrics() -> MetricsRegistry:
+    """The process-global ``storage.*`` registry (merge it into any
+    output document alongside engine metrics)."""
+    return _REGISTRY
+
+
+def reset_storage_metrics() -> MetricsRegistry:
+    """Swap in a fresh global registry (test isolation); returns it."""
+    global _REGISTRY
+    _REGISTRY = MetricsRegistry()
+    return _REGISTRY
+
+
+def resolve(metrics: MetricsRegistry | None) -> MetricsRegistry:
+    """The registry a storage helper should record into."""
+    return metrics if metrics is not None else _REGISTRY

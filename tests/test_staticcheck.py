@@ -541,6 +541,64 @@ class TestRS010:
 
 
 # ---------------------------------------------------------------------------
+# RS011 — durable writes go through repro.storage
+
+
+STORAGE = "src/repro/storage/snippet.py"
+
+
+class TestRS011:
+    def test_os_replace_fails(self):
+        src = "import os\ndef f(tmp, path):\n    os.replace(tmp, path)\n"
+        findings = check_one(ENGINE, src, select=["RS011"])
+        assert codes(findings) == ["RS011"]
+        assert "atomic_write" in findings[0].message
+
+    def test_os_fsync_fails(self):
+        src = "import os\ndef f(handle):\n    os.fsync(handle.fileno())\n"
+        assert codes(check_one(CHECKPOINT, src, select=["RS011"])) == ["RS011"]
+
+    def test_os_rename_fails(self):
+        src = "import os\ndef f(a, b):\n    os.rename(a, b)\n"
+        assert codes(check_one(ELSEWHERE, src, select=["RS011"])) == ["RS011"]
+
+    def test_tmp_publish_idiom_fails(self):
+        src = (
+            "def f(path, data):\n"
+            "    tmp = path.with_suffix('.tmp')\n"
+            "    tmp.write_bytes(data)\n"
+            "    tmp.rename(path)\n"
+        )
+        findings = check_one(ENGINE, src, select=["RS011"])
+        assert codes(findings) == ["RS011", "RS011"]
+
+    def test_inside_storage_package_exempt(self):
+        src = "import os\ndef f(tmp, path):\n    os.replace(tmp, path)\n"
+        assert check_one(STORAGE, src, select=["RS011"]) == []
+
+    def test_atomic_write_call_passes(self):
+        src = (
+            "from repro.storage import atomic_write\n"
+            "def f(path, data):\n"
+            "    return atomic_write(path, data)\n"
+        )
+        assert check_one(ENGINE, src, select=["RS011"]) == []
+
+    def test_plain_string_replace_passes(self):
+        src = "def f(text):\n    return text.replace('a', 'b')\n"
+        assert check_one(ENGINE, src, select=["RS011"]) == []
+
+    def test_suppression_honored(self):
+        src = (
+            "import os\n"
+            "def f(tmp, path):\n"
+            "    # repro: ignore[RS011] -- fixture: non-durable scratch file\n"
+            "    os.replace(tmp, path)\n"
+        )
+        assert check_one(ENGINE, src, select=["RS011"]) == []
+
+
+# ---------------------------------------------------------------------------
 # Suppressions
 
 

@@ -1,0 +1,536 @@
+"""The durable storage substrate (repro.storage).
+
+Covers the atomic-write protocol (including crash-at-every-boundary
+via FaultFS), stale-tmp sweeps, quarantine, advisory locking with
+stale-lock steal, single-flight build_once, the CheckpointStore and
+sidecar migrations, cross-process writer races, and the telemetry
+surfaced through CLI --metrics and serve /metrics.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.checkpoint.store import CheckpointStore
+from repro.engine import sidecar
+from repro.engine.prepared import IndexedBuffer
+from repro.errors import IndexSidecarError, LockTimeoutError, StorageError
+from repro.observe.metrics import MetricsRegistry
+from repro.storage import (
+    FaultFS,
+    FaultPlan,
+    SimulatedCrash,
+    advisory_lock,
+    atomic_write,
+    build_once,
+    fault_plans,
+    lock_path_for,
+    quarantine,
+    storage_metrics,
+    sweep_stale_tmp,
+    trace,
+)
+
+CHUNK = 1 << 12
+
+
+def tmp_residue(directory: Path) -> list[str]:
+    return sorted(
+        e.name for e in directory.iterdir()
+        if ".tmp" in e.name and e.name.rpartition(".tmp")[2].isdigit()
+    )
+
+
+# ---------------------------------------------------------------------------
+# atomic_write
+
+
+class TestAtomicWrite:
+    def test_writes_and_returns_path(self, tmp_path):
+        target = atomic_write(tmp_path / "a" / "x.bin", b"payload")
+        assert target.read_bytes() == b"payload"
+        assert tmp_residue(target.parent) == []
+
+    def test_accepts_chunk_iterable(self, tmp_path):
+        target = atomic_write(tmp_path / "x.bin", [b"ab", b"cd", b"ef"])
+        assert target.read_bytes() == b"abcdef"
+
+    def test_protocol_order(self, tmp_path):
+        fs = trace(lambda fs: atomic_write(tmp_path / "x.bin", b"data", fs=fs))
+        ops = [op for op, _ in fs.ops]
+        assert ops == ["open", "write", "fsync", "replace", "fsync_dir"]
+        # fsync happens on the tmp file, before the rename publishes it.
+        assert ".tmp" in fs.ops[2][1]
+        assert fs.ops[3][1].endswith("x.bin")
+
+    def test_failed_write_cleans_tmp_and_preserves_old(self, tmp_path):
+        target = tmp_path / "x.bin"
+        atomic_write(target, b"old")
+        registry = MetricsRegistry()
+        for step in (1, 2, 3, 4):  # open, write, fsync, replace
+            with pytest.raises(OSError):
+                atomic_write(target, b"new-content",
+                             fs=FaultFS(FaultPlan(step=step)), metrics=registry)
+            assert target.read_bytes() == b"old"
+            assert tmp_residue(tmp_path) == []
+        assert registry.value("storage.save_errors", kind="file") == 4
+
+    def test_torn_write_cleans_tmp(self, tmp_path):
+        target = tmp_path / "x.bin"
+        atomic_write(target, b"old")
+        plan = FaultPlan(step=2, torn=True)
+        with pytest.raises(OSError):
+            atomic_write(target, b"0123456789", fs=FaultFS(plan))
+        assert target.read_bytes() == b"old"
+        assert tmp_residue(tmp_path) == []
+
+    def test_crash_at_every_boundary_old_or_new(self, tmp_path):
+        target = tmp_path / "x.bin"
+        fs = trace(lambda fs: atomic_write(target, b"old", fs=fs))
+        for plan in fault_plans(fs.ops):
+            if plan.mode != "crash":
+                continue
+            shim = FaultFS(plan)
+            with pytest.raises(SimulatedCrash):
+                atomic_write(target, b"new", fs=shim)
+                raise SimulatedCrash("plan did not fire")  # pragma: no cover
+            assert target.read_bytes() in (b"old", b"new")
+            # The frozen disk may hold an orphan tmp; the sweep reclaims it.
+            sweep_stale_tmp(tmp_path, max_age=0.0)
+            assert tmp_residue(tmp_path) == []
+            atomic_write(target, b"old")  # reset for the next plan
+
+    def test_post_crash_fs_is_frozen(self, tmp_path):
+        shim = FaultFS(FaultPlan(step=2, mode="crash"))
+        with pytest.raises(SimulatedCrash):
+            atomic_write(tmp_path / "x.bin", b"data", fs=shim)
+        assert shim.crashed
+        with pytest.raises(SimulatedCrash):
+            shim.unlink(tmp_path / "anything")
+
+    def test_success_counter_labeled(self, tmp_path):
+        registry = MetricsRegistry()
+        atomic_write(tmp_path / "x", b"d", metrics=registry, kind="sidecar")
+        assert registry.value("storage.saves", kind="sidecar") == 1
+
+
+# ---------------------------------------------------------------------------
+# sweep_stale_tmp
+
+
+class TestSweep:
+    def test_removes_only_old_tmp_files(self, tmp_path):
+        old_tmp = tmp_path / "x.bin.tmp123"
+        old_tmp.write_bytes(b"orphan")
+        os.utime(old_tmp, (time.time() - 7200, time.time() - 7200))
+        fresh_tmp = tmp_path / "y.bin.tmp456"
+        fresh_tmp.write_bytes(b"live writer")
+        bystander = tmp_path / "z.bin"
+        bystander.write_bytes(b"data")
+        lockfile = tmp_path / "x.bin.lock"
+        lockfile.write_bytes(b"")
+
+        removed = sweep_stale_tmp(tmp_path)
+        assert removed == [old_tmp]
+        assert not old_tmp.exists()
+        assert fresh_tmp.exists() and bystander.exists() and lockfile.exists()
+
+    def test_age_zero_takes_everything(self, tmp_path):
+        (tmp_path / "a.tmp1").write_bytes(b"x")
+        assert len(sweep_stale_tmp(tmp_path, max_age=0.0)) == 1
+
+    def test_missing_directory_is_noop(self, tmp_path):
+        assert sweep_stale_tmp(tmp_path / "absent") == []
+
+    def test_counter(self, tmp_path):
+        (tmp_path / "a.tmp1").write_bytes(b"x")
+        registry = MetricsRegistry()
+        sweep_stale_tmp(tmp_path, max_age=0.0, metrics=registry)
+        assert registry.value("storage.tmp_swept") == 1
+
+
+# ---------------------------------------------------------------------------
+# quarantine
+
+
+class TestQuarantine:
+    def test_renames_and_writes_reason(self, tmp_path):
+        bad = tmp_path / "x.ridx"
+        bad.write_bytes(b"garbage")
+        registry = MetricsRegistry()
+        dest = quarantine(bad, "checksum", detail="crc mismatch", metrics=registry)
+        assert dest == tmp_path / "x.ridx.corrupt"
+        assert not bad.exists()
+        assert dest.read_bytes() == b"garbage"
+        note = dest.with_name(dest.name + ".reason").read_text()
+        assert "reason: checksum" in note and "crc mismatch" in note
+        assert registry.value("storage.quarantines", reason="checksum") == 1
+
+    def test_missing_file_returns_none(self, tmp_path):
+        registry = MetricsRegistry()
+        assert quarantine(tmp_path / "gone", "magic", metrics=registry) is None
+        assert registry.value("storage.quarantines", reason="magic") == 0
+
+
+# ---------------------------------------------------------------------------
+# advisory_lock
+
+
+class TestAdvisoryLock:
+    def test_exclusive_within_process(self, tmp_path):
+        target = tmp_path / "artifact"
+        registry = MetricsRegistry()
+        with advisory_lock(target):
+            with pytest.raises(LockTimeoutError):
+                with advisory_lock(target, timeout=0.2, poll_interval=0.02,
+                                   metrics=registry):
+                    pass  # pragma: no cover
+        assert registry.value("storage.lock_waits") == 1
+        assert registry.value("storage.lock_timeouts") == 1
+        assert isinstance(LockTimeoutError("x"), StorageError)
+
+    def test_reacquirable_after_release(self, tmp_path):
+        target = tmp_path / "artifact"
+        with advisory_lock(target):
+            pass
+        with advisory_lock(target, timeout=1.0) as handle:
+            assert not handle.waited
+
+    def test_waiter_proceeds_when_holder_releases(self, tmp_path):
+        target = tmp_path / "artifact"
+        order: list[str] = []
+        release = threading.Event()
+
+        def holder():
+            with advisory_lock(target):
+                order.append("held")
+                release.wait(5.0)
+            order.append("released")
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        while "held" not in order:
+            time.sleep(0.01)
+        release.set()
+        with advisory_lock(target, timeout=5.0):
+            order.append("acquired")
+        thread.join()
+        assert order.index("released") < order.index("acquired")
+
+    def test_fallback_steals_dead_holder(self, tmp_path):
+        target = tmp_path / "artifact"
+        lock_file = lock_path_for(target)
+        # A pid that provably exited: a finished child process.
+        lock_file.write_text(json.dumps(
+            {"pid": _dead_pid(), "acquired_at": time.time()}
+        ))
+        registry = MetricsRegistry()
+        with advisory_lock(target, timeout=2.0, metrics=registry,
+                           _force_fallback=True) as handle:
+            assert handle.stole
+        assert registry.value("storage.lock_steals") == 1
+        # Fallback locks release by unlinking their file.
+        assert not lock_file.exists()
+
+    def test_fallback_respects_live_holder(self, tmp_path):
+        target = tmp_path / "artifact"
+        lock_path_for(target).write_text(json.dumps(
+            {"pid": os.getpid(), "acquired_at": time.time()}
+        ))
+        with pytest.raises(LockTimeoutError):
+            with advisory_lock(target, timeout=0.2, poll_interval=0.02,
+                               stale_after=3600.0, _force_fallback=True):
+                pass  # pragma: no cover
+
+    def test_fallback_steals_ancient_metadata(self, tmp_path):
+        target = tmp_path / "artifact"
+        lock_path_for(target).write_text(json.dumps(
+            {"pid": os.getpid(), "acquired_at": time.time() - 7200}
+        ))
+        with advisory_lock(target, timeout=2.0, stale_after=60.0,
+                           _force_fallback=True) as handle:
+            assert handle.stole
+
+    def test_crashed_fs_skips_release(self, tmp_path):
+        """A simulated kill inside the critical section must not run the
+        release path (a dead process cannot) — flock dies with the fd."""
+        target = tmp_path / "artifact"
+        shim = FaultFS(FaultPlan(step=1, mode="crash"))
+        with pytest.raises(SimulatedCrash):
+            with advisory_lock(target, fs=shim):
+                shim.unlink(target)  # journaled op 1 -> simulated kill
+        # The crash closed the tracked lock fd: a fresh locker succeeds.
+        with advisory_lock(target, timeout=1.0):
+            pass
+
+
+def _dead_pid() -> int:
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
+
+
+# ---------------------------------------------------------------------------
+# build_once
+
+
+class TestBuildOnce:
+    def test_builds_when_missing(self, tmp_path):
+        target = tmp_path / "artifact"
+        registry = MetricsRegistry()
+        result = build_once(
+            target,
+            lambda: target.read_bytes() if target.exists() else None,
+            lambda: atomic_write(target, b"built").read_bytes(),
+            metrics=registry,
+        )
+        assert result.built and result.value == b"built"
+        assert registry.value("storage.rebuilds") == 1
+
+    def test_loads_without_lock_when_present(self, tmp_path):
+        target = tmp_path / "artifact"
+        atomic_write(target, b"cached")
+        result = build_once(
+            target,
+            lambda: target.read_bytes() if target.exists() else None,
+            lambda: pytest.fail("must not build"),
+        )
+        assert not result.built and result.value == b"cached"
+
+    def test_single_flight_across_threads(self, tmp_path):
+        target = tmp_path / "artifact"
+        registry = MetricsRegistry()
+        builds: list[int] = []
+        results: list[bytes] = []
+
+        def load():
+            return target.read_bytes() if target.exists() else None
+
+        def build():
+            builds.append(1)
+            time.sleep(0.2)  # hold the lock long enough for overlap
+            return atomic_write(target, b"built").read_bytes()
+
+        def worker():
+            outcome = build_once(target, load, build,
+                                 lock_timeout=10.0, metrics=registry)
+            results.append(outcome.value)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert builds == [1]
+        assert results == [b"built"] * 4
+        assert registry.value("storage.rebuilds") == 1
+        assert registry.value("storage.single_flight_reuse") == 3
+
+    def test_lock_timeout_degrades_to_local_build(self, tmp_path):
+        target = tmp_path / "artifact"
+        with advisory_lock(target):
+            result = build_once(
+                target,
+                lambda: None,
+                lambda: b"local",
+                lock_timeout=0.2,
+            )
+        assert result.built and result.value == b"local"
+
+
+# ---------------------------------------------------------------------------
+# CheckpointStore on the substrate (satellite: crash at every boundary)
+
+
+class TestCheckpointCrashBoundaries:
+    OLD = {"cursor": 1}
+    NEW = {"cursor": 2}
+
+    def _seed(self, tmp_path: Path) -> Path:
+        base = tmp_path / "run.ckpt"
+        CheckpointStore(base, keep=1).save(self.OLD)
+        return base
+
+    def test_fail_and_crash_at_every_boundary(self, tmp_path):
+        base = self._seed(tmp_path / "trace")
+        traced = trace(lambda fs: CheckpointStore(base, keep=1, fs=fs).save(self.NEW))
+        assert [op for op, _ in traced.ops] == [
+            "open", "write", "fsync", "replace", "fsync_dir", "unlink",
+        ]
+        for index, plan in enumerate(fault_plans(traced.ops)):
+            root = tmp_path / f"case{index}"
+            root.mkdir()
+            case_base = self._seed(root)
+            try:
+                CheckpointStore(case_base, keep=1, fs=FaultFS(plan)).save(self.NEW)
+            except (OSError, SimulatedCrash):
+                pass
+            record = CheckpointStore(case_base, keep=1).load_latest()
+            assert record is not None, plan
+            assert record.payload in (self.OLD, self.NEW), (plan, record.payload)
+            sweep_stale_tmp(root, max_age=0.0)
+            assert tmp_residue(root) == [], plan
+            # Recovery: the next saver wins cleanly.
+            CheckpointStore(case_base, keep=1).save({"cursor": 3})
+            after = CheckpointStore(case_base, keep=1).load_latest()
+            assert after is not None and after.payload == {"cursor": 3}
+
+    def test_generations_ignore_pid_tmp_names(self, tmp_path):
+        base = self._seed(tmp_path)
+        (tmp_path / "run.ckpt.g000002.tmp999").write_bytes(b"torn")
+        store = CheckpointStore(base, keep=3)
+        assert [gen for gen, _ in store.generations()] == [1]
+        record = store.load_latest()
+        assert record is not None and record.payload == self.OLD
+
+
+# ---------------------------------------------------------------------------
+# sidecar writers on the substrate
+
+
+class TestSidecarStorage:
+    DATA = b'{"rows":[' + b",".join(b'{"id":%d}' % i for i in range(50)) + b"]}"
+
+    def test_failed_save_leaves_no_tmp(self, tmp_path):
+        """The PR-8 leak: a failed save_buffer stranded its .tmpPID."""
+        indexed = IndexedBuffer(self.DATA, chunk_size=CHUNK).warm()
+        path = tmp_path / "x.ridx"
+        for step in (1, 2, 3, 4):
+            with pytest.raises(OSError):
+                sidecar.save_buffer(indexed.buffer, path, fs=FaultFS(FaultPlan(step=step)))
+            assert tmp_residue(tmp_path) == []
+            assert not path.exists()
+
+    def test_save_fsyncs_parent_directory(self, tmp_path):
+        """The PR-8 gap: the sidecar writer never fsync'd the directory."""
+        fs = trace(lambda fs: sidecar.save_buffer(
+            IndexedBuffer(self.DATA, chunk_size=CHUNK).warm().buffer,
+            tmp_path / "x.ridx", fs=fs,
+        ))
+        assert [op for op, _ in fs.ops] == [
+            "open", "write", "write", "fsync", "replace", "fsync_dir",
+        ]
+        assert fs.ops[-1][1] == str(tmp_path)
+
+    def test_load_or_build_quarantines_corrupt_sidecar(self, tmp_path):
+        registry = MetricsRegistry()
+        IndexedBuffer.load_or_build(self.DATA, tmp_path, chunk_size=CHUNK)
+        path = sidecar.sidecar_path(tmp_path, self.DATA, CHUNK)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+
+        rebuilt = IndexedBuffer.load_or_build(
+            self.DATA, tmp_path, chunk_size=CHUNK, metrics=registry
+        )
+        assert rebuilt.buffer.data == self.DATA
+        assert registry.value("storage.sidecar_rejects", reason="checksum") == 1
+        assert registry.value("storage.quarantines", reason="checksum") == 1
+        corrupt = path.with_name(path.name + ".corrupt")
+        assert corrupt.exists()
+        assert b"checksum" in corrupt.with_name(corrupt.name + ".reason").read_bytes()
+        # The fresh sidecar is valid again and loads cold.
+        warm = IndexedBuffer.load_or_build(self.DATA, tmp_path, chunk_size=CHUNK)
+        assert warm.buffer.index.chunks_built == 0
+
+    def test_load_or_build_missing_counts_but_no_quarantine(self, tmp_path):
+        registry = MetricsRegistry()
+        IndexedBuffer.load_or_build(self.DATA, tmp_path, chunk_size=CHUNK,
+                                    metrics=registry)
+        # load_once probes once before and once under the lock, so a cold
+        # start records the "missing" reject at least once (here: twice).
+        assert registry.value("storage.sidecar_rejects", reason="missing") >= 1
+        assert registry.value("storage.rebuilds") == 1
+        assert not list(tmp_path.glob("*.corrupt"))
+
+    def test_load_or_build_sweeps_stale_tmp_on_open(self, tmp_path):
+        orphan = tmp_path / "idx-dead.ridx.tmp999"
+        orphan.write_bytes(b"orphan")
+        os.utime(orphan, (time.time() - 7200, time.time() - 7200))
+        IndexedBuffer.load_or_build(self.DATA, tmp_path, chunk_size=CHUNK)
+        assert not orphan.exists()
+
+    def test_sidecar_reason_codes(self, tmp_path):
+        path = tmp_path / "x.ridx"
+        with pytest.raises(IndexSidecarError) as exc_info:
+            sidecar.load_buffer(path, self.DATA)
+        assert exc_info.value.reason == "missing"
+        path.write_bytes(b"not a sidecar at all")
+        with pytest.raises(IndexSidecarError) as exc_info:
+            sidecar.load_buffer(path, self.DATA)
+        assert exc_info.value.reason == "magic"
+
+    def test_concurrent_processes_save_same_path(self, tmp_path):
+        """Satellite: two processes writing one sidecar path never
+        collide on tmp names, and the survivor is fully valid."""
+        script = (
+            "import sys\n"
+            "from repro.engine.prepared import IndexedBuffer\n"
+            "data = open(sys.argv[1], 'rb').read()\n"
+            "indexed = IndexedBuffer(data, chunk_size=%d).warm()\n"
+            "for _ in range(5):\n"
+            "    indexed.save(sys.argv[2])\n"
+            "print('done')\n"
+        ) % CHUNK
+        data_file = tmp_path / "corpus.json"
+        data_file.write_bytes(self.DATA)
+        path = tmp_path / "cache" / "x.ridx"
+        env = dict(os.environ, PYTHONPATH=str(Path(__file__).parent.parent / "src"))
+        procs = [
+            subprocess.Popen([sys.executable, "-c", script, str(data_file), str(path)],
+                             env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+            for _ in range(2)
+        ]
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err.decode(errors="replace")
+            assert out.strip() == b"done"
+        loaded = sidecar.load_buffer(path, self.DATA, chunk_size=CHUNK)
+        assert loaded.data == self.DATA
+        assert tmp_residue(path.parent) == []
+
+
+# ---------------------------------------------------------------------------
+# telemetry surfacing (CLI --metrics, serve /metrics)
+
+
+class TestTelemetrySurfacing:
+    def test_cli_metrics_include_sidecar_rejects(self, tmp_path):
+        from repro.cli import main
+        from repro.storage import reset_storage_metrics
+
+        reset_storage_metrics()
+        doc = tmp_path / "doc.json"
+        doc.write_text('{"a": [1, 2, 3]}')
+        cache = tmp_path / "cache"
+        out_path = tmp_path / "metrics.json"
+        # Cold start: the "missing" reject and the rebuild must be visible.
+        code = main(["$.a[*]", str(doc), "--index-cache", str(cache),
+                     "--metrics", str(out_path)],
+                    out=io.StringIO(), err=io.StringIO())
+        assert code == 0
+        rendered = out_path.read_text()
+        assert "storage.sidecar_rejects" in rendered
+        assert "storage.saves" in rendered
+        reset_storage_metrics()
+
+    def test_serve_merged_metrics_include_storage(self):
+        from repro.serve.app import QueryService
+        from repro.serve.registry import CorpusRegistry
+        from repro.storage import reset_storage_metrics
+
+        registry = reset_storage_metrics()
+        registry.counter("storage.quarantines", reason="checksum").add(2)
+        service = QueryService(CorpusRegistry())
+        merged = service.merged_metrics()
+        assert merged.value("storage.quarantines", reason="checksum") == 2
+        reset_storage_metrics()
