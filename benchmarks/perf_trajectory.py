@@ -54,6 +54,7 @@ from repro.harness.experiments import (
     get_records,
     small_queries,
 )
+from repro.errors import InvariantError
 from repro.harness.runner import make_engine, time_run, time_run_records
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -91,7 +92,7 @@ def measure_fig10(size: int, repeat: int) -> dict:
         word_s, word_m = time_run(make_engine(WORD, q.large), data, repeat=repeat)
         vec_s, vec_m = time_run(make_engine(VECTOR, q.large), data, repeat=repeat)
         if len(word_m) != len(vec_m):
-            raise AssertionError(
+            raise InvariantError(
                 f"{q.qid}: word found {len(word_m)} matches, vector {len(vec_m)}"
             )
         queries[q.qid] = {
@@ -113,7 +114,7 @@ def measure_fig11(size: int, repeat: int) -> dict:
             make_engine(VECTOR, q.small), get_records(name, size), repeat=repeat
         )
         if len(word_m) != len(vec_m):
-            raise AssertionError(
+            raise InvariantError(
                 f"{q.qid}: word found {len(word_m)} matches, vector {len(vec_m)}"
             )
         queries[q.qid] = {
@@ -179,7 +180,7 @@ def measure_emission(fig: int, size: int, repeat: int) -> dict:
             lazy_s = min(lazy_s, time.perf_counter() - t0)
             n = matches.count()
             if len(eager_out.splitlines()) != len(lazy_out.splitlines()):
-                raise AssertionError(
+                raise InvariantError(
                     f"{q.qid}: eager and lazy emitted different line counts"
                 )
         out[q.qid] = {
@@ -203,7 +204,7 @@ def measure_warm_index(size: int, repeat: int) -> dict:
         path = built.save(Path(tmp) / "tt.ridx")
         warm_s, loaded = _best_of(lambda: IndexedBuffer.load(path, data), repeat)
         if loaded.buffer.index.chunks_built:
-            raise AssertionError("sidecar load built chunks — cache not warm")
+            raise InvariantError("sidecar load built chunks — cache not warm")
     return {
         "cold_s": round(cold_s, 6),
         "warm_s": round(warm_s, 6),

@@ -77,13 +77,20 @@ def build_corpora(workdir: Path, quick: bool) -> dict[str, Path]:
         path = workdir / f"{name}.jsonl"
         path.write_bytes(payload)
         paths[name] = path
+    # Single-document corpus: exercises the shared stage-1 index path
+    # (corpus.indexed + sidecar I/O), which must run on the executor —
+    # the loopguard check below would catch it blocking the loop.
+    doc = workdir / "doc.json"
+    doc.write_bytes(b'{"a": 7, "items": [1, 2, 3], "pad": "%s"}' % (b"y" * 64))
+    paths["doc"] = doc
     return paths
 
 
 def boot(corpora: dict[str, Path], *extra: str) -> tuple[subprocess.Popen, int]:
-    cmd = [sys.executable, "-m", "repro", "serve", "--port", "0"]
+    cmd = [sys.executable, "-m", "repro", "serve", "--port", "0", "--loopguard"]
     for name, path in corpora.items():
-        cmd += ["--corpus", f"{name}={path}"]
+        format_suffix = ":json" if path.suffix == ".json" else ""
+        cmd += ["--corpus", f"{name}={path}{format_suffix}"]
     cmd += list(extra)
     proc = subprocess.Popen(
         cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
@@ -93,9 +100,11 @@ def boot(corpora: dict[str, Path], *extra: str) -> tuple[subprocess.Popen, int]:
     while time.monotonic() < deadline:
         line = proc.stdout.readline()
         if not line:
+            # repro: ignore[RS002] -- harness plumbing: the server subprocess died before the contract run ever started; repro.errors is the library's surface, not the harness's
             raise RuntimeError(f"server died at boot (rc={proc.poll()})")
         if line.startswith("serving on "):
             return proc, int(line.rsplit(":", 1)[1])
+    # repro: ignore[RS002] -- harness plumbing: boot never completed, nothing contract-shaped to classify; repro.errors is the library's surface, not the harness's
     raise RuntimeError("server never reported its port")
 
 
@@ -258,6 +267,45 @@ def phase_worker_kills(port: int, outcomes: Outcomes, rounds: int) -> None:
                 )
 
 
+def phase_doc(port: int, outcomes: Outcomes, rounds: int) -> None:
+    """Single-document queries: cold stage-1 build, then warm cache."""
+    for attempt in range(rounds):
+        try:
+            status, headers, body, dt = query(port, {"corpus": "doc", "query": "$.a"})
+        except (TimeoutError, OSError) as exc:
+            outcomes.stall("doc", repr(exc))
+            return
+        outcomes.classify("doc", status, headers, body, dt)
+        if status != 200:
+            outcomes.violations.append(
+                f"doc: single-document query #{attempt} got {status}, expected 200"
+            )
+
+
+def check_loopguard(proc: subprocess.Popen, outcomes: Outcomes) -> None:
+    """The server self-reports loop stalls >= 50ms; zero is the contract.
+
+    The static gate (RS012) proves no known blocking call reaches the
+    loop; this is the runtime cross-check over everything the chaos run
+    just exercised.  Must be called after the server exited.
+    """
+    tail = proc.stdout.read() or ""
+    for line in tail.splitlines():
+        if line.startswith("loopguard:"):
+            try:
+                events = int(line.split()[1])
+            except (IndexError, ValueError):
+                events = -1
+            if events != 0:
+                outcomes.violations.append(
+                    f"event loop blocked: {line.strip()!r}"
+                )
+            return
+    outcomes.violations.append(
+        "loopguard: server printed no report line (booted with --loopguard)"
+    )
+
+
 def phase_sigterm(proc: subprocess.Popen, port: int, outcomes: Outcomes) -> None:
     payload = json.dumps({"corpus": "big", "query": "$.a"}).encode()
     sock = socket.create_connection(("127.0.0.1", port), timeout=STALL_LIMIT)
@@ -355,6 +403,8 @@ def main() -> int:
             phase_burst(port, outcomes, clients, rounds)
             print(f"  burst: {len(outcomes.served)} served, "
                   f"{outcomes.shed} shed")
+            phase_doc(port, outcomes, rounds=3)
+            print("  doc: single-document path served")
             phase_slow_loris(port, outcomes, loris, client_timeout)
             print("  slow-loris: cut off")
             phase_breaker(port, outcomes)
@@ -363,6 +413,8 @@ def main() -> int:
             print("  worker-kill: recovered")
             phase_sigterm(proc, port, outcomes)
             print("  sigterm: drained")
+            check_loopguard(proc, outcomes)
+            print("  loopguard: report checked")
         finally:
             if proc.poll() is None:
                 proc.kill()

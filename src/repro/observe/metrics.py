@@ -7,7 +7,16 @@ by the structural index, scanner primitive call counts, matches emitted,
 records processed.  It is deliberately zero-dependency and cheap:
 metrics are plain Python ints behind a method call, created once and
 held by reference on hot paths so that per-event cost is one attribute
-lookup and one integer add.
+lookup and one locked integer add.
+
+One registry is routinely visible to several threads at once — the
+serve loop labels requests while executor threads run engines into the
+same instruments, and pool results merge back in — so every mutation
+(``add``/``set``/``observe``, get-or-create, ``merge``) takes the
+instrument's ``threading.Lock``.  ``x += 1`` is three bytecodes; the
+GIL does not make it atomic, and the lost updates are real
+(tests/test_concurrency_races.py).  The locks are uncontended in
+single-threaded runs.
 
 Instruments are identified by a dotted name plus optional labels
 (``registry.counter("ff.skipped_bytes", group="G1")``); the
@@ -18,6 +27,7 @@ registries from parallel execution collapse into one
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator
 
 #: Default histogram bucket upper bounds (seconds-oriented, exponential).
@@ -36,18 +46,21 @@ class Counter:
     """A monotonically *usable* integer metric (``set`` exists for the
     few gauge-like values such as ``ff.total_bytes``)."""
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_lock")
 
     def __init__(self, name: str, labels: LabelKey = ()) -> None:
         self.name = name
         self.labels = labels
         self.value = 0
+        self._lock = threading.Lock()
 
     def add(self, n: int = 1) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
 
     def set(self, value: int) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Counter({self.name!r}, {dict(self.labels)!r}, value={self.value})"
@@ -61,7 +74,8 @@ class Histogram:
     matching Prometheus histogram semantics.
     """
 
-    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "total", "min", "max")
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "total",
+                 "min", "max", "_lock")
 
     def __init__(self, name: str, labels: LabelKey = (), bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
         self.name = name
@@ -72,19 +86,21 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-        for i, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.bucket_counts[i] += 1
-                return
-        self.bucket_counts[-1] += 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.bucket_counts[i] += 1
+                    return
+            self.bucket_counts[-1] += 1
 
     @property
     def mean(self) -> float:
@@ -96,12 +112,13 @@ class Histogram:
                 f"cannot merge histogram {self.name!r}: bucket bounds differ "
                 f"({self.bounds} vs {other.bounds})"
             )
-        self.count += other.count
-        self.total += other.total
-        self.min = min(self.min, other.min)
-        self.max = max(self.max, other.max)
-        for i, n in enumerate(other.bucket_counts):
-            self.bucket_counts[i] += n
+        with self._lock:
+            self.count += other.count
+            self.total += other.total
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+            for i, n in enumerate(other.bucket_counts):
+                self.bucket_counts[i] += n
 
 
 class MetricsRegistry:
@@ -115,6 +132,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._counters: dict[tuple[str, LabelKey], Counter] = {}
         self._histograms: dict[tuple[str, LabelKey], Histogram] = {}
+        self._lock = threading.Lock()
 
     # -- instrument access -------------------------------------------------
 
@@ -123,7 +141,13 @@ class MetricsRegistry:
         key = (name, _label_key(labels))
         found = self._counters.get(key)
         if found is None:
-            found = self._counters[key] = Counter(name, key[1])
+            # Get-or-create races another thread's identical first
+            # touch; without the lock both would insert and one side's
+            # handle would silently accumulate into a lost instrument.
+            with self._lock:
+                found = self._counters.get(key)
+                if found is None:
+                    found = self._counters[key] = Counter(name, key[1])
         return found
 
     def histogram(self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS, **labels: str) -> Histogram:
@@ -131,7 +155,10 @@ class MetricsRegistry:
         key = (name, _label_key(labels))
         found = self._histograms.get(key)
         if found is None:
-            found = self._histograms[key] = Histogram(name, key[1], bounds)
+            with self._lock:
+                found = self._histograms.get(key)
+                if found is None:
+                    found = self._histograms[key] = Histogram(name, key[1], bounds)
         return found
 
     def value(self, name: str, **labels: str) -> int:
@@ -153,11 +180,14 @@ class MetricsRegistry:
     def merge(self, other: "MetricsRegistry") -> None:
         """Accumulate another registry (e.g. one worker's) into this one."""
         for (name, labels), counter in other._counters.items():
-            self._counters.setdefault((name, labels), Counter(name, labels)).value += counter.value
+            with self._lock:
+                mine = self._counters.setdefault((name, labels), Counter(name, labels))
+            mine.add(counter.value)
         for (name, labels), hist in other._histograms.items():
-            mine = self._histograms.get((name, labels))
-            if mine is None:
-                mine = self._histograms[(name, labels)] = Histogram(name, labels, hist.bounds)
+            with self._lock:
+                mine = self._histograms.get((name, labels))
+                if mine is None:
+                    mine = self._histograms[(name, labels)] = Histogram(name, labels, hist.bounds)
             mine.merge(hist)
 
     def as_dict(self) -> dict:

@@ -162,7 +162,11 @@ class QueryService:
                 )
         if self.executor is not None:
             self.executor.shutdown(wait=False, cancel_futures=True)
-        self._flush_metrics()
+        # The write itself must not run on the loop: stop() races the
+        # last in-flight handlers, and a slow disk here would stall
+        # their goodbyes.  Own executor is already shut down, so borrow
+        # the loop's default one.
+        await asyncio.get_running_loop().run_in_executor(None, self._flush_metrics)
 
     def merged_metrics(self) -> MetricsRegistry:
         """Service counters plus the process-global ``storage.*`` ones
@@ -436,9 +440,12 @@ class QueryService:
         if corpus.format == "json":
             # Single document: run over the shared stage-1 index.
             try:
-                indexed = corpus.indexed(prepared)
+                # corpus.indexed() may run the stage-1 build plus the
+                # sidecar's flock/mmap dance on a cold cache — disk I/O
+                # that belongs on the executor, not the loop thread.
                 values = await loop.run_in_executor(
-                    self.executor, lambda: prepared.run(indexed).values()
+                    self.executor,
+                    lambda: prepared.run(corpus.indexed(prepared)).values(),
                 )
             except ReproError as exc:
                 await stream.start()
@@ -524,16 +531,21 @@ class QueryService:
         corpus: Corpus = spec["corpus"]
         loop = asyncio.get_running_loop()
         records = corpus.records_for(mode)
-        store = None
+        ck_path = None
         if spec["checkpoint"] is not None:
-            ck_dir = FsPath(self.config.checkpoint_dir)
-            ck_dir.mkdir(parents=True, exist_ok=True)
-            store = CheckpointStore(
-                ck_dir / f"{corpus.name}-{spec['checkpoint']}.ckpt"
+            ck_path = (
+                FsPath(self.config.checkpoint_dir)
+                / f"{corpus.name}-{spec['checkpoint']}.ckpt"
             )
         drain = self.drain
 
         def run_pool():
+            # Checkpoint-dir mkdir and store recovery touch the disk;
+            # both happen here, on the executor thread, not the loop.
+            store = None
+            if ck_path is not None:
+                ck_path.parent.mkdir(parents=True, exist_ok=True)
+                store = CheckpointStore(ck_path)
             return run_records_pool_resilient(
                 spec["query"],
                 records,
@@ -544,7 +556,7 @@ class QueryService:
                 checkpoint=store,
                 checkpoint_every=max(self.config.batch_size, 1),
                 resume=spec["resume"],
-                stop=(lambda cursor: drain.interrupting) if store is not None else None,
+                stop=(lambda cursor: drain.interrupting) if ck_path is not None else None,
             )
 
         stream = NdjsonStream(writer, self.config.client_timeout)

@@ -59,6 +59,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--engine", default="jsonski", dest="default_engine")
     parser.add_argument("--allow-fault-injection", action="store_true",
                         help="honor per-request 'inject_faults' (chaos testing only)")
+    parser.add_argument("--loopguard", action="store_true",
+                        help="watch the event loop for blocking stalls >= 50ms "
+                             "and report them at shutdown (dev/chaos runs)")
     return parser
 
 
@@ -110,11 +113,24 @@ def main(argv: list[str] | None = None, out=None, err=None) -> int:
 
     async def boot() -> int:
         await service.start()
+        guard = None
+        if args.loopguard:
+            from repro.serve.loopguard import LoopGuard
+
+            guard = LoopGuard()
+            guard.install(asyncio.get_running_loop())
         print(f"serving on {config.host}:{service.port}", file=out, flush=True)
         service.install_signal_handlers()
         await service.drain.wait_begun()
         print("draining...", file=out, flush=True)
         await service.drain_and_stop()
+        if guard is not None:
+            guard.stop()
+            print(guard.summary(), file=out, flush=True)
+            for event in guard.blocked():
+                print(f"loopguard event ({event.source}, "
+                      f"{event.duration * 1000:.1f}ms):\n{event.stack}",
+                      file=err, flush=True)
         return 0
 
     try:

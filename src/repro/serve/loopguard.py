@@ -1,0 +1,172 @@
+"""Dev-mode event-loop blocking detector: the runtime half of RS012.
+
+The static rule proves no *known* blocking call is reachable from the
+loop thread; this guard catches what the call graph cannot see — C
+extensions, dynamic dispatch, a dependency growing a ``time.sleep`` —
+by measuring the loop itself.  A watchdog thread posts a probe onto the
+loop every ``interval`` seconds via ``call_soon_threadsafe`` and times
+how long the loop takes to run it.  A healthy loop turns a probe around
+in microseconds; a probe that takes ``threshold`` (default 50 ms, far
+above GIL scheduling jitter) means the loop thread was wedged in one
+callback — and the watchdog, which is still awake while the loop is
+stuck, samples the loop thread's stack mid-stall so the report names
+the offender, not just the delay.
+
+Complementary (opt-in, ``debug=True``): asyncio's own slow-callback
+log.  The guard sets ``loop.slow_callback_duration`` to the same
+threshold and captures the ``Executing <Handle ...> took N seconds``
+records through a logging handler.  That channel only fires when the
+loop runs in debug mode, which taxes every task with source-traceback
+capture — so the chaos harness runs probe-only and the debug channel
+stays a local-diagnosis tool.
+
+Usage (see ``repro.serve.cli --loopguard``)::
+
+    guard = LoopGuard()
+    guard.install(asyncio.get_running_loop())
+    ...  # serve traffic
+    guard.stop()
+    print(guard.summary())   # "loopguard: 0 blocking events >= 50ms"
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import sys
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BlockEvent:
+    """One observed loop stall."""
+
+    duration: float
+    #: Loop-thread stack sampled while the stall was in progress
+    #: (empty when the stall ended before the sampler ran).
+    stack: str = ""
+    source: str = "probe"  # "probe" or "slow-callback"
+
+
+class _SlowCallbackHandler(logging.Handler):
+    """Captures asyncio's debug-mode slow-callback records."""
+
+    def __init__(self, guard: "LoopGuard") -> None:
+        super().__init__(level=logging.WARNING)
+        self._guard = guard
+
+    def emit(self, record: logging.LogRecord) -> None:
+        message = record.getMessage()
+        if "Executing" in message and "took" in message:
+            try:
+                duration = float(message.rsplit("took", 1)[1].split()[0])
+            except (IndexError, ValueError):
+                duration = self._guard.threshold
+            self._guard._record(BlockEvent(duration, message, "slow-callback"))
+
+
+@dataclass
+class LoopGuard:
+    """Watchdog for one event loop.  Install from the loop thread."""
+
+    threshold: float = 0.05
+    interval: float = 0.01
+    #: How long to keep waiting for a wedged probe before giving up on
+    #: it (the loop may be gone entirely, e.g. mid-shutdown).
+    hard_timeout: float = 5.0
+    debug: bool = False
+    events: list[BlockEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._loop_thread_ident: int | None = None
+        self._log_handler: _SlowCallbackHandler | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def install(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Start watching ``loop``.  Must be called on the loop's thread
+        (so the watchdog knows which stack to sample)."""
+        if self._thread is not None:
+            raise RuntimeError("loopguard already installed")
+        self._loop = loop
+        self._loop_thread_ident = threading.get_ident()
+        loop.slow_callback_duration = self.threshold
+        if self.debug:
+            loop.set_debug(True)
+            self._log_handler = _SlowCallbackHandler(self)
+            logging.getLogger("asyncio").addHandler(self._log_handler)
+        self._thread = threading.Thread(
+            target=self._watch, name="loopguard", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self.hard_timeout)
+            self._thread = None
+        if self._log_handler is not None:
+            logging.getLogger("asyncio").removeHandler(self._log_handler)
+            self._log_handler = None
+
+    # -- the watchdog --------------------------------------------------
+
+    def _watch(self) -> None:
+        assert self._loop is not None
+        while not self._stop.wait(self.interval):
+            loop = self._loop
+            if loop.is_closed():
+                return
+            turned = threading.Event()
+            started = time.monotonic()
+            try:
+                loop.call_soon_threadsafe(turned.set)
+            except RuntimeError:
+                return  # loop closed under us: shutdown, not a stall
+            stack = ""
+            if not turned.wait(self.threshold):
+                stack = self._sample_loop_stack()
+                if not turned.wait(self.hard_timeout):
+                    # Probe never ran: shutdown path dropped it, or the
+                    # loop is hard-wedged.  Record only if the loop is
+                    # still alive — a closed loop is not a stall.
+                    if not loop.is_closed() and not self._stop.is_set():
+                        self._record(BlockEvent(
+                            time.monotonic() - started, stack, "probe"
+                        ))
+                    return
+            duration = time.monotonic() - started
+            if duration >= self.threshold and not self._stop.is_set():
+                self._record(BlockEvent(duration, stack, "probe"))
+
+    def _sample_loop_stack(self) -> str:
+        frame = sys._current_frames().get(self._loop_thread_ident or -1)
+        if frame is None:
+            return ""
+        return "".join(traceback.format_stack(frame, limit=12))
+
+    def _record(self, event: BlockEvent) -> None:
+        with self._lock:
+            self.events.append(event)
+
+    # -- reporting -----------------------------------------------------
+
+    def blocked(self) -> list[BlockEvent]:
+        with self._lock:
+            return list(self.events)
+
+    def summary(self) -> str:
+        """One parseable line, asserted by benchmarks/serve_chaos.py."""
+        events = self.blocked()
+        worst = max((e.duration for e in events), default=0.0)
+        return (
+            f"loopguard: {len(events)} blocking events >= "
+            f"{int(self.threshold * 1000)}ms (max {worst * 1000:.1f}ms)"
+        )

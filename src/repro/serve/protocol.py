@@ -187,7 +187,12 @@ class NdjsonStream:
     async def finish(self, terminator: dict) -> None:
         if self.finished:
             return
+        # Claim the terminator *before* the first await: the drain
+        # below is a scheduling point, and a second finish() entered
+        # there (success path racing an error path) would otherwise
+        # pass the guard too and emit a duplicate terminator + final
+        # chunk.  Claiming early also makes a failed send at-most-once.
+        self.finished = True
         await self.send_line(terminator)
         self.writer.write(b"0\r\n\r\n")
         await asyncio.wait_for(self.writer.drain(), self.timeout)
-        self.finished = True

@@ -9,7 +9,9 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.staticcheck.core import RULE_REGISTRY, check_paths
+from pathlib import Path
+
+from repro.staticcheck.core import RULE_REGISTRY, check_paths, count_suppressions
 from repro.staticcheck.reporters import render_json, render_text
 
 
@@ -35,7 +37,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--suppression-budget", metavar="FILE",
+        help="fail if the checked paths carry more well-formed "
+             "'# repro: ignore[...]' comments than 'budget: N' in FILE",
+    )
     return parser
+
+
+def enforce_budget(budget_file: str, paths: Sequence[str]) -> tuple[int, str]:
+    """Compare the suppression count in ``paths`` against the budget file.
+
+    Returns ``(exit_code, message)``.  The budget is a ratchet: raising
+    it requires editing the checked-in file in the same commit as the
+    new suppression, which makes every new exemption a reviewed act.
+    """
+    budget: int | None = None
+    try:
+        text = Path(budget_file).read_text(encoding="utf-8")
+    except OSError as exc:
+        return 2, f"error: cannot read budget file: {exc}"
+    for raw in text.splitlines():
+        line = raw.strip()
+        if line.startswith("budget:"):
+            try:
+                budget = int(line.partition(":")[2].strip())
+            except ValueError:
+                return 2, f"error: malformed budget line in {budget_file}: {raw!r}"
+    if budget is None:
+        return 2, f"error: no 'budget: N' line in {budget_file}"
+
+    counts = count_suppressions(paths)
+    total = sum(counts.values())
+    if total > budget:
+        lines = [
+            f"suppression budget exceeded: {total} suppressions, budget {budget}"
+            f" (from {budget_file})"
+        ]
+        lines += [f"  {path}: {n}" for path, n in sorted(counts.items())]
+        lines.append(
+            "Remove a suppression, or raise the budget in the same commit "
+            "with a justification."
+        )
+        return 1, "\n".join(lines)
+    return 0, f"suppressions: {total} within budget {budget}"
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -58,7 +103,14 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     output = render_json(findings) if args.format == "json" else render_text(findings)
     print(output)
-    return 1 if findings else 0
+    status = 1 if findings else 0
+
+    if args.suppression_budget:
+        budget_status, message = enforce_budget(args.suppression_budget, args.paths)
+        stream = sys.stderr if budget_status else sys.stdout
+        print(message, file=stream)
+        status = max(status, budget_status)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

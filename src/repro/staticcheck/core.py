@@ -242,6 +242,20 @@ class Project:
     def __init__(self) -> None:
         self.files: list[FileContext] = []
         self.findings: list[Finding] = []
+        self._analysis = None
+
+    def analysis(self):
+        """The whole-program call-graph/context analysis, built lazily.
+
+        Only the concurrency rules (RS012-RS014) pay for it; a
+        ``--select RS001`` run never constructs the graph.  Cached so
+        the three rules share one build.
+        """
+        if self._analysis is None:
+            from repro.staticcheck.contexts import build_analysis
+
+            self._analysis = build_analysis(self.files)
+        return self._analysis
 
     def add(self, rule: "Rule", ctx_or_path: "FileContext | str",
             node_or_line: "ast.AST | int", message: str, col: int = 0) -> None:
@@ -410,3 +424,27 @@ def check_paths(
             ))
     findings = check_sources(sources, select)
     return sorted([*findings, *unreadable], key=Finding.sort_key)
+
+
+def count_suppressions(paths: Iterable[str | Path]) -> dict[str, int]:
+    """Well-formed ``# repro: ignore[...]`` comments per file.
+
+    The input to the suppression budget (``--suppression-budget``):
+    malformed suppressions are already RS000 findings and are *not*
+    counted — the budget bounds how many justified exemptions the tree
+    may carry, so that suppressing a finding is always a visible,
+    reviewed act (the budget file must change in the same commit).
+    """
+    counts: dict[str, int] = {}
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError:
+            continue  # unreadable files surface via check_paths
+        total = sum(
+            1 for item in _parse_suppressions(source)
+            if isinstance(item, Suppression)
+        )
+        if total:
+            counts[str(file_path).replace("\\", "/")] = total
+    return counts

@@ -197,10 +197,11 @@ class UnmaskedWordArithmetic(Rule):
                             "place; write the masked explicit form")
 
 
-#: Raise targets that are always acceptable: abstract-method guards and
-#: iteration-protocol signals.
+#: Raise targets that are always acceptable: abstract-method guards,
+#: iteration-protocol signals, and the process-exit protocol
+#: (``raise SystemExit(main())`` — an exit code, not an error).
 _ALLOWED_BUILTIN_RAISES = frozenset({
-    "NotImplementedError", "StopIteration", "StopAsyncIteration",
+    "NotImplementedError", "StopIteration", "StopAsyncIteration", "SystemExit",
 })
 
 _BUILTIN_EXCEPTIONS = frozenset(
@@ -219,7 +220,11 @@ class RaiseTaxonomy(Rule):
     from a data bug to callers that catch ``ReproError``; the error
     surface is part of the API.  Private module-local control-flow
     exceptions (``_Suspend``) and abstract-method
-    ``NotImplementedError`` are exempt.
+    ``NotImplementedError`` are exempt.  ``benchmarks/`` is in scope
+    too — a harness that raises ``ValueError`` where it means "the
+    contract was violated" muddies its own verdicts — but harness
+    *plumbing* failures (boot, subprocess wrangling) may raise
+    ``RuntimeError`` with a reasoned suppression.
     """
 
     code = "RS002"
@@ -229,7 +234,8 @@ class RaiseTaxonomy(Rule):
 
     def visit(self, node: ast.AST, ctx: FileContext, project: Project) -> None:
         assert isinstance(node, ast.Raise)
-        if not ctx.in_packages("engine", "resilience", "checkpoint", "stream"):
+        if not ctx.in_packages("engine", "resilience", "checkpoint", "stream",
+                               "benchmarks"):
             return
         exc = node.exc
         if exc is None:
@@ -884,3 +890,320 @@ class HandRolledDurableWrite(Rule):
                         f"{recv.id}.{func.attr}(...) looks like a hand-rolled "
                         "tmp-file publish: use repro.storage.atomic_write "
                         "instead of a private tmp+rename protocol")
+
+
+# ---------------------------------------------------------------------
+# Concurrency rules (RS012-RS014): whole-program, built on the call
+# graph and execution-context analysis in callgraph.py / contexts.py.
+# They run from end_project (node_types names ast.Module only so the
+# per-node dispatcher never pays for them).
+# ---------------------------------------------------------------------
+
+
+def _lock_guarded(node: ast.AST, ctx: FileContext) -> bool:
+    """Whether the node sits inside a ``with``/``async with`` on a lock.
+
+    Lexical only: the guard must be visible in the same function.  A
+    context expression counts as a lock when any identifier in it
+    mentions "lock" or "mutex" (``self._index_lock``, ``LOCK``,
+    ``cache_lock.acquire_timeout(...)``).
+    """
+    for anc in ctx.ancestors(node):
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return False
+        if isinstance(anc, (ast.With, ast.AsyncWith)) and _is_lock_with(anc):
+            return True
+    return False
+
+
+def _is_lock_with(node: ast.With | ast.AsyncWith) -> bool:
+    for item in node.items:
+        for sub in ast.walk(item.context_expr):
+            name = None
+            if isinstance(sub, ast.Name):
+                name = sub.id
+            elif isinstance(sub, ast.Attribute):
+                name = sub.attr
+            if name is not None and ("lock" in name.lower() or "mutex" in name.lower()):
+                return True
+    return False
+
+
+@register_rule
+class BlockingCallInEventLoop(Rule):
+    """RS012: no await-free path from the event loop to blocking I/O.
+
+    One loop thread serves every connection; a single ``flock`` or
+    sidecar ``mmap`` on it stalls *all* of them (the slow-loris and
+    burst phases of serve_chaos measure exactly this).  The rule walks
+    the whole-program call graph from every loop root — ``async def``
+    bodies and callables handed to ``call_soon``/``call_later`` — and
+    flags any call site that reaches a blocking primitive (``fsync``,
+    ``flock``, ``os.replace``, ``mmap``, file open/read/write,
+    ``time.sleep``, and anything that transitively calls them, e.g.
+    stage-1 ``build``/``load_or_build``) without first hopping contexts
+    through ``run_in_executor``/``submit``.  The diagnostic carries the
+    reconstructed chain down to the primitive.  The runtime
+    cross-check is :mod:`repro.serve.loopguard`.
+    """
+
+    code = "RS012"
+    name = "blocking-in-loop"
+    summary = "blocking call reachable from the event loop without an executor hop"
+    node_types = (ast.Module,)
+
+    def end_project(self, project: Project) -> None:
+        from repro.staticcheck.contexts import is_blocking_site
+
+        analysis = project.analysis()
+        graph = analysis.graph
+        for qualname in sorted(analysis.loop_roots):
+            info = graph.functions.get(qualname)
+            if info is None:
+                continue
+            for site in info.calls:
+                if site.dispatch is not None:
+                    continue
+                primitive = is_blocking_site(site)
+                if primitive is not None:
+                    project.add(self, info.ctx, site.node,
+                                f"blocking call '{primitive}' on the event-loop "
+                                "thread: every connection stalls while it runs "
+                                "— hand it to the executor "
+                                "(await loop.run_in_executor(...))")
+                    continue
+                for target in site.targets:
+                    callee = graph.functions.get(target)
+                    if callee is None or callee.is_async:
+                        continue
+                    if target in analysis.blocking:
+                        chain = analysis.chain_for(target)
+                        project.add(self, info.ctx, site.node,
+                                    f"await-free blocking path: {chain} runs on "
+                                    "the event-loop thread — hop to the "
+                                    "executor before entering it")
+                        break
+
+
+@register_rule
+class UnguardedSharedState(Rule):
+    """RS013: shared mutable state is written under a lock, or not at all.
+
+    A *shared* object is one that outlives a request and is reachable
+    from more than one execution context: module-level singletons
+    (``QUERY_CACHE``, the metrics registry), service objects with
+    async methods, and anything such an object stores or returns.  The
+    context analysis assigns each function the set of contexts that can
+    run it ({loop, executor, thread}; pool workers have their own
+    memory and do not count); a write to shared state from a function
+    runnable in two of them is a data race unless a ``with <lock>``
+    lexically guards it.  Plain ``x += 1`` is three bytecodes — the GIL
+    does not make it atomic (tests/test_concurrency_races.py
+    demonstrates the lost updates).
+    """
+
+    code = "RS013"
+    name = "unguarded-shared-state"
+    summary = "shared state written from >=2 execution contexts without a lock"
+    node_types = (ast.Module,)
+
+    def end_project(self, project: Project) -> None:
+        analysis = project.analysis()
+        graph = analysis.graph
+        for qualname, info in sorted(graph.functions.items()):
+            racing = analysis.racing_contexts(qualname)
+            if len(racing) < 2:
+                continue
+            if info.name in ("__init__", "__post_init__", "__new__"):
+                continue  # object under construction is not yet shared
+            owner = graph.owner_of(qualname)
+            owner_shared = owner is not None and owner.qualname in analysis.shared_classes
+            module_globals = graph.module_global_names(info.module)
+            contexts = ", ".join(sorted(racing))
+            for node, desc in _shared_writes(
+                info, owner.name if owner_shared and owner else None, module_globals
+            ):
+                if _lock_guarded(node, info.ctx):
+                    continue
+                project.add(self, info.ctx, node,
+                            f"unguarded write to shared {desc} from "
+                            f"contexts {{{contexts}}}: interleavings lose "
+                            "updates or tear multi-field stats — hold a "
+                            "threading.Lock around the mutation (asyncio.Lock "
+                            "only serializes tasks on the loop)")
+
+
+def _shared_writes(info, owner_class: str | None,
+                   module_globals: set[str]) -> Iterable[tuple[ast.AST, str]]:
+    """Yield (node, description) for writes to shared state in a function."""
+    node = info.node
+    declared_global: set[str] = set()
+    body = node.body if not isinstance(node, ast.Lambda) else []
+    for stmt in _walk_function(body, node):
+        if isinstance(stmt, ast.Global):
+            declared_global.update(stmt.names)
+    for stmt in _walk_function(body, node):
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for target in targets:
+                desc = _shared_target_desc(
+                    target, owner_class, module_globals, declared_global
+                )
+                if desc is not None:
+                    yield target, desc
+        elif isinstance(stmt, ast.Call):
+            # Mutating calls on shared receivers: x.append/.update/.pop
+            func = stmt.func
+            if isinstance(func, ast.Attribute) and func.attr in _MUTATING_METHODS:
+                desc = _shared_target_desc(
+                    func.value, owner_class, module_globals, declared_global,
+                    mutating_call=func.attr,
+                )
+                if desc is not None:
+                    yield stmt, desc
+
+
+_MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "pop", "popitem", "setdefault",
+    "update", "clear", "remove", "discard", "add",
+})
+
+
+def _walk_function(body, owner):
+    stack = list(body)
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _shared_target_desc(target: ast.AST, owner_class: str | None,
+                        module_globals: set[str],
+                        declared_global: set[str],
+                        mutating_call: str | None = None) -> str | None:
+    suffix = f".{mutating_call}(...)" if mutating_call else ""
+    # self.attr = ... / self.attr += ... / self.attr.update(...)
+    if (isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)):
+        base = target.value.id
+        if base == "self" and owner_class is not None:
+            return f"attribute {owner_class}.{target.attr}{suffix}"
+        if base in module_globals:
+            # GLOBAL.attr = ... — attribute write on a module singleton
+            return f"module global {base}.{target.attr}{suffix}"
+    # self.attr[k] = ... (shared dict/list slot)
+    if isinstance(target, ast.Subscript):
+        base = target.value
+        if (isinstance(base, ast.Attribute) and isinstance(base.value, ast.Name)
+                and base.value.id == "self" and owner_class is not None):
+            return f"attribute {owner_class}.{base.attr}[...]{suffix}"
+        if isinstance(base, ast.Name) and base.id in module_globals:
+            return f"module global {base.id}[...]{suffix}"
+    # NAME = ... rebinding a declared global, NAME.add(...) on a global
+    if isinstance(target, ast.Name):
+        if target.id in declared_global:
+            return f"module global {target.id}"
+        if mutating_call is not None and target.id in module_globals:
+            return f"module global {target.id}{suffix}"
+    return None
+
+
+@register_rule
+class AwaitSplitReadModifyWrite(Rule):
+    """RS014: a read-modify-write of shared state must not span an await.
+
+    Every ``await`` is a scheduling point: any other task — including
+    another instance of the *same handler* — may run before control
+    returns.  A value read from a shared attribute before the await is
+    stale by the time the write lands after it, even with zero threads
+    involved (this is the single-threaded race asyncio makes possible).
+    The rule walks each ``async def`` in source order, counting awaits,
+    and flags attributes of shared objects (and module globals) that
+    are read at one await-count and written at a strictly later one.
+    Fix by recomputing after the await, or by holding an
+    ``asyncio.Lock`` across the whole read-modify-write.
+    """
+
+    code = "RS014"
+    name = "await-split-rmw"
+    summary = "read-modify-write of shared state split across an await"
+    node_types = (ast.Module,)
+
+    def end_project(self, project: Project) -> None:
+        analysis = project.analysis()
+        graph = analysis.graph
+        for qualname, info in sorted(graph.functions.items()):
+            if not info.is_async:
+                continue
+            owner = graph.owner_of(qualname)
+            owner_shared = owner is not None and owner.qualname in analysis.shared_classes
+            module_globals = graph.module_global_names(info.module)
+            events = _AwaitEvents(
+                owner.name if owner_shared and owner else None, module_globals
+            )
+            events.collect(info.node)
+            for key, write_node, read_tick, write_tick in events.split_rmws():
+                project.add(self, info.ctx, write_node,
+                            f"read-modify-write of shared {key} spans an await "
+                            f"(read before await #{read_tick + 1}, written "
+                            "after it): another task can interleave and its "
+                            "update is lost — recompute after the await or "
+                            "hold an asyncio.Lock across both")
+
+
+class _AwaitEvents:
+    """In-order scan of an async body: shared reads/writes vs awaits."""
+
+    def __init__(self, owner_class: str | None, module_globals: set[str]) -> None:
+        self.owner_class = owner_class
+        self.module_globals = module_globals
+        self.ticks = 0
+        self.lock_depth = 0
+        self.reads: dict[str, int] = {}      # key -> earliest tick
+        self.writes: list[tuple[str, ast.AST, int]] = []
+
+    def collect(self, root: ast.AST) -> None:
+        for child in ast.iter_child_nodes(root):
+            self._visit(child, root)
+
+    def _visit(self, node: ast.AST, root: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return
+        if isinstance(node, ast.Await):
+            for child in ast.iter_child_nodes(node):
+                self._visit(child, root)
+            self.ticks += 1
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)) and _is_lock_with(node):
+            self.lock_depth += 1
+            for child in ast.iter_child_nodes(node):
+                self._visit(child, root)
+            self.lock_depth -= 1
+            return
+        key = self._shared_key(node)
+        if key is not None and self.lock_depth == 0:
+            accesses = getattr(node, "ctx", None)
+            if isinstance(accesses, ast.Load):
+                self.reads.setdefault(key, self.ticks)
+            elif isinstance(accesses, (ast.Store, ast.Del)):
+                self.writes.append((key, node, self.ticks))
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, root)
+
+    def _shared_key(self, node: ast.AST) -> str | None:
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and self.owner_class is not None):
+            return f"{self.owner_class}.{node.attr}"
+        if isinstance(node, ast.Name) and node.id in self.module_globals:
+            return f"module global {node.id}"
+        return None
+
+    def split_rmws(self):
+        for key, node, write_tick in self.writes:
+            read_tick = self.reads.get(key)
+            if read_tick is not None and write_tick > read_tick:
+                yield key, node, read_tick, write_tick

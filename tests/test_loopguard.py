@@ -1,0 +1,101 @@
+"""Unit tests for the runtime loop sanitizer (repro.serve.loopguard).
+
+The guard is the dynamic half of RS012: these tests wedge a real event
+loop with ``time.sleep`` and assert the watchdog both times the stall
+and samples the loop thread's stack mid-stall, then assert a healthy
+loop stays silent (the property serve_chaos enforces end to end).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+import time
+
+from repro.serve.loopguard import LoopGuard
+
+
+def _run_guarded(body_coro_factory, **kwargs) -> LoopGuard:
+    async def main() -> LoopGuard:
+        guard = LoopGuard(**kwargs)
+        guard.install(asyncio.get_running_loop())
+        try:
+            await body_coro_factory()
+        finally:
+            guard.stop()
+        return guard
+
+    return asyncio.run(main())
+
+
+def test_healthy_loop_records_nothing():
+    async def body():
+        for _ in range(10):
+            await asyncio.sleep(0.01)
+
+    guard = _run_guarded(body, threshold=0.05, interval=0.005)
+    assert guard.blocked() == []
+    assert guard.summary() == "loopguard: 0 blocking events >= 50ms (max 0.0ms)"
+
+
+def test_blocking_callback_detected_and_stack_sampled():
+    async def body():
+        await asyncio.sleep(0.02)
+        time.sleep(0.25)  # wedge the loop thread, as a blocking call would
+        await asyncio.sleep(0.02)
+
+    guard = _run_guarded(body, threshold=0.05, interval=0.005)
+    events = guard.blocked()
+    assert events, "a 250ms stall above a 50ms threshold must be recorded"
+    assert max(event.duration for event in events) >= 0.05
+    # The watchdog samples the loop thread while it is still stuck, so
+    # the report names the blocking frame, not just the delay.
+    stacks = "".join(event.stack for event in events)
+    assert "time.sleep(0.25)" in stacks
+
+
+def test_summary_line_is_parseable():
+    """serve_chaos greps this exact shape out of the server's stdout."""
+
+    async def body():
+        time.sleep(0.12)
+        # Yield so the loop runs the pending probe before stop() — a
+        # probe that only completes during shutdown is not a stall.
+        await asyncio.sleep(0.02)
+
+    guard = _run_guarded(body, threshold=0.05, interval=0.005)
+    match = re.fullmatch(
+        r"loopguard: (\d+) blocking events >= 50ms \(max (\d+\.\d)ms\)",
+        guard.summary(),
+    )
+    assert match is not None
+    assert int(match.group(1)) == len(guard.blocked()) > 0
+
+
+def test_double_install_rejected():
+    async def body():
+        pass
+
+    guard = _run_guarded(body, threshold=0.05)
+
+    async def reinstall():
+        try:
+            guard.install(asyncio.get_running_loop())
+        except RuntimeError:
+            return True
+        return False
+
+    # A stopped guard may be reinstalled; an active one may not.
+    async def main():
+        fresh = LoopGuard()
+        fresh.install(asyncio.get_running_loop())
+        try:
+            fresh.install(asyncio.get_running_loop())
+        except RuntimeError:
+            rejected = True
+        else:
+            rejected = False
+        fresh.stop()
+        return rejected
+
+    assert asyncio.run(main())
